@@ -1,0 +1,113 @@
+// Ablation: the look-one-ahead mechanism (§5.2, Fig. 7). Compares
+// CrossMine with and without the second propagation hop on synthetic
+// databases whose hidden rules partly reach through relationship relations
+// (prob_two_hop), and on a pure Fig.7-style chain where the signal is only
+// reachable through a constraint-free link relation.
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "datagen/synthetic.h"
+
+using namespace crossmine;
+using namespace crossmine::bench;
+
+namespace {
+
+// Loan -- Has_Loan -- Client with the class determined solely by
+// Client.risk (Fig. 7 distilled).
+Database MakeFig7Database(int n, uint64_t seed) {
+  Database db;
+  RelationSchema client("Client");
+  client.AddPrimaryKey("client_id");
+  AttrId risk = client.AddCategorical("risk");
+  db.AddRelation(std::move(client));
+  RelationSchema loan("Loan");
+  loan.AddPrimaryKey("loan_id");
+  db.AddRelation(std::move(loan));
+  RelationSchema has_loan("Has_Loan");
+  has_loan.AddPrimaryKey("id");
+  AttrId hl_loan = has_loan.AddForeignKey("loan_id", 1);
+  AttrId hl_client = has_loan.AddForeignKey("client_id", 0);
+  db.AddRelation(std::move(has_loan));
+  db.SetTarget(1);
+
+  Rng rng(seed);
+  Relation& clients = db.mutable_relation(0);
+  Relation& loans = db.mutable_relation(1);
+  Relation& links = db.mutable_relation(2);
+  std::vector<ClassId> labels;
+  for (int i = 0; i < n; ++i) {
+    TupleId c = clients.AddTuple();
+    clients.SetInt(c, 0, c);
+    int64_t risky = rng.Bernoulli(0.5) ? 1 : 0;
+    clients.SetInt(c, 1, risky);
+    TupleId l = loans.AddTuple();
+    loans.SetInt(l, 0, l);
+    TupleId link = links.AddTuple();
+    links.SetInt(link, 0, link);
+    links.SetInt(link, hl_loan, l);
+    links.SetInt(link, hl_client, c);
+    labels.push_back(risky ? 0 : 1);
+  }
+  (void)risk;
+  db.SetLabels(labels, 2);
+  CM_CHECK(db.Finalize().ok());
+  return db;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = FullMode(argc, argv);
+  int folds = full ? 10 : 5;
+
+  std::printf("== Ablation: look-one-ahead (Fig. 7 mechanism) ==\n\n");
+
+  std::printf("-- Fig. 7 chain (signal only behind a relationship "
+              "relation) --\n");
+  std::printf("%-22s %-18s %-18s\n", "dataset", "with look-ahead",
+              "without");
+  {
+    Database db = MakeFig7Database(400, 5);
+    CrossMineOptions with;
+    CrossMineOptions without = with;
+    without.look_one_ahead = false;
+    RunResult a = Run(db, CrossMineFactory(with), folds);
+    RunResult b = Run(db, CrossMineFactory(without), folds);
+    std::printf("%-22s", "Loan-HasLoan-Client");
+    PrintRunCell(a);
+    PrintRunCell(b);
+    std::printf("\n\n");
+  }
+
+  std::printf("-- Synthetic R20.T500.F2 (30%% of rule literals behind "
+              "2-hop FK chains) --\n");
+  std::printf("%-22s %-18s %-18s\n", "seed", "with look-ahead", "without");
+  for (uint64_t seed : {5ull, 9ull, 13ull}) {
+    datagen::SyntheticConfig cfg;
+    cfg.num_relations = 20;
+    cfg.expected_tuples = 500;
+    cfg.expected_fkeys = 2;
+    cfg.seed = seed;
+    StatusOr<Database> db = datagen::GenerateSyntheticDatabase(cfg);
+    CM_CHECK(db.ok());
+    CrossMineOptions with = SyntheticCrossMineOptions();
+    CrossMineOptions without = with;
+    without.look_one_ahead = false;
+    RunResult a = Run(*db, CrossMineFactory(with), folds);
+    RunResult b = Run(*db, CrossMineFactory(without), folds);
+    std::printf("%-22llu", static_cast<unsigned long long>(seed));
+    PrintRunCell(a);
+    PrintRunCell(b);
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  PrintLegend();
+  std::printf(
+      "Expected: on the Fig. 7 chain, look-ahead is the difference between"
+      " perfect and near-chance accuracy.\nOn general synthetic schemas it"
+      " buys accuracy when relationship relations carry signal and costs a"
+      " few x runtime\n(a larger search space) plus a small overfitting tax"
+      " otherwise — the trade-off §5.2 argues is worthwhile.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation: negative tuple sampling (§6). Sweeps NEG_POS_RATIO and
+// MAX_NUM_NEGATIVE on a larger synthetic database and reports the
+// runtime/accuracy trade-off against the no-sampling baseline.
+
+#include "bench_util.h"
+#include "datagen/synthetic.h"
+
+using namespace crossmine;
+using namespace crossmine::bench;
+
+int main(int argc, char** argv) {
+  bool full = FullMode(argc, argv);
+  int folds = full ? 10 : 3;
+
+  datagen::SyntheticConfig cfg;
+  cfg.num_relations = 20;
+  cfg.expected_tuples = full ? 5000 : 1500;
+  cfg.expected_fkeys = 2;
+  cfg.seed = 37;
+  StatusOr<Database> db = datagen::GenerateSyntheticDatabase(cfg);
+  CM_CHECK_MSG(db.ok(), db.status().ToString().c_str());
+
+  std::printf("== Ablation: negative tuple sampling (§6) on %s (%llu "
+              "tuples) ==\n\n",
+              cfg.Name().c_str(),
+              static_cast<unsigned long long>(db->TotalTuples()));
+  std::printf("%-34s %-18s\n", "configuration", "runtime  accuracy");
+
+  {
+    RunResult r =
+        Run(*db, CrossMineFactory(SyntheticCrossMineOptions()), folds);
+    std::printf("%-34s", "no sampling");
+    PrintRunCell(r);
+    std::printf("\n");
+  }
+  struct Config {
+    double ratio;
+    uint32_t max_neg;
+  };
+  const Config sweep[] = {
+      {0.5, 600}, {1.0, 600}, {2.0, 600}, {1.0, 150}, {1.0, 300}, {1.0, 1200},
+  };
+  for (const Config& c : sweep) {
+    CrossMineOptions opts = SyntheticCrossMineOptions(/*sampling=*/true);
+    opts.neg_pos_ratio = c.ratio;
+    opts.max_num_negative = c.max_neg;
+    RunResult r = Run(*db, CrossMineFactory(opts), folds);
+    std::printf("NEG_POS_RATIO=%.1f MAX_NUM_NEG=%-5u  ", c.ratio, c.max_neg);
+    PrintRunCell(r);
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  PrintLegend();
+  std::printf(
+      "Expected (§6/§7.1): sampling cuts runtime substantially once the"
+      " first clauses cover most positives,\nat a small accuracy cost;"
+      " the paper's defaults are NEG_POS_RATIO=1, MAX_NUM_NEGATIVE=600.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+#ifndef CROSSMINE_BENCH_BENCH_UTIL_H_
+#define CROSSMINE_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the experiment benches (one binary per table/figure
+// of the paper). Each bench prints the same rows/series its figure reports.
+//
+// Benches run at a scaled-down default so the whole suite finishes in
+// minutes; pass --full (or set CROSSMINE_BENCH_FULL=1) to run the paper's
+// full parameter ranges. Baselines carry a per-run wall-clock budget — the
+// paper likewise aborted baseline runs that were far beyond 10 hours and
+// reported first-fold numbers.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "baselines/foil.h"
+#include "baselines/tilde.h"
+#include "core/classifier.h"
+#include "eval/cross_validation.h"
+#include "relational/database.h"
+
+namespace crossmine::bench {
+
+inline bool FullMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) return true;
+  }
+  const char* env = std::getenv("CROSSMINE_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Wall-clock budget (seconds) for one baseline cross-validation run.
+inline double BaselineBudget(bool full) { return full ? 600.0 : 45.0; }
+
+struct RunResult {
+  double accuracy = 0.0;
+  double fold_seconds = 0.0;
+  int folds_run = 0;
+  bool truncated = false;
+};
+
+inline RunResult Run(const Database& db, const eval::ClassifierFactory& make,
+                     int folds, double fold_time_limit = 0.0) {
+  eval::CrossValResult cv =
+      eval::CrossValidate(db, make, folds, /*seed=*/1, fold_time_limit);
+  RunResult r;
+  r.accuracy = cv.mean_accuracy;
+  r.fold_seconds = cv.mean_fold_seconds;
+  r.folds_run = static_cast<int>(cv.folds.size());
+  r.truncated = cv.truncated;
+  return r;
+}
+
+/// CrossMine configured like the synthetic experiments (§7.1: categorical
+/// literals only, paper default parameters).
+inline CrossMineOptions SyntheticCrossMineOptions(bool sampling = false) {
+  CrossMineOptions opts;
+  opts.use_numerical_literals = false;
+  opts.use_aggregation_literals = false;
+  opts.use_sampling = sampling;
+  return opts;
+}
+
+inline eval::ClassifierFactory CrossMineFactory(const CrossMineOptions& o) {
+  return [o] { return std::make_unique<CrossMineClassifier>(o); };
+}
+
+inline eval::ClassifierFactory FoilFactory(double budget,
+                                           bool numerical = false) {
+  baselines::FoilOptions o;
+  o.use_numerical_literals = numerical;
+  o.time_budget_seconds = budget;
+  return [o] { return std::make_unique<baselines::FoilClassifier>(o); };
+}
+
+inline eval::ClassifierFactory TildeFactory(double budget,
+                                            bool numerical = false) {
+  baselines::TildeOptions o;
+  o.use_numerical_literals = numerical;
+  o.time_budget_seconds = budget;
+  return [o] { return std::make_unique<baselines::TildeClassifier>(o); };
+}
+
+inline const char* TruncMark(const RunResult& r) {
+  return r.truncated ? "*" : " ";
+}
+
+inline void PrintRunCell(const RunResult& r) {
+  std::printf("  %9.3fs%s %5.1f%%", r.fold_seconds, TruncMark(r),
+              r.accuracy * 100.0);
+}
+
+inline void PrintLegend() {
+  std::printf(
+      "\n  runtime = mean wall-clock per fold (train+predict);"
+      " * = run hit its time budget (remaining folds skipped,\n"
+      "  like the paper's aborted >10h baseline runs)."
+      " Accuracies are means over the folds that ran.\n\n");
+}
+
+}  // namespace crossmine::bench
+
+#endif  // CROSSMINE_BENCH_BENCH_UTIL_H_

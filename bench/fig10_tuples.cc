@@ -1,0 +1,55 @@
+// Figure 10: runtime and accuracy vs number of tuples (R20.T*.F2).
+// Series: CrossMine, CrossMine with negative sampling, FOIL, TILDE.
+
+#include "bench_util.h"
+#include "datagen/synthetic.h"
+
+using namespace crossmine;
+using namespace crossmine::bench;
+
+int main(int argc, char** argv) {
+  bool full = FullMode(argc, argv);
+  std::vector<int> sizes = full
+                               ? std::vector<int>{200, 500, 1000, 2000, 5000}
+                               : std::vector<int>{200, 500, 1000};
+  double budget = BaselineBudget(full);
+  int folds = full ? 10 : 5;
+
+  std::printf("== Figure 10: scalability w.r.t. number of tuples "
+              "(R20.T*.F2)%s ==\n",
+              full ? "" : " [scaled default; --full for paper range]");
+  std::printf("%-14s %9s  %-18s %-18s %-18s %-18s\n", "database", "tuples",
+              "CrossMine", "CM+sampling", "FOIL", "TILDE");
+  for (int t : sizes) {
+    datagen::SyntheticConfig cfg;
+    cfg.num_relations = 20;
+    cfg.expected_tuples = t;
+    cfg.expected_fkeys = 2;
+    cfg.seed = 23;
+    StatusOr<Database> db = datagen::GenerateSyntheticDatabase(cfg);
+    CM_CHECK_MSG(db.ok(), db.status().ToString().c_str());
+
+    RunResult cm = Run(*db, CrossMineFactory(SyntheticCrossMineOptions()),
+                       folds);
+    RunResult cms = Run(
+        *db, CrossMineFactory(SyntheticCrossMineOptions(/*sampling=*/true)),
+        folds);
+    RunResult foil = Run(*db, FoilFactory(budget), folds, budget);
+    RunResult tilde = Run(*db, TildeFactory(budget), folds, budget);
+
+    std::printf("%-14s %9llu", cfg.Name().c_str(),
+                static_cast<unsigned long long>(db->TotalTuples()));
+    PrintRunCell(cm);
+    PrintRunCell(cms);
+    PrintRunCell(foil);
+    PrintRunCell(tilde);
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  PrintLegend();
+  std::printf(
+      "Paper shape: FOIL/TILDE runtime grows superlinearly with tuples"
+      " (30.6x / 104x from T200 to T1000);\nCrossMine grows mildly (8x),"
+      " sampling flattens it further at little accuracy cost.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 11: CrossMine (with negative sampling) on large databases
+// (R20.T200 up to R20.T100000 — 4K to ~2M total tuples in the paper).
+
+#include "bench_util.h"
+#include "datagen/synthetic.h"
+
+using namespace crossmine;
+using namespace crossmine::bench;
+
+int main(int argc, char** argv) {
+  bool full = FullMode(argc, argv);
+  std::vector<int> sizes =
+      full ? std::vector<int>{200, 500, 1000, 2000, 5000, 10000, 20000,
+                              50000, 100000}
+           : std::vector<int>{200, 500, 1000, 2000, 5000, 10000};
+  int folds = full ? 10 : 3;
+
+  std::printf("== Figure 11: CrossMine+sampling on large databases "
+              "(R20.T*.F2)%s ==\n",
+              full ? "" : " [scaled default; --full for paper range]");
+  std::printf("%-16s %10s  %-18s\n", "database", "tuples", "CM+sampling");
+  for (int t : sizes) {
+    datagen::SyntheticConfig cfg;
+    cfg.num_relations = 20;
+    cfg.expected_tuples = t;
+    cfg.expected_fkeys = 2;
+    cfg.seed = 29;
+    StatusOr<Database> db = datagen::GenerateSyntheticDatabase(cfg);
+    CM_CHECK_MSG(db.ok(), db.status().ToString().c_str());
+
+    RunResult cms = Run(
+        *db, CrossMineFactory(SyntheticCrossMineOptions(/*sampling=*/true)),
+        folds);
+
+    std::printf("%-16s %10llu", cfg.Name().c_str(),
+                static_cast<unsigned long long>(db->TotalTuples()));
+    PrintRunCell(cms);
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  PrintLegend();
+  std::printf("Paper shape: near-linear runtime growth, accuracy stable"
+              " (~85-90%%) as the database grows to millions of tuples.\n");
+  return 0;
+}

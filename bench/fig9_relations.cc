@@ -1,0 +1,51 @@
+// Figure 9: runtime and accuracy vs number of relations (R*.T500.F2).
+// Series: CrossMine, FOIL, TILDE; ten-fold cross validation in the paper,
+// with slow baseline runs cut to their first folds.
+
+#include "bench_util.h"
+#include "datagen/synthetic.h"
+
+using namespace crossmine;
+using namespace crossmine::bench;
+
+int main(int argc, char** argv) {
+  bool full = FullMode(argc, argv);
+  std::vector<int> sizes =
+      full ? std::vector<int>{10, 20, 50, 100, 200}
+           : std::vector<int>{10, 20, 50};
+  double budget = BaselineBudget(full);
+  int folds = full ? 10 : 5;
+
+  std::printf("== Figure 9: scalability w.r.t. number of relations "
+              "(R*.T500.F2)%s ==\n",
+              full ? "" : " [scaled default; --full for paper range]");
+  std::printf("%-14s %9s  %-18s %-18s %-18s\n", "database", "tuples",
+              "CrossMine", "FOIL", "TILDE");
+  for (int r : sizes) {
+    datagen::SyntheticConfig cfg;
+    cfg.num_relations = r;
+    cfg.expected_tuples = 500;
+    cfg.expected_fkeys = 2;
+    cfg.seed = 17;
+    StatusOr<Database> db = datagen::GenerateSyntheticDatabase(cfg);
+    CM_CHECK_MSG(db.ok(), db.status().ToString().c_str());
+
+    RunResult cm = Run(*db, CrossMineFactory(SyntheticCrossMineOptions()),
+                       folds);
+    RunResult foil = Run(*db, FoilFactory(budget), folds, budget);
+    RunResult tilde = Run(*db, TildeFactory(budget), folds, budget);
+
+    std::printf("%-14s %9llu", cfg.Name().c_str(),
+                static_cast<unsigned long long>(db->TotalTuples()));
+    PrintRunCell(cm);
+    PrintRunCell(foil);
+    PrintRunCell(tilde);
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  PrintLegend();
+  std::printf("Paper shape: CrossMine runtime roughly flat in |R| and orders"
+              " of magnitude below FOIL/TILDE;\nCrossMine accuracy highest"
+              " (~87-93%%).\n");
+  return 0;
+}

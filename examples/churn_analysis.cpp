@@ -1,0 +1,166 @@
+// Custom-schema walkthrough: a telecom customer-churn scenario built from
+// scratch with the public schema API, persisted to CSV, reloaded, and
+// mined. Shows everything a downstream user needs to run CrossMine on
+// their own multi-relational data:
+//   1. declare relations with primary/foreign keys,
+//   2. load tuples (here: generated; in practice from your own source),
+//   3. save/load the database as CSV + schema manifest,
+//   4. train, inspect clauses, and evaluate with cross-validation.
+//
+// Build & run:  cmake --build build && ./build/examples/churn_analysis
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/random.h"
+#include "core/classifier.h"
+#include "eval/cross_validation.h"
+#include "relational/csv.h"
+#include "relational/database.h"
+
+using namespace crossmine;
+
+namespace {
+
+// Schema: Customer (target: churned?) -- Subscription -- Plan, plus
+// SupportTicket referencing Customer.
+Database BuildChurnDatabase(int num_customers, uint64_t seed) {
+  Database db;
+
+  RelationSchema plan_schema("Plan");
+  plan_schema.AddPrimaryKey("plan_id");
+  AttrId plan_tier = plan_schema.AddCategorical("tier");
+  AttrId plan_price = plan_schema.AddNumerical("monthly_price");
+  RelId plan_rel = db.AddRelation(std::move(plan_schema));
+
+  RelationSchema customer_schema("Customer");
+  customer_schema.AddPrimaryKey("customer_id");
+  AttrId cust_region = customer_schema.AddCategorical("region");
+  AttrId cust_tenure = customer_schema.AddNumerical("tenure_months");
+  RelId customer_rel = db.AddRelation(std::move(customer_schema));
+
+  RelationSchema sub_schema("Subscription");
+  sub_schema.AddPrimaryKey("sub_id");
+  AttrId sub_customer = sub_schema.AddForeignKey("customer_id", customer_rel);
+  AttrId sub_plan = sub_schema.AddForeignKey("plan_id", plan_rel);
+  AttrId sub_autopay = sub_schema.AddCategorical("autopay");
+  RelId sub_rel = db.AddRelation(std::move(sub_schema));
+
+  RelationSchema ticket_schema("SupportTicket");
+  ticket_schema.AddPrimaryKey("ticket_id");
+  AttrId ticket_customer =
+      ticket_schema.AddForeignKey("customer_id", customer_rel);
+  AttrId ticket_severity = ticket_schema.AddCategorical("severity");
+  AttrId ticket_wait = ticket_schema.AddNumerical("hours_to_resolve");
+  RelId ticket_rel = db.AddRelation(std::move(ticket_schema));
+
+  db.SetTarget(customer_rel);
+
+  Rng rng(seed);
+  Relation& plan = db.mutable_relation(plan_rel);
+  const char* tiers[] = {"basic", "plus", "premium"};
+  for (int i = 0; i < 6; ++i) {
+    TupleId p = plan.AddTuple();
+    plan.SetInt(p, 0, p);
+    plan.SetInt(p, plan_tier, plan.InternCategory(plan_tier, tiers[i % 3]));
+    plan.SetDouble(p, plan_price, 10.0 + 15.0 * (i % 3) +
+                                      rng.UniformDouble(0, 5));
+  }
+
+  Relation& customer = db.mutable_relation(customer_rel);
+  Relation& sub = db.mutable_relation(sub_rel);
+  Relation& ticket = db.mutable_relation(ticket_rel);
+  std::vector<ClassId> labels;
+  for (int i = 0; i < num_customers; ++i) {
+    TupleId c = customer.AddTuple();
+    customer.SetInt(c, 0, c);
+    customer.SetInt(
+        c, cust_region,
+        customer.InternCategory(cust_region,
+                                "region" + std::to_string(rng.Uniform(4))));
+    double tenure = rng.UniformDouble(1, 72);
+    customer.SetDouble(c, cust_tenure, tenure);
+
+    TupleId s = sub.AddTuple();
+    int64_t chosen_plan = static_cast<int64_t>(rng.Uniform(6));
+    sub.SetInt(s, 0, s);
+    sub.SetInt(s, sub_customer, c);
+    sub.SetInt(s, sub_plan, chosen_plan);
+    bool autopay = rng.Bernoulli(0.6);
+    sub.SetInt(s, sub_autopay,
+               sub.InternCategory(sub_autopay, autopay ? "yes" : "no"));
+
+    double worst_wait = 0;
+    int64_t tickets = rng.ExponentialAtLeast(1.2, 0);
+    for (int64_t k = 0; k < tickets; ++k) {
+      TupleId t = ticket.AddTuple();
+      ticket.SetInt(t, 0, t);
+      ticket.SetInt(t, ticket_customer, c);
+      ticket.SetInt(t, ticket_severity,
+                    ticket.InternCategory(
+                        ticket_severity,
+                        rng.Bernoulli(0.25) ? "critical" : "routine"));
+      double wait = rng.UniformDouble(1, 120);
+      ticket.SetDouble(t, ticket_wait, wait);
+      worst_wait = std::max(worst_wait, wait);
+    }
+
+    // Ground truth: churn if on an expensive plan without autopay, or a
+    // support ticket festered for >90h, or brand-new basic-tier customer.
+    bool expensive = plan.Double(static_cast<TupleId>(chosen_plan),
+                                 plan_price) > 35.0;
+    bool churn = (expensive && !autopay) || worst_wait > 90.0 ||
+                 (tenure < 6 && !autopay);
+    if (rng.Bernoulli(0.06)) churn = !churn;  // label noise
+    labels.push_back(churn ? 1 : 0);
+  }
+  db.SetLabels(labels, 2);
+  Status st = db.Finalize();
+  CM_CHECK_MSG(st.ok(), st.ToString().c_str());
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  Database db = BuildChurnDatabase(/*num_customers=*/800, /*seed=*/99);
+  std::printf("Churn database: %d relations, %llu tuples\n",
+              db.num_relations(),
+              static_cast<unsigned long long>(db.TotalTuples()));
+
+  // Persist to CSV and reload — the workflow for teams that keep datasets
+  // in version control or edit them with external tools.
+  std::string dir = "churn_dataset";
+  std::filesystem::create_directories(dir);
+  Status st = SaveDatabaseCsv(db, dir);
+  CM_CHECK_MSG(st.ok(), st.ToString().c_str());
+  StatusOr<Database> loaded = LoadDatabaseCsv(dir);
+  CM_CHECK_MSG(loaded.ok(), loaded.status().ToString().c_str());
+  std::printf("Round-tripped through %s/ (schema.txt + one CSV per "
+              "relation)\n\n",
+              dir.c_str());
+
+  // Mine churn rules with ten-fold cross validation.
+  CrossMineOptions options;  // defaults: all literal families
+  eval::CrossValResult cv = eval::CrossValidate(
+      *loaded,
+      [&] { return std::make_unique<CrossMineClassifier>(options); }, 10, 1);
+  std::printf("CrossMine 10-fold accuracy: %.1f%% (%.2fs per fold)\n\n",
+              cv.mean_accuracy * 100, cv.mean_fold_seconds);
+
+  std::vector<TupleId> all;
+  for (TupleId t = 0; t < loaded->target_relation().num_tuples(); ++t) {
+    all.push_back(t);
+  }
+  CrossMineClassifier model(options);
+  CM_CHECK(model.Train(*loaded, all).ok());
+  std::printf("Churn-driver clauses (class 1 = churned):\n");
+  int shown = 0;
+  for (const Clause& clause : model.clauses()) {
+    if (clause.predicted_class != 1 || clause.sup_pos < 15) continue;
+    std::printf("  [acc=%.2f support=%g] %s\n", clause.accuracy,
+                clause.sup_pos, clause.ToString(*loaded).c_str());
+    if (++shown == 5) break;
+  }
+  return 0;
+}

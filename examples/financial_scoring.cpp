@@ -1,0 +1,75 @@
+// Loan-default scoring on the financial database (the paper's Table 2
+// scenario): generate a PKDD CUP'99-style banking database, learn a
+// CrossMine model with all three literal families, inspect the clauses it
+// found, and score a held-out batch of loan applications.
+//
+// Build & run:  cmake --build build && ./build/examples/financial_scoring
+
+#include <cstdio>
+
+#include "core/classifier.h"
+#include "datagen/financial.h"
+#include "eval/cross_validation.h"
+#include "eval/metrics.h"
+
+using namespace crossmine;
+
+int main() {
+  // A mid-sized bank: ~20k tuples across the eight Fig. 1 relations.
+  datagen::FinancialConfig config;
+  config.num_accounts = 1200;
+  config.num_clients = 1400;
+  config.num_loans = 400;
+  StatusOr<Database> db = datagen::GenerateFinancialDatabase(config);
+  CM_CHECK_MSG(db.ok(), db.status().ToString().c_str());
+
+  std::printf("Financial database: %d relations, %llu tuples\n",
+              db->num_relations(),
+              static_cast<unsigned long long>(db->TotalTuples()));
+  for (RelId r = 0; r < db->num_relations(); ++r) {
+    std::printf("  %-12s %6u tuples\n", db->relation(r).name().c_str(),
+                db->relation(r).num_tuples());
+  }
+
+  // Hold out every fifth loan as the incoming application batch.
+  std::vector<TupleId> train, incoming;
+  for (TupleId t = 0; t < db->target_relation().num_tuples(); ++t) {
+    (t % 5 == 0 ? incoming : train).push_back(t);
+  }
+
+  // All three literal families (categorical, numerical, aggregation) and
+  // negative sampling, like the paper's financial experiment.
+  CrossMineOptions options;
+  options.use_sampling = true;
+  CrossMineClassifier model(options);
+  Status st = model.Train(*db, train);
+  CM_CHECK_MSG(st.ok(), st.ToString().c_str());
+
+  std::printf("\nLearned risk model (%zu clauses). Highlights:\n",
+              model.clauses().size());
+  int shown = 0;
+  for (const Clause& clause : model.clauses()) {
+    if (clause.sup_pos < 10) continue;  // show the broad clauses only
+    std::printf("  [acc=%.2f, support=%g] %s\n", clause.accuracy,
+                clause.sup_pos, clause.ToString(*db).c_str());
+    if (++shown == 6) break;
+  }
+
+  std::vector<ClassId> decision = model.Predict(*db, incoming);
+  eval::ConfusionMatrix confusion(2);
+  int flagged = 0;
+  for (size_t i = 0; i < incoming.size(); ++i) {
+    confusion.Add(db->labels()[incoming[i]], decision[i]);
+    flagged += (decision[i] == 0);
+  }
+  std::printf("\nScored %zu incoming applications: %d flagged as likely "
+              "defaults.\n",
+              incoming.size(), flagged);
+  std::printf("Against ground truth (0 = default, 1 = repaid):\n%s",
+              confusion.ToString().c_str());
+  std::printf("accuracy %.1f%%, default-class recall %.1f%%, precision "
+              "%.1f%%\n",
+              confusion.Accuracy() * 100, confusion.Recall(0) * 100,
+              confusion.Precision(0) * 100);
+  return 0;
+}

@@ -1,0 +1,310 @@
+#include "baselines/tilde.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace crossmine::baselines {
+
+namespace {
+
+double Entropy(const std::vector<uint32_t>& counts) {
+  uint64_t total = 0;
+  for (uint32_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (uint32_t c : counts) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+uint64_t Total(const std::vector<uint32_t>& counts) {
+  uint64_t total = 0;
+  for (uint32_t c : counts) total += c;
+  return total;
+}
+
+ClassId Majority(const std::vector<uint32_t>& counts) {
+  return static_cast<ClassId>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+}  // namespace
+
+Status TildeClassifier::Train(const Database& db,
+                              const std::vector<TupleId>& train_ids) {
+  if (!db.finalized()) {
+    return Status::FailedPrecondition("database not finalized");
+  }
+  if (train_ids.empty()) {
+    return Status::InvalidArgument("empty training set");
+  }
+  num_classes_ = db.num_classes();
+  truncated_ = false;
+  timer_.Reset();
+  labels_ = &db.labels();
+
+  std::vector<uint32_t> class_count(static_cast<size_t>(num_classes_), 0);
+  for (TupleId id : train_ids) {
+    ++class_count[static_cast<size_t>(db.labels()[id])];
+  }
+  default_class_ = Majority(class_count);
+
+  std::vector<TupleId> sorted_ids = train_ids;
+  std::sort(sorted_ids.begin(), sorted_ids.end());
+  root_ = BuildNode(db, std::move(sorted_ids), {}, 0);
+  labels_ = nullptr;
+  return Status::OK();
+}
+
+bool TildeClassifier::Replay(const Database& db,
+                             const std::vector<TupleId>& examples,
+                             const std::vector<Step>& path, const Step* extra,
+                             BindingsTable* out) const {
+  BindingsTable table(&db, examples);
+  auto apply = [&](const Step& step) -> bool {
+    int tested_col = step.source_col;
+    if (step.edge >= 0) {
+      const JoinEdge& edge = db.edges()[static_cast<size_t>(step.edge)];
+      BindingsTable joined(&db, std::vector<TupleId>{});
+      if (!table.Join(edge, step.source_col, options_.max_join_rows, &joined,
+                      options_.indexed_joins)) {
+        return false;
+      }
+      table = std::move(joined);
+      tested_col = table.num_cols() - 1;
+    }
+    table.Filter(step.constraint, tested_col);
+    return true;
+  };
+  for (const Step& step : path) {
+    if (!apply(step)) return false;
+  }
+  if (extra != nullptr && !apply(*extra)) return false;
+  *out = std::move(table);
+  return true;
+}
+
+std::unique_ptr<TildeClassifier::Node> TildeClassifier::BuildNode(
+    const Database& db, std::vector<TupleId> examples,
+    const std::vector<Step>& path, int depth) {
+  auto node = std::make_unique<Node>();
+
+  std::vector<uint32_t> counts(static_cast<size_t>(num_classes_), 0);
+  for (TupleId t : examples) {
+    ++counts[static_cast<size_t>((*labels_)[t])];
+  }
+  node->label = Majority(counts);
+  uint64_t node_total = examples.size();
+  double entropy = Entropy(counts);
+
+  if (node_total < options_.min_examples || entropy == 0.0 ||
+      depth >= options_.max_depth) {
+    return node;
+  }
+  if (OverBudget()) {
+    truncated_ = true;
+    return node;
+  }
+
+  // The node's own bindings, used only to enumerate candidate constraints.
+  BindingsTable table(&db, std::vector<TupleId>{});
+  if (!Replay(db, examples, path, nullptr, &table)) return node;
+
+  // Score a candidate step by re-proving the full query from the root —
+  // the plain-ILP cost model (§2) — and measuring the class split.
+  double best_gain = -1.0;
+  Step best_step;
+  auto score = [&](const Step& step) {
+    if (OverBudget()) return;
+    BindingsTable proved(&db, std::vector<TupleId>{});
+    if (!Replay(db, examples, path, &step, &proved)) return;
+    std::vector<uint32_t> yes_counts =
+        proved.ClassCounts(*labels_, num_classes_);
+    uint64_t yes_total = Total(yes_counts);
+    if (yes_total == 0 || yes_total == node_total) return;
+    std::vector<uint32_t> no_counts(counts.size());
+    for (size_t c = 0; c < counts.size(); ++c) {
+      CM_CHECK(yes_counts[c] <= counts[c]);
+      no_counts[c] = counts[c] - yes_counts[c];
+    }
+    double yes_frac =
+        static_cast<double>(yes_total) / static_cast<double>(node_total);
+    double gain = entropy - yes_frac * Entropy(yes_counts) -
+                  (1.0 - yes_frac) * Entropy(no_counts);
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_step = step;
+    }
+  };
+
+  for (int col = 0; col < table.num_cols() && !OverBudget(); ++col) {
+    // Constraints on an already-bound column: enumerate from the node's
+    // bindings, score each by full re-proof.
+    {
+      const Relation& rel = db.relation(table.col_relation(col));
+      for (AttrId a = 0; a < rel.schema().num_attrs(); ++a) {
+        const Attribute& attr = rel.schema().attr(a);
+        if (attr.kind != AttrKind::kCategorical &&
+            !(attr.kind == AttrKind::kNumerical &&
+              options_.use_numerical_literals)) {
+          continue;
+        }
+        for (const BaselineCandidate& cand : EvaluateByConstruction(
+                 table, col, a, *labels_, num_classes_, /*count_rows=*/false,
+                 options_.max_numeric_thresholds)) {
+          score(Step{col, -1, cand.constraint});
+        }
+      }
+    }
+    // Refinements behind a join: a probe join enumerates constraints, then
+    // each candidate re-proves the whole query including the join.
+    for (int32_t e : db.OutEdges(table.col_relation(col))) {
+      const JoinEdge& edge = db.edges()[static_cast<size_t>(e)];
+      BindingsTable probe(&db, std::vector<TupleId>{});
+      if (!table.Join(edge, col, options_.max_join_rows, &probe,
+                      options_.indexed_joins)) {
+        continue;
+      }
+      int new_col = probe.num_cols() - 1;
+      const Relation& rel = db.relation(edge.to_rel);
+      for (AttrId a = 0; a < rel.schema().num_attrs(); ++a) {
+        const Attribute& attr = rel.schema().attr(a);
+        if (attr.kind != AttrKind::kCategorical &&
+            !(attr.kind == AttrKind::kNumerical &&
+              options_.use_numerical_literals)) {
+          continue;
+        }
+        for (const BaselineCandidate& cand : EvaluateByConstruction(
+                 probe, new_col, a, *labels_, num_classes_,
+                 /*count_rows=*/false, options_.max_numeric_thresholds)) {
+          score(Step{col, e, cand.constraint});
+        }
+      }
+      if (OverBudget()) break;
+    }
+  }
+  if (best_gain < options_.min_info_gain) return node;
+
+  // Split the examples and recurse.
+  BindingsTable yes_table(&db, std::vector<TupleId>{});
+  bool ok = Replay(db, examples, path, &best_step, &yes_table);
+  CM_CHECK_MSG(ok, "winning candidate failed to re-prove");
+  std::vector<TupleId> yes_examples = yes_table.DistinctTargets();
+  std::vector<uint8_t> satisfied(db.target_relation().num_tuples(), 0);
+  for (TupleId t : yes_examples) satisfied[t] = 1;
+  std::vector<TupleId> no_examples;
+  no_examples.reserve(examples.size() - yes_examples.size());
+  for (TupleId t : examples) {
+    if (!satisfied[t]) no_examples.push_back(t);
+  }
+
+  std::vector<Step> yes_path = path;
+  yes_path.push_back(best_step);
+
+  node->is_leaf = false;
+  node->step = best_step;
+  node->yes = BuildNode(db, std::move(yes_examples), yes_path, depth + 1);
+  node->no = BuildNode(db, std::move(no_examples), path, depth + 1);
+  return node;
+}
+
+std::vector<ClassId> TildeClassifier::Predict(
+    const Database& db, const std::vector<TupleId>& ids) const {
+  TupleId num_targets = db.target_relation().num_tuples();
+  std::vector<ClassId> per_target(num_targets, default_class_);
+  if (root_ != nullptr && !ids.empty()) {
+    std::vector<TupleId> sorted_ids = ids;
+    std::sort(sorted_ids.begin(), sorted_ids.end());
+    sorted_ids.erase(std::unique(sorted_ids.begin(), sorted_ids.end()),
+                     sorted_ids.end());
+    PredictRecurse(db, *root_, BindingsTable(&db, sorted_ids), &per_target);
+  }
+  std::vector<ClassId> out;
+  out.reserve(ids.size());
+  for (TupleId id : ids) out.push_back(per_target[id]);
+  return out;
+}
+
+void TildeClassifier::PredictRecurse(const Database& db, const Node& node,
+                                     BindingsTable table,
+                                     std::vector<ClassId>* out) const {
+  if (table.num_rows() == 0) return;
+  if (node.is_leaf) {
+    for (TupleId t : table.DistinctTargets()) (*out)[t] = node.label;
+    return;
+  }
+  BindingsTable yes_table(&db, std::vector<TupleId>{});
+  int tested_col = node.step.source_col;
+  if (node.step.edge >= 0) {
+    const JoinEdge& edge = db.edges()[static_cast<size_t>(node.step.edge)];
+    // No row cap at prediction time; joins that exceed it route everything
+    // to the no-branch (they were never materialized during training).
+    if (!table.Join(edge, node.step.source_col,
+                    std::numeric_limits<size_t>::max(), &yes_table)) {
+      PredictRecurse(db, *node.no, std::move(table), out);
+      return;
+    }
+    tested_col = yes_table.num_cols() - 1;
+  } else {
+    yes_table = table;
+  }
+  yes_table.Filter(node.step.constraint, tested_col);
+
+  TupleId num_targets = db.target_relation().num_tuples();
+  std::vector<uint8_t> unsatisfied(num_targets, 1);
+  for (TupleId t : yes_table.DistinctTargets()) unsatisfied[t] = 0;
+  BindingsTable no_table = std::move(table);
+  no_table.FilterTargets(unsatisfied);
+
+  PredictRecurse(db, *node.yes, std::move(yes_table), out);
+  PredictRecurse(db, *node.no, std::move(no_table), out);
+}
+
+size_t TildeClassifier::tree_size() const {
+  return root_ == nullptr ? 0 : CountNodes(*root_);
+}
+
+size_t TildeClassifier::CountNodes(const Node& node) const {
+  if (node.is_leaf) return 1;
+  return 1 + CountNodes(*node.yes) + CountNodes(*node.no);
+}
+
+std::string TildeClassifier::ToString(const Database& db) const {
+  std::string out;
+  if (root_ != nullptr) Render(db, *root_, {db.target()}, 0, &out);
+  return out;
+}
+
+void TildeClassifier::Render(const Database& db, const Node& node,
+                             std::vector<RelId> cols, int indent,
+                             std::string* out) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  if (node.is_leaf) {
+    out->append(pad + StrFormat("-> class %d\n", node.label));
+    return;
+  }
+  // Replay the yes-path column layout so the tested relation is named
+  // correctly even for no-join tests on deep columns.
+  std::vector<RelId> yes_cols = cols;
+  RelId rel_id;
+  if (node.step.edge >= 0) {
+    rel_id = db.edges()[static_cast<size_t>(node.step.edge)].to_rel;
+    yes_cols.push_back(rel_id);
+  } else {
+    rel_id = cols[static_cast<size_t>(node.step.source_col)];
+  }
+  const Relation& rel = db.relation(rel_id);
+  out->append(pad + "test: " + rel.name() + "." +
+              node.step.constraint.ToString(rel) + "\n");
+  Render(db, *node.yes, std::move(yes_cols), indent + 1, out);
+  Render(db, *node.no, std::move(cols), indent + 1, out);
+}
+
+}  // namespace crossmine::baselines

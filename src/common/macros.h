@@ -1,0 +1,30 @@
+#ifndef CROSSMINE_COMMON_MACROS_H_
+#define CROSSMINE_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Internal invariant-checking macros. `CM_CHECK` aborts with a message when
+/// the condition does not hold; it is active in all build types because the
+/// library is exception-free and internal corruption must not propagate.
+
+#define CM_CHECK(cond)                                                       \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CM_CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define CM_CHECK_MSG(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CM_CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // CROSSMINE_COMMON_MACROS_H_

@@ -1,0 +1,22 @@
+#include "common/random.h"
+
+#include <numeric>
+
+namespace crossmine {
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  CM_CHECK(k <= n);
+  // Partial Fisher–Yates over an index vector: O(n) memory, O(n) time. The
+  // callers (negative sampling, fold splits) have n bounded by the number of
+  // target tuples, so this is fine.
+  std::vector<uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  for (uint32_t i = 0; i < k; ++i) {
+    uint32_t j = i + static_cast<uint32_t>(Uniform(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace crossmine

@@ -1,0 +1,117 @@
+#ifndef CROSSMINE_COMMON_STATUS_H_
+#define CROSSMINE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace crossmine {
+
+/// Error categories used across the library. The library never throws;
+/// fallible operations return `Status` or `StatusOr<T>`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kIoError,
+  kInternal,
+};
+
+/// Lightweight status object in the style of RocksDB / Abseil. Cheap to copy
+/// in the OK case (no message allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. `InvalidArgument: bad schema`.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type `T` or an error `Status`. Accessing the value
+/// of an errored `StatusOr` aborts (programming error).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (the common success path).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from a non-OK status.
+  StatusOr(Status status) : status_(std::move(status)) {
+    CM_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CM_CHECK_MSG(ok(), status_.ToString().c_str());
+    return value_;
+  }
+  T& value() & {
+    CM_CHECK_MSG(ok(), status_.ToString().c_str());
+    return value_;
+  }
+  T&& value() && {
+    CM_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagates a non-OK status to the caller.
+#define CM_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::crossmine::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace crossmine
+
+#endif  // CROSSMINE_COMMON_STATUS_H_

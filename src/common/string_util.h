@@ -1,0 +1,31 @@
+#ifndef CROSSMINE_COMMON_STRING_UTIL_H_
+#define CROSSMINE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crossmine {
+
+/// Splits `s` on `delim`; adjacent delimiters yield empty fields (CSV-style).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins strings with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parses a double; returns false on malformed input or trailing garbage.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Parses a signed 64-bit integer; returns false on malformed input.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace crossmine
+
+#endif  // CROSSMINE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,286 @@
+#include "core/classifier.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/clause_builder.h"
+#include "core/clause_eval.h"
+#include "core/foil_gain.h"
+#include "core/sampling.h"
+
+namespace crossmine {
+
+Status CrossMineClassifier::Train(const Database& db,
+                                  const std::vector<TupleId>& train_ids) {
+  if (!db.finalized()) {
+    return Status::FailedPrecondition("database not finalized");
+  }
+  if (train_ids.empty()) {
+    return Status::InvalidArgument("empty training set");
+  }
+  TupleId num_targets = db.target_relation().num_tuples();
+  for (TupleId id : train_ids) {
+    if (id >= num_targets) {
+      return Status::OutOfRange("train id beyond target relation");
+    }
+  }
+
+  clauses_.clear();
+  num_classes_ = db.num_classes();
+
+  std::vector<uint8_t> in_train(num_targets, 0);
+  for (TupleId id : train_ids) in_train[id] = 1;
+
+  // Default class = training majority.
+  std::vector<uint32_t> class_count(static_cast<size_t>(num_classes_), 0);
+  for (TupleId id : train_ids) {
+    ++class_count[static_cast<size_t>(db.labels()[id])];
+  }
+  default_class_ = static_cast<ClassId>(
+      std::max_element(class_count.begin(), class_count.end()) -
+      class_count.begin());
+
+  // One-vs-rest: learn clauses for every class (§5.3).
+  Rng rng(options_.seed);
+  for (ClassId cls = 0; cls < num_classes_; ++cls) {
+    if (class_count[static_cast<size_t>(cls)] == 0) continue;
+    std::vector<uint8_t> positive(num_targets, 0);
+    for (TupleId id : train_ids) {
+      if (db.labels()[id] == cls) positive[id] = 1;
+    }
+    TrainOneClass(db, cls, positive, in_train, rng.Next());
+  }
+
+  // §5.3: estimate each clause's accuracy by predicting on the training
+  // set — the clause's support over *all* training tuples, not just the
+  // population it was built from.
+  if (options_.reestimate_accuracy_on_training_set) {
+    for (Clause& clause : clauses_) {
+      std::vector<uint8_t> mask = ClauseSatisfiedMask(db, clause, in_train);
+      uint32_t sup_pos = 0, sup_neg = 0;
+      for (TupleId t = 0; t < num_targets; ++t) {
+        if (!mask[t]) continue;
+        if (db.labels()[t] == clause.predicted_class) {
+          ++sup_pos;
+        } else {
+          ++sup_neg;
+        }
+      }
+      clause.sup_pos = sup_pos;
+      clause.sup_neg = sup_neg;
+      clause.accuracy = LaplaceAccuracy(sup_pos, sup_neg, num_classes_);
+    }
+  }
+  return Status::OK();
+}
+
+void CrossMineClassifier::TrainOneClass(const Database& db, ClassId cls,
+                                        const std::vector<uint8_t>& positive,
+                                        const std::vector<uint8_t>& in_train,
+                                        uint64_t seed) {
+  TupleId num_targets = db.target_relation().num_tuples();
+  Rng rng(seed);
+
+  // Uncovered positives (shrinks clause by clause) and the fixed negative
+  // pool (negatives are never removed — Algorithm 1).
+  std::vector<TupleId> remaining_pos;
+  std::vector<TupleId> negatives;
+  for (TupleId t = 0; t < num_targets; ++t) {
+    if (!in_train[t]) continue;
+    if (positive[t]) {
+      remaining_pos.push_back(t);
+    } else {
+      negatives.push_back(t);
+    }
+  }
+  size_t initial_pos = remaining_pos.size();
+  if (initial_pos == 0) return;
+
+  int built = 0;
+  while (static_cast<double>(remaining_pos.size()) >
+             options_.min_pos_fraction_left *
+                 static_cast<double>(initial_pos) &&
+         built < options_.max_clauses_per_class) {
+    // Negative tuple sampling (§6): cap negatives at
+    // NEG_POS_RATIO · |pos| and at MAX_NUM_NEGATIVE.
+    uint64_t neg_budget = negatives.size();
+    if (options_.use_sampling) {
+      uint64_t ratio_cap = static_cast<uint64_t>(
+          options_.neg_pos_ratio * static_cast<double>(remaining_pos.size()));
+      neg_budget = std::min<uint64_t>(neg_budget, ratio_cap);
+      neg_budget = std::min<uint64_t>(neg_budget, options_.max_num_negative);
+      // Keep a handful of negatives so clause quality remains measurable.
+      neg_budget = std::max<uint64_t>(
+          neg_budget, std::min<uint64_t>(negatives.size(), 10));
+    }
+
+    std::vector<uint8_t> alive(num_targets, 0);
+    for (TupleId t : remaining_pos) alive[t] = 1;
+    uint64_t sampled_neg = 0;
+    if (neg_budget >= negatives.size()) {
+      for (TupleId t : negatives) alive[t] = 1;
+      sampled_neg = negatives.size();
+    } else {
+      std::vector<uint32_t> pick = rng.SampleWithoutReplacement(
+          static_cast<uint32_t>(negatives.size()),
+          static_cast<uint32_t>(neg_budget));
+      for (uint32_t i : pick) alive[negatives[i]] = 1;
+      sampled_neg = neg_budget;
+    }
+
+    ClauseBuilder builder(&db, &positive, &options_);
+    uint32_t build_pos = static_cast<uint32_t>(remaining_pos.size());
+    Clause clause = builder.Build(std::move(alive));
+    if (clause.empty()) break;
+
+    clause.predicted_class = cls;
+    clause.build_pos = build_pos;
+    clause.build_neg = static_cast<uint32_t>(sampled_neg);
+    clause.sup_pos = builder.final_pos();
+    // sup−: exact when all negatives were in scope, otherwise the §6 safe
+    // estimate from the sampled counts.
+    clause.sup_neg = SafeNegativeEstimate(negatives.size(), sampled_neg,
+                                          builder.final_neg());
+    clause.accuracy =
+        LaplaceAccuracy(clause.sup_pos, clause.sup_neg, num_classes_);
+
+    // Remove covered positives.
+    const std::vector<uint8_t>& covered = builder.final_alive();
+    size_t before = remaining_pos.size();
+    remaining_pos.erase(
+        std::remove_if(remaining_pos.begin(), remaining_pos.end(),
+                       [&covered](TupleId t) { return covered[t] != 0; }),
+        remaining_pos.end());
+    clauses_.push_back(std::move(clause));
+    ++built;
+    if (remaining_pos.size() == before) break;  // no progress, stop
+  }
+}
+
+std::vector<ClassId> CrossMineClassifier::Predict(
+    const Database& db, const std::vector<TupleId>& ids) const {
+  TupleId num_targets = db.target_relation().num_tuples();
+  std::vector<uint8_t> query(num_targets, 0);
+  for (TupleId id : ids) {
+    CM_CHECK(id < num_targets);
+    query[id] = 1;
+  }
+
+  std::vector<ClassId> winner(num_targets, default_class_);
+  switch (options_.prediction_mode) {
+    case PredictionMode::kBestClause: {
+      // §5.3: the most accurate satisfied clause wins.
+      std::vector<double> best_accuracy(num_targets, -1.0);
+      for (const Clause& clause : clauses_) {
+        std::vector<uint8_t> mask = ClauseSatisfiedMask(db, clause, query);
+        for (TupleId t = 0; t < num_targets; ++t) {
+          if (mask[t] && clause.accuracy > best_accuracy[t]) {
+            best_accuracy[t] = clause.accuracy;
+            winner[t] = clause.predicted_class;
+          }
+        }
+      }
+      break;
+    }
+    case PredictionMode::kWeightedVote: {
+      // Satisfied clauses vote with their edge over chance.
+      double chance = 1.0 / std::max(1, num_classes_);
+      std::vector<double> votes(
+          static_cast<size_t>(num_targets) *
+              static_cast<size_t>(std::max(1, num_classes_)),
+          0.0);
+      std::vector<uint8_t> any(num_targets, 0);
+      for (const Clause& clause : clauses_) {
+        std::vector<uint8_t> mask = ClauseSatisfiedMask(db, clause, query);
+        double weight = std::max(0.0, clause.accuracy - chance);
+        for (TupleId t = 0; t < num_targets; ++t) {
+          if (!mask[t]) continue;
+          any[t] = 1;
+          votes[static_cast<size_t>(t) *
+                    static_cast<size_t>(num_classes_) +
+                static_cast<size_t>(clause.predicted_class)] += weight;
+        }
+      }
+      for (TupleId t = 0; t < num_targets; ++t) {
+        if (!any[t]) continue;
+        const double* row = &votes[static_cast<size_t>(t) *
+                                   static_cast<size_t>(num_classes_)];
+        winner[t] = static_cast<ClassId>(
+            std::max_element(row, row + num_classes_) - row);
+      }
+      break;
+    }
+    case PredictionMode::kDecisionList: {
+      // First satisfied clause in learning order wins.
+      std::vector<uint8_t> undecided = query;
+      for (const Clause& clause : clauses_) {
+        std::vector<uint8_t> mask =
+            ClauseSatisfiedMask(db, clause, undecided);
+        for (TupleId t = 0; t < num_targets; ++t) {
+          if (mask[t]) {
+            winner[t] = clause.predicted_class;
+            undecided[t] = 0;
+          }
+        }
+      }
+      break;
+    }
+  }
+
+  std::vector<ClassId> out;
+  out.reserve(ids.size());
+  for (TupleId id : ids) out.push_back(winner[id]);
+  return out;
+}
+
+ClassId CrossMineClassifier::PredictOne(const Database& db, TupleId id) const {
+  return Predict(db, {id})[0];
+}
+
+CrossMineClassifier::Explanation CrossMineClassifier::Explain(
+    const Database& db, TupleId id) const {
+  TupleId num_targets = db.target_relation().num_tuples();
+  CM_CHECK(id < num_targets);
+  std::vector<uint8_t> query(num_targets, 0);
+  query[id] = 1;
+
+  Explanation out;
+  out.predicted = PredictOne(db, id);
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    if (ClauseSatisfiedMask(db, clauses_[i], query)[id]) {
+      out.satisfied.push_back(static_cast<int>(i));
+    }
+  }
+  // Deciding clause: among satisfied clauses of the winning class, the one
+  // the active mode would credit. For kDecisionList that is the first;
+  // otherwise the most accurate.
+  double best = -1.0;
+  for (int i : out.satisfied) {
+    const Clause& clause = clauses_[static_cast<size_t>(i)];
+    if (clause.predicted_class != out.predicted) continue;
+    if (options_.prediction_mode == PredictionMode::kDecisionList) {
+      out.clause_index = i;
+      break;
+    }
+    if (clause.accuracy > best) {
+      best = clause.accuracy;
+      out.clause_index = i;
+    }
+  }
+  return out;
+}
+
+std::string CrossMineClassifier::ToString(const Database& db) const {
+  std::string out = StrFormat("CrossMine model: %zu clauses, default class %d\n",
+                              clauses_.size(), default_class_);
+  for (const Clause& clause : clauses_) {
+    out += StrFormat("  [acc=%.3f sup+=%g sup-=%g] ", clause.accuracy,
+                     clause.sup_pos, clause.sup_neg);
+    out += clause.ToString(db);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace crossmine

@@ -1,0 +1,145 @@
+#include "core/clause_builder.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "core/constraint_eval.h"
+#include "core/propagation.h"
+
+namespace crossmine {
+
+ClauseBuilder::ClauseBuilder(const Database* db,
+                             const std::vector<uint8_t>* positive,
+                             const CrossMineOptions* opts)
+    : db_(db),
+      positive_(positive),
+      opts_(opts),
+      clause_(db->target()),
+      searcher_(db, positive) {
+  satisfied_.assign(db->target_relation().num_tuples(), 0);
+}
+
+void ClauseBuilder::RecountAlive() {
+  pos_ = neg_ = 0;
+  for (size_t id = 0; id < alive_.size(); ++id) {
+    if (!alive_[id]) continue;
+    if ((*positive_)[id]) {
+      ++pos_;
+    } else {
+      ++neg_;
+    }
+  }
+}
+
+Clause ClauseBuilder::Build(std::vector<uint8_t> alive) {
+  alive_ = std::move(alive);
+  CM_CHECK(alive_.size() == db_->target_relation().num_tuples());
+  RecountAlive();
+
+  // Node 0 = target relation: idset(t) = {t} for every alive target.
+  std::vector<IdSet> root(alive_.size());
+  for (TupleId t = 0; t < alive_.size(); ++t) {
+    if (alive_[t]) root[t] = {t};
+  }
+  node_idsets_.clear();
+  node_idsets_.push_back(std::move(root));
+
+  while (clause_.length() < opts_->max_clause_length) {
+    if (pos_ == 0) break;
+    BestChoice best = FindBestLiteral();
+    if (!best.valid() || best.cand.gain < opts_->min_foil_gain) break;
+    Append(best);
+    if (neg_ == 0) break;  // perfect clause: nothing left to gain
+  }
+  return clause_;
+}
+
+void ClauseBuilder::Consider(BestChoice* best, const CandidateLiteral& cand,
+                             int32_t source_node,
+                             std::vector<int32_t> edge_path) const {
+  if (!cand.valid()) return;
+  if (cand.gain > (best->valid() ? best->cand.gain : -1.0)) {
+    best->cand = cand;
+    best->source_node = source_node;
+    best->edge_path = std::move(edge_path);
+  }
+}
+
+ClauseBuilder::BestChoice ClauseBuilder::FindBestLiteral() {
+  searcher_.SetContext(&alive_, pos_, neg_);
+  const std::vector<JoinEdge>& edges = db_->edges();
+  BestChoice best;
+
+  for (int32_t n = 0; n < static_cast<int32_t>(clause_.nodes().size()); ++n) {
+    const ClauseNode& node = clause_.nodes()[static_cast<size_t>(n)];
+    const std::vector<IdSet>& idsets = node_idsets_[static_cast<size_t>(n)];
+
+    // (1) Constraint on the active node itself (empty prop-path).
+    Consider(&best, searcher_.FindBest(node.relation, idsets, *opts_), n, {});
+
+    // (2) One propagation hop along every join edge leaving the node.
+    for (int32_t e : db_->OutEdges(node.relation)) {
+      const JoinEdge& edge = edges[static_cast<size_t>(e)];
+      PropagationResult hop1 = PropagateIds(*db_, edge, idsets, &alive_,
+                                            opts_->propagation_limits);
+      if (!hop1.ok) continue;
+      Consider(&best, searcher_.FindBest(edge.to_rel, hop1.idsets, *opts_), n,
+               {e});
+
+      // (3) Look-one-ahead: a second hop through a foreign key of the
+      // reached relation (k' ≠ k, Algorithm 3).
+      if (!opts_->look_one_ahead) continue;
+      for (int32_t e2 : db_->OutEdges(edge.to_rel)) {
+        const JoinEdge& edge2 = edges[static_cast<size_t>(e2)];
+        if (edge2.kind != JoinKind::kFkToPk) continue;
+        if (edge2.from_attr == edge.to_attr) continue;
+        PropagationResult hop2 = PropagateIds(
+            *db_, edge2, hop1.idsets, &alive_, opts_->propagation_limits);
+        if (!hop2.ok) continue;
+        Consider(&best,
+                 searcher_.FindBest(edge2.to_rel, hop2.idsets, *opts_), n,
+                 {e, e2});
+      }
+    }
+  }
+  return best;
+}
+
+void ClauseBuilder::Append(const BestChoice& choice) {
+  ComplexLiteral lit;
+  lit.source_node = choice.source_node;
+  lit.edge_path = choice.edge_path;
+  lit.constraint = choice.cand.constraint;
+  lit.gain = choice.cand.gain;
+  const ComplexLiteral& added = clause_.Append(*db_, std::move(lit));
+
+  // Materialize idsets for the nodes the prop-path created.
+  const std::vector<IdSet>* cur =
+      &node_idsets_[static_cast<size_t>(added.source_node)];
+  for (int32_t edge_id : added.edge_path) {
+    const JoinEdge& edge = db_->edges()[static_cast<size_t>(edge_id)];
+    PropagationResult hop =
+        PropagateIds(*db_, edge, *cur, &alive_, opts_->propagation_limits);
+    // The same propagation succeeded during the search.
+    CM_CHECK_MSG(hop.ok, "propagation failed while appending literal");
+    node_idsets_.push_back(std::move(hop.idsets));
+    cur = &node_idsets_.back();
+  }
+
+  // Apply the constraint at the node it targets; shrink the alive set and
+  // refresh every node's idsets ("update IDs on every active relation").
+  int32_t cnode = added.ConstraintNode();
+  const Relation& rel =
+      db_->relation(clause_.nodes()[static_cast<size_t>(cnode)].relation);
+  ApplyConstraint(rel, added.constraint, alive_,
+                  &node_idsets_[static_cast<size_t>(cnode)], &satisfied_);
+  for (size_t id = 0; id < alive_.size(); ++id) {
+    alive_[id] = alive_[id] && satisfied_[id];
+  }
+  RecountAlive();
+  for (std::vector<IdSet>& idsets : node_idsets_) {
+    FilterIdSets(&idsets, alive_);
+  }
+}
+
+}  // namespace crossmine

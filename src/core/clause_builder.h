@@ -1,0 +1,79 @@
+#ifndef CROSSMINE_CORE_CLAUSE_BUILDER_H_
+#define CROSSMINE_CORE_CLAUSE_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/idset.h"
+#include "core/literal.h"
+#include "core/literal_search.h"
+#include "core/options.h"
+#include "relational/database.h"
+
+namespace crossmine {
+
+/// Builds one clause by repeated best-literal search — Algorithm 2
+/// (Find-A-Clause) with Algorithm 3 (Find-Best-Literal) inside.
+///
+/// The builder maintains, per clause node, the idsets propagated along the
+/// clause's join tree, restricted to the targets still satisfying the
+/// partial clause ("update IDs on every active relation"). Each search step
+/// considers:
+///   1. constraints on every active node (empty prop-path);
+///   2. one propagation hop from every active node along every join edge;
+///   3. with look-one-ahead, a second hop along foreign-key→primary-key
+///      edges (`k' ≠ k`), which lets clauses cross pure relationship
+///      relations (Fig. 7).
+///
+/// One instance builds one clause; construct a new instance per clause.
+class ClauseBuilder {
+ public:
+  /// `positive` flags targets of the class being learned; `alive` is the
+  /// initial example mask (uncovered positives plus — possibly sampled —
+  /// negatives). Both are indexed by target TupleId.
+  ClauseBuilder(const Database* db, const std::vector<uint8_t>* positive,
+                const CrossMineOptions* opts);
+
+  /// Runs Find-A-Clause starting from `alive`. The returned clause is empty
+  /// if no literal reaches `min_foil_gain`.
+  Clause Build(std::vector<uint8_t> alive);
+
+  /// After `Build`: mask of initially-alive targets satisfying the clause.
+  const std::vector<uint8_t>& final_alive() const { return alive_; }
+  /// After `Build`: alive positive / negative counts (P(c), N(c)).
+  uint32_t final_pos() const { return pos_; }
+  uint32_t final_neg() const { return neg_; }
+
+ private:
+  /// One candidate from Find-Best-Literal: a scored constraint plus where
+  /// its prop-path starts and which edges it takes.
+  struct BestChoice {
+    CandidateLiteral cand;
+    int32_t source_node = -1;
+    std::vector<int32_t> edge_path;
+    bool valid() const { return source_node >= 0 && cand.valid(); }
+  };
+
+  BestChoice FindBestLiteral();
+  void Consider(BestChoice* best, const CandidateLiteral& cand,
+                int32_t source_node, std::vector<int32_t> edge_path) const;
+  void Append(const BestChoice& choice);
+  void RecountAlive();
+
+  const Database* db_;
+  const std::vector<uint8_t>* positive_;
+  const CrossMineOptions* opts_;
+
+  Clause clause_;
+  /// Propagated idsets per clause node, alive-filtered.
+  std::vector<std::vector<IdSet>> node_idsets_;
+  std::vector<uint8_t> alive_;
+  uint32_t pos_ = 0, neg_ = 0;
+
+  LiteralSearcher searcher_;
+  std::vector<uint8_t> satisfied_;
+};
+
+}  // namespace crossmine
+
+#endif  // CROSSMINE_CORE_CLAUSE_BUILDER_H_

@@ -1,0 +1,64 @@
+#include "core/clause_eval.h"
+
+#include "common/macros.h"
+#include "core/constraint_eval.h"
+#include "core/idset.h"
+#include "core/propagation.h"
+
+namespace crossmine {
+
+std::vector<uint8_t> ClauseSatisfiedMask(
+    const Database& db, const Clause& clause,
+    const std::vector<uint8_t>& query_mask) {
+  TupleId num_targets = db.target_relation().num_tuples();
+  CM_CHECK(query_mask.size() == num_targets);
+
+  std::vector<uint8_t> alive = query_mask;
+  std::vector<std::vector<IdSet>> node_idsets;
+  node_idsets.reserve(clause.nodes().size());
+  {
+    std::vector<IdSet> root(num_targets);
+    for (TupleId t = 0; t < num_targets; ++t) {
+      if (alive[t]) root[t] = {t};
+    }
+    node_idsets.push_back(std::move(root));
+  }
+
+  std::vector<uint8_t> satisfied(num_targets, 0);
+  for (const ComplexLiteral& lit : clause.literals()) {
+    // Materialize the literal's path nodes. Nodes are created in literal
+    // order, so the source node is always materialized already.
+    CM_CHECK(static_cast<size_t>(lit.source_node) < node_idsets.size());
+    const std::vector<IdSet>* cur =
+        &node_idsets[static_cast<size_t>(lit.source_node)];
+    for (size_t i = 0; i < lit.edge_path.size(); ++i) {
+      const JoinEdge& edge =
+          db.edges()[static_cast<size_t>(lit.edge_path[i])];
+      // Prediction must be exact: no fan-out limits here.
+      PropagationResult hop = PropagateIds(db, edge, *cur, &alive);
+      CM_CHECK(hop.ok);
+      CM_CHECK(node_idsets.size() ==
+               static_cast<size_t>(lit.path_nodes[i]));
+      node_idsets.push_back(std::move(hop.idsets));
+      cur = &node_idsets.back();
+    }
+
+    int32_t cnode = lit.ConstraintNode();
+    const Relation& rel =
+        db.relation(clause.nodes()[static_cast<size_t>(cnode)].relation);
+    ApplyConstraint(rel, lit.constraint, alive,
+                    &node_idsets[static_cast<size_t>(cnode)], &satisfied);
+    bool any = false;
+    for (TupleId t = 0; t < num_targets; ++t) {
+      alive[t] = alive[t] && satisfied[t];
+      any = any || alive[t];
+    }
+    if (!any) break;
+    for (std::vector<IdSet>& idsets : node_idsets) {
+      FilterIdSets(&idsets, alive);
+    }
+  }
+  return alive;
+}
+
+}  // namespace crossmine

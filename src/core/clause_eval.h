@@ -1,0 +1,25 @@
+#ifndef CROSSMINE_CORE_CLAUSE_EVAL_H_
+#define CROSSMINE_CORE_CLAUSE_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/literal.h"
+#include "relational/database.h"
+
+namespace crossmine {
+
+/// Determines which target tuples satisfy a clause (§5.3): the IDs of all
+/// query tuples are propagated along the prop-path of each literal in order,
+/// and IDs failing a literal's constraint are pruned. Returns a 0/1 mask
+/// parallel to the target relation; tuples outside `query_mask` are 0.
+///
+/// This is the same machinery the trainer uses to remove covered examples,
+/// so training and prediction semantics cannot diverge.
+std::vector<uint8_t> ClauseSatisfiedMask(const Database& db,
+                                         const Clause& clause,
+                                         const std::vector<uint8_t>& query_mask);
+
+}  // namespace crossmine
+
+#endif  // CROSSMINE_CORE_CLAUSE_EVAL_H_

@@ -1,0 +1,90 @@
+#include "core/constraint_eval.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace crossmine {
+
+bool TupleSatisfies(const Relation& rel, TupleId t, const Constraint& c) {
+  CM_CHECK(c.agg == AggOp::kNone);
+  const Attribute& attr = rel.schema().attr(c.attr);
+  if (attr.kind == AttrKind::kNumerical) {
+    double v = rel.Double(t, c.attr);
+    return c.cmp == CmpOp::kLe ? v <= c.threshold : v >= c.threshold;
+  }
+  int64_t v = rel.Int(t, c.attr);
+  if (v == kNullValue) return false;
+  CM_CHECK(c.cmp == CmpOp::kEq);
+  return v == c.category;
+}
+
+namespace {
+
+bool AggSatisfies(const Constraint& c, double value) {
+  return c.cmp == CmpOp::kLe ? value <= c.threshold : value >= c.threshold;
+}
+
+}  // namespace
+
+void ApplyConstraint(const Relation& rel, const Constraint& c,
+                     const std::vector<uint8_t>& alive,
+                     std::vector<IdSet>* idsets,
+                     std::vector<uint8_t>* satisfied) {
+  CM_CHECK(idsets->size() == rel.num_tuples());
+  std::fill(satisfied->begin(), satisfied->end(), 0);
+
+  if (c.agg == AggOp::kNone) {
+    for (TupleId t = 0; t < rel.num_tuples(); ++t) {
+      IdSet& ids = (*idsets)[t];
+      if (ids.empty()) continue;
+      if (TupleSatisfies(rel, t, c)) {
+        for (TupleId id : ids) {
+          if (alive[id]) (*satisfied)[id] = 1;
+        }
+      } else {
+        IdSet().swap(ids);
+      }
+    }
+    return;
+  }
+
+  // Aggregation constraint: accumulate per-target count / sum over all
+  // joinable tuples, then test the aggregate.
+  size_t num_targets = satisfied->size();
+  std::vector<uint32_t> count(num_targets, 0);
+  std::vector<double> sum;
+  if (c.agg != AggOp::kCount) sum.assign(num_targets, 0.0);
+  for (TupleId t = 0; t < rel.num_tuples(); ++t) {
+    const IdSet& ids = (*idsets)[t];
+    if (ids.empty()) continue;
+    double v = (c.agg == AggOp::kCount) ? 0.0 : rel.Double(t, c.attr);
+    for (TupleId id : ids) {
+      if (!alive[id]) continue;
+      ++count[id];
+      if (c.agg != AggOp::kCount) sum[id] += v;
+    }
+  }
+  for (size_t id = 0; id < num_targets; ++id) {
+    if (count[id] == 0) continue;
+    double value = 0;
+    switch (c.agg) {
+      case AggOp::kCount:
+        value = static_cast<double>(count[id]);
+        break;
+      case AggOp::kSum:
+        value = sum[id];
+        break;
+      case AggOp::kAvg:
+        value = sum[id] / count[id];
+        break;
+      case AggOp::kNone:
+        CM_CHECK(false);
+        value = 0;
+        break;
+    }
+    if (AggSatisfies(c, value)) (*satisfied)[id] = 1;
+  }
+}
+
+}  // namespace crossmine

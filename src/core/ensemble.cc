@@ -1,0 +1,82 @@
+#include "core/ensemble.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace crossmine {
+
+Status BaggedCrossMineClassifier::Train(const Database& db,
+                                        const std::vector<TupleId>& train_ids) {
+  if (options_.num_models < 1) {
+    return Status::InvalidArgument("need at least one ensemble member");
+  }
+  if (options_.subsample_fraction <= 0.0 ||
+      options_.subsample_fraction > 1.0) {
+    return Status::InvalidArgument("subsample_fraction must be in (0, 1]");
+  }
+  if (train_ids.empty()) {
+    return Status::InvalidArgument("empty training set");
+  }
+  models_.clear();
+  num_classes_ = db.num_classes();
+
+  // Stratified pools for subsampling, and the global majority default.
+  std::vector<std::vector<TupleId>> by_class(
+      static_cast<size_t>(num_classes_));
+  for (TupleId id : train_ids) {
+    by_class[static_cast<size_t>(db.labels()[id])].push_back(id);
+  }
+  size_t best = 0;
+  for (size_t c = 0; c < by_class.size(); ++c) {
+    if (by_class[c].size() > by_class[best].size()) best = c;
+  }
+  default_class_ = static_cast<ClassId>(best);
+
+  Rng rng(options_.seed);
+  for (int m = 0; m < options_.num_models; ++m) {
+    std::vector<TupleId> subset;
+    for (const std::vector<TupleId>& pool : by_class) {
+      if (pool.empty()) continue;
+      uint32_t want = std::max<uint32_t>(
+          1, static_cast<uint32_t>(options_.subsample_fraction *
+                                   static_cast<double>(pool.size())));
+      for (uint32_t i : rng.SampleWithoutReplacement(
+               static_cast<uint32_t>(pool.size()), want)) {
+        subset.push_back(pool[i]);
+      }
+    }
+    CrossMineOptions member = options_.base;
+    member.seed = rng.Next();
+    models_.emplace_back(member);
+    CM_RETURN_IF_ERROR(models_.back().Train(db, subset));
+  }
+  return Status::OK();
+}
+
+std::vector<ClassId> BaggedCrossMineClassifier::Predict(
+    const Database& db, const std::vector<TupleId>& ids) const {
+  if (models_.empty()) {
+    return std::vector<ClassId>(ids.size(), default_class_);
+  }
+  // Majority vote across members.
+  std::vector<uint32_t> votes(
+      ids.size() * static_cast<size_t>(num_classes_), 0);
+  for (const CrossMineClassifier& model : models_) {
+    std::vector<ClassId> pred = model.Predict(db, ids);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      ++votes[i * static_cast<size_t>(num_classes_) +
+              static_cast<size_t>(pred[i])];
+    }
+  }
+  std::vector<ClassId> out;
+  out.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const uint32_t* row = &votes[i * static_cast<size_t>(num_classes_)];
+    out.push_back(static_cast<ClassId>(
+        std::max_element(row, row + num_classes_) - row));
+  }
+  return out;
+}
+
+}  // namespace crossmine

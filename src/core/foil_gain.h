@@ -1,0 +1,40 @@
+#ifndef CROSSMINE_CORE_FOIL_GAIN_H_
+#define CROSSMINE_CORE_FOIL_GAIN_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace crossmine {
+
+/// Information content of the current clause (Definition 1, Eq. 1):
+/// `I(c) = -log2(P(c) / (P(c) + N(c)))`. Returns +inf when `pos == 0`.
+inline double InformationContent(uint32_t pos, uint32_t neg) {
+  if (pos == 0) return std::numeric_limits<double>::infinity();
+  return -std::log2(static_cast<double>(pos) /
+                    static_cast<double>(pos + neg));
+}
+
+/// Foil gain of appending a literal (Definition 1, Eq. 2):
+/// `P(c+l) * [I(c) - I(c+l)]`. `pos`/`neg` describe the current clause,
+/// `pos_l`/`neg_l` the clause with the literal appended. Zero when the
+/// literal covers no positive example.
+inline double FoilGain(uint32_t pos, uint32_t neg, uint32_t pos_l,
+                       uint32_t neg_l) {
+  if (pos_l == 0) return 0.0;
+  return static_cast<double>(pos_l) *
+         (InformationContent(pos, neg) - InformationContent(pos_l, neg_l));
+}
+
+/// Laplace accuracy estimate of a finished clause (Eq. 3/4, after CN2):
+/// `(sup+ + 1) / (sup+ + sup- + C)` where `C` is the number of classes.
+/// `sup_neg` may be fractional when it comes from the sampling-corrected
+/// estimator of §6.
+inline double LaplaceAccuracy(double sup_pos, double sup_neg,
+                              int num_classes) {
+  return (sup_pos + 1.0) / (sup_pos + sup_neg + num_classes);
+}
+
+}  // namespace crossmine
+
+#endif  // CROSSMINE_CORE_FOIL_GAIN_H_

@@ -1,0 +1,45 @@
+#include "core/idset.h"
+
+#include <algorithm>
+
+namespace crossmine {
+
+void NormalizeIdSet(IdSet* ids) {
+  std::sort(ids->begin(), ids->end());
+  ids->erase(std::unique(ids->begin(), ids->end()), ids->end());
+}
+
+void UnionInPlace(IdSet* dst, const IdSet& src) {
+  if (src.empty()) return;
+  if (dst->empty()) {
+    *dst = src;
+    return;
+  }
+  IdSet merged;
+  merged.reserve(dst->size() + src.size());
+  std::set_union(dst->begin(), dst->end(), src.begin(), src.end(),
+                 std::back_inserter(merged));
+  *dst = std::move(merged);
+}
+
+void FilterIdSet(IdSet* ids, const std::vector<uint8_t>& alive) {
+  ids->erase(std::remove_if(ids->begin(), ids->end(),
+                            [&alive](TupleId id) { return !alive[id]; }),
+             ids->end());
+}
+
+void FilterIdSets(std::vector<IdSet>* idsets,
+                  const std::vector<uint8_t>& alive) {
+  for (IdSet& ids : *idsets) {
+    FilterIdSet(&ids, alive);
+    if (ids.empty()) IdSet().swap(ids);
+  }
+}
+
+uint64_t TotalIds(const std::vector<IdSet>& idsets) {
+  uint64_t total = 0;
+  for (const IdSet& ids : idsets) total += ids.size();
+  return total;
+}
+
+}  // namespace crossmine

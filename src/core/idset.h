@@ -1,0 +1,32 @@
+#ifndef CROSSMINE_CORE_IDSET_H_
+#define CROSSMINE_CORE_IDSET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/types.h"
+
+namespace crossmine {
+
+/// A set of target-tuple IDs attached to one tuple of some relation — the
+/// `idset(t)` of Definition 2. Always sorted and duplicate-free.
+using IdSet = std::vector<TupleId>;
+
+/// Sorts and deduplicates `ids` in place, establishing the IdSet invariant.
+void NormalizeIdSet(IdSet* ids);
+
+/// Merges sorted-unique `src` into sorted-unique `*dst` (set union).
+void UnionInPlace(IdSet* dst, const IdSet& src);
+
+/// Removes from `*ids` every id whose `alive` flag is 0.
+void FilterIdSet(IdSet* ids, const std::vector<uint8_t>& alive);
+
+/// Applies `FilterIdSet` to every set, shrinking storage for emptied sets.
+void FilterIdSets(std::vector<IdSet>* idsets, const std::vector<uint8_t>& alive);
+
+/// Total number of ids across all sets.
+uint64_t TotalIds(const std::vector<IdSet>& idsets);
+
+}  // namespace crossmine
+
+#endif  // CROSSMINE_CORE_IDSET_H_

@@ -1,0 +1,95 @@
+#include "core/literal.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace crossmine {
+
+namespace {
+
+const char* CmpName(CmpOp cmp) {
+  switch (cmp) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* AggName(AggOp agg) {
+  switch (agg) {
+    case AggOp::kCount:
+      return "count";
+    case AggOp::kSum:
+      return "sum";
+    case AggOp::kAvg:
+      return "avg";
+    case AggOp::kNone:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Constraint::ToString(const Relation& rel) const {
+  if (agg == AggOp::kCount) {
+    return StrFormat("count(*) %s %g", CmpName(cmp), threshold);
+  }
+  const std::string& attr_name = rel.schema().attr(attr).name;
+  if (agg != AggOp::kNone) {
+    return StrFormat("%s(%s) %s %g", AggName(agg), attr_name.c_str(),
+                     CmpName(cmp), threshold);
+  }
+  if (cmp == CmpOp::kEq) {
+    return attr_name + " = " + rel.CategoryName(attr, category);
+  }
+  return StrFormat("%s %s %g", attr_name.c_str(), CmpName(cmp), threshold);
+}
+
+const ComplexLiteral& Clause::Append(const Database& db, ComplexLiteral lit) {
+  CM_CHECK(lit.source_node >= 0 &&
+           lit.source_node < static_cast<int32_t>(nodes_.size()));
+  lit.path_nodes.clear();
+  int32_t cur = lit.source_node;
+  for (int32_t edge_id : lit.edge_path) {
+    const JoinEdge& edge = db.edges()[static_cast<size_t>(edge_id)];
+    CM_CHECK(edge.from_rel == nodes_[static_cast<size_t>(cur)].relation);
+    nodes_.push_back(ClauseNode{edge.to_rel, cur, edge_id});
+    cur = static_cast<int32_t>(nodes_.size() - 1);
+    lit.path_nodes.push_back(cur);
+  }
+  literals_.push_back(std::move(lit));
+  return literals_.back();
+}
+
+std::string Clause::ToString(const Database& db) const {
+  std::string out = db.target_relation().name() + "(class=" +
+                    std::to_string(predicted_class) + ") :- ";
+  std::vector<std::string> parts;
+  for (const ComplexLiteral& lit : literals_) {
+    std::string part = "[";
+    int32_t cur = lit.source_node;
+    for (size_t i = 0; i < lit.edge_path.size(); ++i) {
+      const JoinEdge& edge =
+          db.edges()[static_cast<size_t>(lit.edge_path[i])];
+      const Relation& from = db.relation(edge.from_rel);
+      const Relation& to = db.relation(edge.to_rel);
+      part += from.name() + "." + from.schema().attr(edge.from_attr).name +
+              " -> " + to.name() + "." + to.schema().attr(edge.to_attr).name +
+              ", ";
+      cur = lit.path_nodes[i];
+    }
+    const Relation& rel =
+        db.relation(nodes_[static_cast<size_t>(cur)].relation);
+    part += rel.name() + "." + lit.constraint.ToString(rel) + "]";
+    parts.push_back(std::move(part));
+  }
+  out += Join(parts, ", ");
+  return out;
+}
+
+}  // namespace crossmine

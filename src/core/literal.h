@@ -1,0 +1,121 @@
+#ifndef CROSSMINE_CORE_LITERAL_H_
+#define CROSSMINE_CORE_LITERAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/types.h"
+
+namespace crossmine {
+
+/// Comparison operator of a constraint.
+enum class CmpOp {
+  kEq,  ///< categorical equality
+  kLe,  ///< numerical / aggregated value <= threshold
+  kGe,  ///< numerical / aggregated value >= threshold
+};
+
+/// Aggregation operator of an aggregation literal (§3.2: count, sum, avg).
+enum class AggOp {
+  kNone,   ///< plain (non-aggregation) constraint
+  kCount,  ///< number of joinable tuples (attribute-independent)
+  kSum,
+  kAvg,
+};
+
+/// The constraint half of a complex literal (§3.3): a condition on one
+/// attribute of the relation the IDs were propagated to. Three forms:
+///  - categorical:  attr == category            (cmp=kEq, agg=kNone)
+///  - numerical:    attr <=/>= threshold        (cmp=kLe/kGe, agg=kNone)
+///  - aggregation:  agg(attr) <=/>= threshold   (agg != kNone; for kCount,
+///                  attr is kInvalidAttr). Aggregation constraints require at
+///                  least one joinable tuple.
+struct Constraint {
+  AttrId attr = kInvalidAttr;
+  CmpOp cmp = CmpOp::kEq;
+  AggOp agg = AggOp::kNone;
+  int64_t category = 0;
+  double threshold = 0.0;
+
+  /// Renders e.g. `frequency = monthly`, `duration >= 12`,
+  /// `sum(amount) >= 1000`, `count(*) >= 3` against `rel`'s schema.
+  std::string ToString(const Relation& rel) const;
+};
+
+/// One node of a clause's join tree. Node 0 is always the target relation;
+/// every join step of every complex literal adds one node.
+struct ClauseNode {
+  RelId relation = kInvalidRel;
+  /// Parent node the IDs were propagated from; -1 for the root.
+  int32_t parent = -1;
+  /// Edge id (into Database::edges()) used for the propagation; -1 for root.
+  int32_t edge = -1;
+};
+
+/// A complex literal (§3.3): a propagation path (0–2 join edges; two when
+/// look-one-ahead fired) starting at an existing clause node, plus a
+/// constraint on the relation the path ends at.
+struct ComplexLiteral {
+  /// Clause-node index the prop-path starts from.
+  int32_t source_node = 0;
+  /// Edge ids (into Database::edges()) of the prop-path, in order.
+  std::vector<int32_t> edge_path;
+  /// Clause-node indices created for each edge of `edge_path` (filled in by
+  /// Clause::Append). The constraint applies to the last of these, or to
+  /// `source_node` when the path is empty.
+  std::vector<int32_t> path_nodes;
+  Constraint constraint;
+  /// Foil gain this literal had when selected (diagnostics).
+  double gain = 0.0;
+
+  /// Node the constraint applies to.
+  int32_t ConstraintNode() const {
+    return path_nodes.empty() ? source_node : path_nodes.back();
+  }
+};
+
+/// A classification clause: a join tree over the schema plus an ordered list
+/// of complex literals, predicting `predicted_class` for every target tuple
+/// that satisfies all literals.
+class Clause {
+ public:
+  /// Creates an empty clause rooted at the database's target relation.
+  explicit Clause(RelId target_relation) {
+    nodes_.push_back(ClauseNode{target_relation, -1, -1});
+  }
+
+  const std::vector<ClauseNode>& nodes() const { return nodes_; }
+  const std::vector<ComplexLiteral>& literals() const { return literals_; }
+  int length() const { return static_cast<int>(literals_.size()); }
+  bool empty() const { return literals_.empty(); }
+
+  /// Appends `lit`, materializing one clause node per path edge. Returns the
+  /// appended literal (with `path_nodes` filled in).
+  const ComplexLiteral& Append(const Database& db, ComplexLiteral lit);
+
+  /// Class predicted for tuples satisfying the clause.
+  ClassId predicted_class = 0;
+  /// Laplace accuracy estimate (Eq. 3/4, sampling-corrected when sampling
+  /// was active — §6). Used to rank clauses at prediction time.
+  double accuracy = 0.0;
+  /// Positive / negative tuples in scope when the clause was built (bg+/bg−).
+  uint32_t build_pos = 0, build_neg = 0;
+  /// Support of the finished clause (sup+ and the — possibly estimated —
+  /// sup−) used in the accuracy estimate.
+  double sup_pos = 0, sup_neg = 0;
+
+  /// Paper-style rendering, e.g.
+  /// `Loan(+) :- [Loan.account_id -> Account.account_id,
+  ///              Account.frequency = monthly]`.
+  std::string ToString(const Database& db) const;
+
+ private:
+  std::vector<ClauseNode> nodes_;
+  std::vector<ComplexLiteral> literals_;
+};
+
+}  // namespace crossmine
+
+#endif  // CROSSMINE_CORE_LITERAL_H_

@@ -1,0 +1,271 @@
+#include "core/literal_search.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "core/foil_gain.h"
+
+namespace crossmine {
+
+LiteralSearcher::LiteralSearcher(const Database* db,
+                                 const std::vector<uint8_t>* positive)
+    : db_(db), positive_(positive) {
+  size_t n = db->target_relation().num_tuples();
+  mark_.assign(n, 0);
+  agg_count_.assign(n, 0);
+  agg_sum_.assign(n, 0.0);
+}
+
+void LiteralSearcher::SetContext(const std::vector<uint8_t>* alive,
+                                 uint32_t pos, uint32_t neg) {
+  alive_ = alive;
+  pos_ = pos;
+  neg_ = neg;
+}
+
+uint32_t LiteralSearcher::NewEpoch() {
+  if (++epoch_ == 0) {
+    // Wrapped around: clear stamps and restart.
+    std::fill(mark_.begin(), mark_.end(), 0u);
+    epoch_ = 1;
+  }
+  return epoch_;
+}
+
+void LiteralSearcher::Offer(CandidateLiteral* best, const Constraint& c,
+                            uint32_t pos_cov, uint32_t neg_cov) const {
+  if (pos_cov == 0) return;
+  // A literal satisfied by every alive target discriminates nothing.
+  if (pos_cov == pos_ && neg_cov == neg_) return;
+  double gain = FoilGain(pos_, neg_, pos_cov, neg_cov);
+  if (gain > best->gain) {
+    best->constraint = c;
+    best->gain = gain;
+    best->pos_cov = pos_cov;
+    best->neg_cov = neg_cov;
+  }
+}
+
+CandidateLiteral LiteralSearcher::FindBest(RelId rel_id,
+                                           const std::vector<IdSet>& idsets,
+                                           const CrossMineOptions& opts) {
+  CM_CHECK(alive_ != nullptr);
+  const Relation& rel = db_->relation(rel_id);
+  CM_CHECK(idsets.size() == rel.num_tuples());
+
+  CandidateLiteral best;
+  for (AttrId a = 0; a < rel.schema().num_attrs(); ++a) {
+    switch (rel.schema().attr(a).kind) {
+      case AttrKind::kPrimaryKey:
+      case AttrKind::kForeignKey:
+        break;  // keys are join plumbing, not literal material
+      case AttrKind::kCategorical:
+        SearchCategorical(rel, a, idsets, &best);
+        break;
+      case AttrKind::kNumerical:
+        if (opts.use_numerical_literals) {
+          SearchNumerical(rel, a, idsets, &best);
+        }
+        break;
+    }
+  }
+  if (opts.use_aggregation_literals) {
+    SearchAggregations(rel, idsets, opts, &best);
+  }
+  return best;
+}
+
+void LiteralSearcher::SearchCategorical(const Relation& rel, AttrId attr,
+                                        const std::vector<IdSet>& idsets,
+                                        CandidateLiteral* best) {
+  const HashIndex& index = rel.GetHashIndex(attr);
+  // Iterate categories in sorted order for deterministic tie-breaking.
+  std::vector<int64_t> values;
+  values.reserve(index.size());
+  for (const auto& [v, tuples] : index) values.push_back(v);
+  std::sort(values.begin(), values.end());
+
+  const std::vector<uint8_t>& alive = *alive_;
+  const std::vector<uint8_t>& positive = *positive_;
+  for (int64_t v : values) {
+    uint32_t epoch = NewEpoch();
+    uint32_t pos_cov = 0, neg_cov = 0;
+    for (TupleId t : index.at(v)) {
+      for (TupleId id : idsets[t]) {
+        if (!alive[id] || mark_[id] == epoch) continue;
+        mark_[id] = epoch;
+        if (positive[id]) {
+          ++pos_cov;
+        } else {
+          ++neg_cov;
+        }
+      }
+    }
+    Constraint c;
+    c.attr = attr;
+    c.cmp = CmpOp::kEq;
+    c.category = v;
+    Offer(best, c, pos_cov, neg_cov);
+  }
+}
+
+void LiteralSearcher::SearchNumerical(const Relation& rel, AttrId attr,
+                                      const std::vector<IdSet>& idsets,
+                                      CandidateLiteral* best) {
+  const std::vector<TupleId>& order = rel.GetSortedIndex(attr);
+  const std::vector<double>& col = rel.DoubleColumn(attr);
+  const std::vector<uint8_t>& alive = *alive_;
+  const std::vector<uint8_t>& positive = *positive_;
+
+  // Ascending sweep: literals of the form [attr <= v] for each distinct v.
+  {
+    uint32_t epoch = NewEpoch();
+    uint32_t pos_cov = 0, neg_cov = 0;
+    for (size_t i = 0; i < order.size(); ++i) {
+      TupleId t = order[i];
+      for (TupleId id : idsets[t]) {
+        if (!alive[id] || mark_[id] == epoch) continue;
+        mark_[id] = epoch;
+        if (positive[id]) {
+          ++pos_cov;
+        } else {
+          ++neg_cov;
+        }
+      }
+      // Offer at distinct-value boundaries only.
+      if (i + 1 < order.size() && col[order[i + 1]] == col[t]) continue;
+      Constraint c;
+      c.attr = attr;
+      c.cmp = CmpOp::kLe;
+      c.threshold = col[t];
+      Offer(best, c, pos_cov, neg_cov);
+    }
+  }
+  // Descending sweep: literals of the form [attr >= v].
+  {
+    uint32_t epoch = NewEpoch();
+    uint32_t pos_cov = 0, neg_cov = 0;
+    for (size_t i = order.size(); i-- > 0;) {
+      TupleId t = order[i];
+      for (TupleId id : idsets[t]) {
+        if (!alive[id] || mark_[id] == epoch) continue;
+        mark_[id] = epoch;
+        if (positive[id]) {
+          ++pos_cov;
+        } else {
+          ++neg_cov;
+        }
+      }
+      if (i > 0 && col[order[i - 1]] == col[t]) continue;
+      Constraint c;
+      c.attr = attr;
+      c.cmp = CmpOp::kGe;
+      c.threshold = col[t];
+      Offer(best, c, pos_cov, neg_cov);
+    }
+  }
+}
+
+void LiteralSearcher::SweepSortedTargets(
+    const std::vector<std::pair<double, TupleId>>& entries, AggOp agg,
+    AttrId attr, CandidateLiteral* best) {
+  const std::vector<uint8_t>& positive = *positive_;
+  // Ascending: agg(attr) <= v.
+  {
+    uint32_t pos_cov = 0, neg_cov = 0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (positive[entries[i].second]) {
+        ++pos_cov;
+      } else {
+        ++neg_cov;
+      }
+      if (i + 1 < entries.size() && entries[i + 1].first == entries[i].first) {
+        continue;
+      }
+      Constraint c;
+      c.attr = attr;
+      c.agg = agg;
+      c.cmp = CmpOp::kLe;
+      c.threshold = entries[i].first;
+      Offer(best, c, pos_cov, neg_cov);
+    }
+  }
+  // Descending: agg(attr) >= v.
+  {
+    uint32_t pos_cov = 0, neg_cov = 0;
+    for (size_t i = entries.size(); i-- > 0;) {
+      if (positive[entries[i].second]) {
+        ++pos_cov;
+      } else {
+        ++neg_cov;
+      }
+      if (i > 0 && entries[i - 1].first == entries[i].first) continue;
+      Constraint c;
+      c.attr = attr;
+      c.agg = agg;
+      c.cmp = CmpOp::kGe;
+      c.threshold = entries[i].first;
+      Offer(best, c, pos_cov, neg_cov);
+    }
+  }
+}
+
+void LiteralSearcher::SearchAggregations(const Relation& rel,
+                                         const std::vector<IdSet>& idsets,
+                                         const CrossMineOptions& opts,
+                                         CandidateLiteral* best) {
+  (void)opts;
+  const std::vector<uint8_t>& alive = *alive_;
+
+  // Per-target join count (shared by count(*) and as the divisor for avg).
+  // `touched` lists targets with at least one joinable tuple.
+  std::vector<TupleId> touched;
+  for (const IdSet& ids : idsets) {
+    for (TupleId id : ids) {
+      if (!alive[id]) continue;
+      if (agg_count_[id] == 0) touched.push_back(id);
+      ++agg_count_[id];
+    }
+  }
+  if (touched.empty()) return;
+
+  // count(*) literal.
+  {
+    std::vector<std::pair<double, TupleId>> entries;
+    entries.reserve(touched.size());
+    for (TupleId id : touched) {
+      entries.emplace_back(static_cast<double>(agg_count_[id]), id);
+    }
+    std::sort(entries.begin(), entries.end());
+    SweepSortedTargets(entries, AggOp::kCount, kInvalidAttr, best);
+  }
+
+  // sum(attr) / avg(attr) for every numerical attribute.
+  for (AttrId a = 0; a < rel.schema().num_attrs(); ++a) {
+    if (rel.schema().attr(a).kind != AttrKind::kNumerical) continue;
+    for (TupleId id : touched) agg_sum_[id] = 0.0;
+    const std::vector<double>& col = rel.DoubleColumn(a);
+    for (TupleId t = 0; t < rel.num_tuples(); ++t) {
+      const IdSet& ids = idsets[t];
+      if (ids.empty()) continue;
+      double v = col[t];
+      for (TupleId id : ids) {
+        if (alive[id]) agg_sum_[id] += v;
+      }
+    }
+    std::vector<std::pair<double, TupleId>> entries;
+    entries.reserve(touched.size());
+    for (TupleId id : touched) entries.emplace_back(agg_sum_[id], id);
+    std::sort(entries.begin(), entries.end());
+    SweepSortedTargets(entries, AggOp::kSum, a, best);
+
+    for (auto& [value, id] : entries) value /= agg_count_[id];
+    std::sort(entries.begin(), entries.end());
+    SweepSortedTargets(entries, AggOp::kAvg, a, best);
+  }
+
+  // Reset scratch counters.
+  for (TupleId id : touched) agg_count_[id] = 0;
+}
+
+}  // namespace crossmine

@@ -1,0 +1,89 @@
+#ifndef CROSSMINE_CORE_LITERAL_SEARCH_H_
+#define CROSSMINE_CORE_LITERAL_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/idset.h"
+#include "core/literal.h"
+#include "core/options.h"
+#include "relational/database.h"
+
+namespace crossmine {
+
+/// A scored constraint candidate produced by the literal search.
+struct CandidateLiteral {
+  Constraint constraint;
+  double gain = -1.0;
+  /// P(c+l) / N(c+l): distinct alive positive / negative targets covered.
+  uint32_t pos_cov = 0;
+  uint32_t neg_cov = 0;
+
+  bool valid() const { return gain >= 0.0; }
+};
+
+/// Finds the best constraint within one relation given propagated tuple IDs
+/// (§5.1). Scans each attribute once:
+///  * categorical attributes: one distinct-target count per category value;
+///  * numerical attributes: ascending sweep for `<= v` literals, descending
+///    sweep for `>= v` literals, over the cached sorted index;
+///  * aggregation literals: per-target count/sum/avg statistics, then the
+///    same two-direction sweep over the aggregated values.
+///
+/// Counting is *distinct-target* counting (the §4.3 pitfall): a target tuple
+/// joinable with many satisfying tuples is counted once, via epoch-stamped
+/// marker arrays (no per-candidate allocation).
+///
+/// The searcher owns scratch buffers sized to the number of target tuples;
+/// reuse one instance across calls.
+class LiteralSearcher {
+ public:
+  /// `positive` flags each target tuple of the positive class; it must
+  /// outlive the searcher.
+  LiteralSearcher(const Database* db, const std::vector<uint8_t>* positive);
+
+  /// Sets the clause context: `alive` masks targets satisfying the current
+  /// clause (and surviving sampling); `pos`/`neg` are P(c), N(c).
+  void SetContext(const std::vector<uint8_t>* alive, uint32_t pos,
+                  uint32_t neg);
+
+  /// Best constraint on `rel` given `idsets` (parallel to rel's tuples).
+  CandidateLiteral FindBest(RelId rel, const std::vector<IdSet>& idsets,
+                            const CrossMineOptions& opts);
+
+ private:
+  void SearchCategorical(const Relation& rel, AttrId attr,
+                         const std::vector<IdSet>& idsets,
+                         CandidateLiteral* best);
+  void SearchNumerical(const Relation& rel, AttrId attr,
+                       const std::vector<IdSet>& idsets,
+                       CandidateLiteral* best);
+  void SearchAggregations(const Relation& rel,
+                          const std::vector<IdSet>& idsets,
+                          const CrossMineOptions& opts,
+                          CandidateLiteral* best);
+
+  /// Sweeps entries (sorted ascending by value) in both directions, offering
+  /// `<=`/`>=` candidates at distinct-value boundaries.
+  void SweepSortedTargets(const std::vector<std::pair<double, TupleId>>& entries,
+                          AggOp agg, AttrId attr, CandidateLiteral* best);
+
+  void Offer(CandidateLiteral* best, const Constraint& c, uint32_t pos_cov,
+             uint32_t neg_cov) const;
+
+  uint32_t NewEpoch();
+
+  const Database* db_;
+  const std::vector<uint8_t>* positive_;
+  const std::vector<uint8_t>* alive_ = nullptr;
+  uint32_t pos_ = 0, neg_ = 0;
+
+  std::vector<uint32_t> mark_;
+  uint32_t epoch_ = 0;
+  std::vector<uint32_t> agg_count_;
+  std::vector<double> agg_sum_;
+};
+
+}  // namespace crossmine
+
+#endif  // CROSSMINE_CORE_LITERAL_SEARCH_H_

@@ -1,0 +1,254 @@
+#include "core/model_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace crossmine {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+uint64_t HashString(uint64_t h, const std::string& s) {
+  for (char c : s) h = HashCombine(h, static_cast<uint64_t>(c));
+  return h;
+}
+
+const char* CmpToken(CmpOp cmp) {
+  switch (cmp) {
+    case CmpOp::kEq:
+      return "eq";
+    case CmpOp::kLe:
+      return "le";
+    case CmpOp::kGe:
+      return "ge";
+  }
+  return "?";
+}
+
+const char* AggToken(AggOp agg) {
+  switch (agg) {
+    case AggOp::kNone:
+      return "none";
+    case AggOp::kCount:
+      return "count";
+    case AggOp::kSum:
+      return "sum";
+    case AggOp::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+bool ParseCmp(const std::string& token, CmpOp* out) {
+  if (token == "eq") *out = CmpOp::kEq;
+  else if (token == "le") *out = CmpOp::kLe;
+  else if (token == "ge") *out = CmpOp::kGe;
+  else return false;
+  return true;
+}
+
+bool ParseAgg(const std::string& token, AggOp* out) {
+  if (token == "none") *out = AggOp::kNone;
+  else if (token == "count") *out = AggOp::kCount;
+  else if (token == "sum") *out = AggOp::kSum;
+  else if (token == "avg") *out = AggOp::kAvg;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+uint64_t SchemaFingerprint(const Database& db) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h = HashCombine(h, static_cast<uint64_t>(db.num_relations()));
+  h = HashCombine(h, static_cast<uint64_t>(db.target()));
+  for (RelId r = 0; r < db.num_relations(); ++r) {
+    const RelationSchema& schema = db.relation(r).schema();
+    h = HashString(h, schema.name());
+    for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+      h = HashString(h, schema.attr(a).name);
+      h = HashCombine(h, static_cast<uint64_t>(schema.attr(a).kind));
+      h = HashCombine(h,
+                      static_cast<uint64_t>(schema.attr(a).references + 1));
+    }
+  }
+  for (const JoinEdge& e : db.edges()) {
+    h = HashCombine(h, static_cast<uint64_t>(e.from_rel));
+    h = HashCombine(h, static_cast<uint64_t>(e.from_attr));
+    h = HashCombine(h, static_cast<uint64_t>(e.to_rel));
+    h = HashCombine(h, static_cast<uint64_t>(e.to_attr));
+  }
+  return h;
+}
+
+Status SaveModel(const CrossMineClassifier& model, const Database& db,
+                 const std::string& path) {
+  if (!db.finalized()) {
+    return Status::FailedPrecondition("database not finalized");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot write " + path);
+  out << "crossmine-model " << kFormatVersion << "\n";
+  out << "schema " << SchemaFingerprint(db) << "\n";
+  out << "classes " << db.num_classes() << " default "
+      << model.default_class() << "\n";
+  for (const Clause& clause : model.clauses()) {
+    out << StrFormat("clause %d %.17g %.17g %.17g %u %u\n",
+                     clause.predicted_class, clause.accuracy, clause.sup_pos,
+                     clause.sup_neg, clause.build_pos, clause.build_neg);
+    for (const ComplexLiteral& lit : clause.literals()) {
+      out << "literal " << lit.source_node;
+      out << " path";
+      for (int32_t e : lit.edge_path) out << " " << e;
+      out << " ;";
+      const Constraint& c = lit.constraint;
+      out << " " << AggToken(c.agg) << " " << CmpToken(c.cmp) << " "
+          << c.attr << " " << c.category << " "
+          << StrFormat("%.17g", c.threshold) << " "
+          << StrFormat("%.17g", lit.gain) << "\n";
+    }
+    out << "end\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<CrossMineClassifier> LoadModel(const Database& db,
+                                        const std::string& path) {
+  if (!db.finalized()) {
+    return Status::FailedPrecondition("database not finalized");
+  }
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot read " + path);
+
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& what) {
+    return Status::InvalidArgument(
+        StrFormat("%s:%d: %s", path.c_str(), lineno, what.c_str()));
+  };
+
+  // Header.
+  if (!std::getline(in, line)) return fail("empty file");
+  ++lineno;
+  {
+    std::istringstream ls(line);
+    std::string magic;
+    int version = 0;
+    ls >> magic >> version;
+    if (magic != "crossmine-model" || version != kFormatVersion) {
+      return fail("not a crossmine-model v1 file");
+    }
+  }
+
+  int num_classes = 0;
+  ClassId default_class = 0;
+  std::vector<Clause> clauses;
+  Clause* current = nullptr;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream ls{std::string(trimmed)};
+    std::string tok;
+    ls >> tok;
+    if (tok == "schema") {
+      uint64_t fingerprint = 0;
+      ls >> fingerprint;
+      if (fingerprint != SchemaFingerprint(db)) {
+        return Status::FailedPrecondition(
+            "model was trained against a different database schema");
+      }
+    } else if (tok == "classes") {
+      std::string kw;
+      ls >> num_classes >> kw >> default_class;
+      if (num_classes < 2 || kw != "default" || default_class < 0 ||
+          default_class >= num_classes) {
+        return fail("malformed classes line");
+      }
+    } else if (tok == "clause") {
+      Clause clause(db.target());
+      ls >> clause.predicted_class >> clause.accuracy >> clause.sup_pos >>
+          clause.sup_neg >> clause.build_pos >> clause.build_neg;
+      if (!ls || clause.predicted_class < 0 ||
+          clause.predicted_class >= num_classes) {
+        return fail("malformed clause line");
+      }
+      clauses.push_back(std::move(clause));
+      current = &clauses.back();
+    } else if (tok == "literal") {
+      if (current == nullptr) return fail("literal outside clause");
+      ComplexLiteral lit;
+      ls >> lit.source_node;
+      std::string kw;
+      ls >> kw;
+      if (kw != "path") return fail("expected 'path'");
+      while (ls >> kw && kw != ";") {
+        int64_t e;
+        if (!ParseInt64(kw, &e) || e < 0 ||
+            e >= static_cast<int64_t>(db.edges().size())) {
+          return fail("bad edge id in path");
+        }
+        lit.edge_path.push_back(static_cast<int32_t>(e));
+      }
+      std::string agg_tok, cmp_tok;
+      ls >> agg_tok >> cmp_tok >> lit.constraint.attr >>
+          lit.constraint.category >> lit.constraint.threshold >> lit.gain;
+      if (!ls || !ParseAgg(agg_tok, &lit.constraint.agg) ||
+          !ParseCmp(cmp_tok, &lit.constraint.cmp)) {
+        return fail("malformed literal constraint");
+      }
+      // Validate against the clause's node tree as we append.
+      if (lit.source_node < 0 ||
+          lit.source_node >= static_cast<int32_t>(current->nodes().size())) {
+        return fail("literal source node out of range");
+      }
+      for (size_t i = 0; i < lit.edge_path.size(); ++i) {
+        const JoinEdge& edge =
+            db.edges()[static_cast<size_t>(lit.edge_path[i])];
+        RelId from = i == 0 ? current->nodes()[static_cast<size_t>(
+                                                   lit.source_node)]
+                                  .relation
+                            : db.edges()[static_cast<size_t>(
+                                             lit.edge_path[i - 1])]
+                                  .to_rel;
+        if (edge.from_rel != from) return fail("path edge mismatch");
+      }
+      // Validate the constraint attribute against the final relation.
+      RelId target_rel =
+          lit.edge_path.empty()
+              ? current->nodes()[static_cast<size_t>(lit.source_node)]
+                    .relation
+              : db.edges()[static_cast<size_t>(lit.edge_path.back())].to_rel;
+      const RelationSchema& schema = db.relation(target_rel).schema();
+      if (lit.constraint.agg == AggOp::kCount) {
+        if (lit.constraint.attr != kInvalidAttr) {
+          return fail("count(*) literal must have no attribute");
+        }
+      } else if (lit.constraint.attr < 0 ||
+                 lit.constraint.attr >= schema.num_attrs()) {
+        return fail("constraint attribute out of range");
+      }
+      current->Append(db, std::move(lit));
+    } else if (tok == "end") {
+      current = nullptr;
+    } else {
+      return fail("unknown directive '" + tok + "'");
+    }
+  }
+  if (num_classes == 0) return fail("missing classes line");
+
+  CrossMineClassifier model;
+  model.RestoreModel(std::move(clauses), default_class, num_classes);
+  return model;
+}
+
+}  // namespace crossmine

@@ -1,0 +1,41 @@
+#ifndef CROSSMINE_CORE_MODEL_IO_H_
+#define CROSSMINE_CORE_MODEL_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/classifier.h"
+
+namespace crossmine {
+
+/// Serializes a trained CrossMine model to a line-oriented text format so
+/// models can be trained once and shipped/deployed separately from the
+/// training pipeline. The format references relations, attributes and join
+/// edges by id, so a model must be loaded against the same database schema
+/// it was trained on (`LoadModel` verifies a schema fingerprint).
+///
+/// Format (one directive per line, `#` comments allowed):
+/// ```
+///   crossmine-model 1
+///   schema <fingerprint>
+///   classes <n> default <cls>
+///   clause <class> <accuracy> <sup_pos> <sup_neg> <build_pos> <build_neg>
+///   literal <source_node> <edge...;> <constraint...>
+///   end
+/// ```
+Status SaveModel(const CrossMineClassifier& model, const Database& db,
+                 const std::string& path);
+
+/// Loads a model saved by `SaveModel`. Fails if `path` is unreadable,
+/// malformed, or was trained against a structurally different database.
+StatusOr<CrossMineClassifier> LoadModel(const Database& db,
+                                        const std::string& path);
+
+/// Stable fingerprint of a database's schema and join graph (relations,
+/// attribute names/kinds, edges) — changes whenever a saved model's ids
+/// would no longer resolve to the same objects.
+uint64_t SchemaFingerprint(const Database& db);
+
+}  // namespace crossmine
+
+#endif  // CROSSMINE_CORE_MODEL_IO_H_

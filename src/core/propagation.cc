@@ -1,0 +1,75 @@
+#include "core/propagation.h"
+
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace crossmine {
+
+PropagationResult PropagateIds(const Database& db, const JoinEdge& edge,
+                               const std::vector<IdSet>& src_idsets,
+                               const std::vector<uint8_t>* alive,
+                               const PropagationLimits& limits) {
+  const Relation& src = db.relation(edge.from_rel);
+  const Relation& dst = db.relation(edge.to_rel);
+  CM_CHECK(src_idsets.size() == src.num_tuples());
+
+  PropagationResult result;
+
+  // Group the source side by join value, merging the idsets of all source
+  // tuples sharing a value. Only values that actually occur on the source
+  // side with a non-empty (alive-filtered) idset are kept.
+  const std::vector<int64_t>& src_col = src.IntColumn(edge.from_attr);
+  std::unordered_map<int64_t, IdSet> by_value;
+  by_value.reserve(src.num_tuples());
+  for (TupleId t = 0; t < src.num_tuples(); ++t) {
+    const IdSet& ids = src_idsets[t];
+    if (ids.empty()) continue;
+    int64_t v = src_col[t];
+    if (v == kNullValue) continue;
+    IdSet& bucket = by_value[v];
+    if (alive == nullptr) {
+      UnionInPlace(&bucket, ids);
+    } else {
+      IdSet filtered;
+      filtered.reserve(ids.size());
+      for (TupleId id : ids) {
+        if ((*alive)[id]) filtered.push_back(id);
+      }
+      UnionInPlace(&bucket, filtered);
+    }
+  }
+
+  // Assign merged idsets to matching destination tuples through the
+  // destination-side hash index.
+  const HashIndex& dst_index = dst.GetHashIndex(edge.to_attr);
+  result.idsets.assign(dst.num_tuples(), IdSet());
+  uint64_t total = 0;
+  uint64_t nonempty = 0;
+  for (const auto& [value, merged] : by_value) {
+    if (merged.empty()) continue;
+    auto it = dst_index.find(value);
+    if (it == dst_index.end()) continue;
+    for (TupleId u : it->second) {
+      result.idsets[u] = merged;
+      total += merged.size();
+      ++nonempty;
+      if (limits.max_total_ids > 0 && total > limits.max_total_ids) {
+        result.idsets.clear();
+        result.ok = false;
+        return result;
+      }
+    }
+  }
+  result.total_ids = total;
+
+  if (limits.max_avg_fanout > 0 && nonempty > 0 &&
+      static_cast<double>(total) / static_cast<double>(nonempty) >
+          limits.max_avg_fanout) {
+    result.idsets.clear();
+    result.ok = false;
+  }
+  return result;
+}
+
+}  // namespace crossmine

@@ -1,0 +1,49 @@
+#ifndef CROSSMINE_CORE_PROPAGATION_H_
+#define CROSSMINE_CORE_PROPAGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/idset.h"
+#include "relational/database.h"
+
+namespace crossmine {
+
+/// Guards against the two counter-productive propagation patterns of §4.3:
+/// very large fan-outs and runaway total ID volume. Zero means unlimited.
+struct PropagationLimits {
+  /// If > 0, the propagation fails when the *average* number of IDs per
+  /// non-empty destination tuple exceeds this (a very unselective link).
+  double max_avg_fanout = 0.0;
+  /// If > 0, the propagation fails once the total number of propagated IDs
+  /// exceeds this (memory guard).
+  uint64_t max_total_ids = 0;
+};
+
+/// Outcome of one tuple ID propagation step.
+struct PropagationResult {
+  /// idset per destination tuple; empty vector when `ok == false`.
+  std::vector<IdSet> idsets;
+  /// False when a PropagationLimits guard rejected the edge.
+  bool ok = true;
+  /// Total ids attached to destination tuples.
+  uint64_t total_ids = 0;
+};
+
+/// Propagates tuple IDs along `edge` (Definition 2): every destination tuple
+/// `u` receives `idset(u) = ∪ { idset(t) : t ∈ source, t.A = u.A }`.
+///
+/// `src_idsets` is parallel to the source relation's tuples. If `alive` is
+/// non-null (parallel to the target relation), only alive IDs are carried
+/// over — this is the "update IDs on every active relation" filtering of
+/// Algorithm 2 fused into the propagation.
+///
+/// NULL join values never match (SQL semantics).
+PropagationResult PropagateIds(const Database& db, const JoinEdge& edge,
+                               const std::vector<IdSet>& src_idsets,
+                               const std::vector<uint8_t>* alive,
+                               const PropagationLimits& limits = {});
+
+}  // namespace crossmine
+
+#endif  // CROSSMINE_CORE_PROPAGATION_H_

@@ -1,0 +1,33 @@
+#ifndef CROSSMINE_CORE_RELATIONAL_CLASSIFIER_H_
+#define CROSSMINE_CORE_RELATIONAL_CLASSIFIER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace crossmine {
+
+/// Abstract multi-relational classifier interface. CrossMine and the FOIL /
+/// TILDE baselines all implement it, so the evaluation harness and the
+/// experiment benches can drive them interchangeably.
+class RelationalClassifier {
+ public:
+  virtual ~RelationalClassifier() = default;
+
+  /// Learns a model from the target tuples in `train_ids`. Implementations
+  /// must not read labels of tuples outside `train_ids`.
+  virtual Status Train(const Database& db,
+                       const std::vector<TupleId>& train_ids) = 0;
+
+  /// Predicts class labels for `ids` (order-preserving).
+  virtual std::vector<ClassId> Predict(
+      const Database& db, const std::vector<TupleId>& ids) const = 0;
+
+  /// Short human-readable name for reports ("CrossMine", "FOIL", ...).
+  virtual const char* name() const = 0;
+};
+
+}  // namespace crossmine
+
+#endif  // CROSSMINE_CORE_RELATIONAL_CLASSIFIER_H_

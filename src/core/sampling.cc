@@ -1,0 +1,36 @@
+#include "core/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace crossmine {
+
+double SafeNegativeEstimate(uint64_t total_neg, uint64_t sampled_neg,
+                            uint64_t sampled_satisfying) {
+  CM_CHECK(sampled_neg <= total_neg);
+  CM_CHECK(sampled_satisfying <= sampled_neg);
+  if (sampled_neg == total_neg) {
+    return static_cast<double>(sampled_satisfying);
+  }
+  if (sampled_neg == 0) return 0.0;
+
+  double n_prime = static_cast<double>(sampled_neg);
+  double d = static_cast<double>(sampled_satisfying) / n_prime;
+  // (1 + 1.64/N') x^2 - (2d + 1.64/N') x + d^2 = 0; greater root x2.
+  double a = 1.0 + 1.64 / n_prime;
+  double b = -(2.0 * d + 1.64 / n_prime);
+  double c = d * d;
+  double disc = b * b - 4.0 * a * c;
+  // disc = 4·d·(1.64/N')·(1−d) + (1.64/N')² ≥ 0 for d ∈ [0,1].
+  disc = std::max(disc, 0.0);
+  double x2 = (-b + std::sqrt(disc)) / (2.0 * a);
+
+  double estimate = x2 * static_cast<double>(total_neg);
+  estimate = std::max(estimate, static_cast<double>(sampled_satisfying));
+  estimate = std::min(estimate, static_cast<double>(total_neg));
+  return estimate;
+}
+
+}  // namespace crossmine

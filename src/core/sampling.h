@@ -1,0 +1,27 @@
+#ifndef CROSSMINE_CORE_SAMPLING_H_
+#define CROSSMINE_CORE_SAMPLING_H_
+
+#include <cstdint>
+
+namespace crossmine {
+
+/// Safe estimate of the number of negative tuples satisfying a clause when
+/// only a sample of the negatives was evaluated (§6, Eq. 5–6).
+///
+/// `total_neg` (N) negatives existed, `sampled_neg` (N') were kept by
+/// sampling, and `sampled_satisfying` (n') of those satisfy the clause. The
+/// naive estimate `n' · N / N'` is unsafe — the clause might have luckily
+/// excluded most sampled negatives — so the paper solves
+/// `(1 + 1.64/N')x² − (2d + 1.64/N')x + d² = 0` with `d = n'/N'` and takes
+/// the *greater* root `x₂` (the 90th-percentile upper bound under the
+/// normal approximation of the binomial), returning `x₂ · N`.
+///
+/// The result is clamped to `[sampled_satisfying, total_neg]`. When nothing
+/// was actually dropped (`sampled_neg == total_neg`) the exact count is
+/// returned.
+double SafeNegativeEstimate(uint64_t total_neg, uint64_t sampled_neg,
+                            uint64_t sampled_satisfying);
+
+}  // namespace crossmine
+
+#endif  // CROSSMINE_CORE_SAMPLING_H_

@@ -1,0 +1,307 @@
+#include "datagen/financial.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace crossmine::datagen {
+
+namespace {
+
+/// Attribute handles for the financial schema, filled while building it.
+struct FinancialSchema {
+  RelId district, account, client, disposition, card, order, trans, loan;
+
+  AttrId district_region, district_avg_salary, district_population;
+  AttrId account_district, account_frequency, account_date;
+  AttrId client_birth_year, client_gender, client_district;
+  AttrId disp_account, disp_client, disp_type;
+  AttrId card_disp, card_type, card_issued;
+  AttrId order_account, order_bank_to, order_amount, order_type;
+  AttrId trans_account, trans_date, trans_type, trans_operation,
+      trans_amount, trans_balance;
+  AttrId loan_account, loan_date, loan_amount, loan_duration, loan_payment;
+};
+
+FinancialSchema BuildSchema(Database* db) {
+  FinancialSchema s;
+
+  RelationSchema district("District");
+  district.AddPrimaryKey("district_id");
+  s.district_region = district.AddCategorical("region");
+  s.district_avg_salary = district.AddNumerical("avg_salary");
+  s.district_population = district.AddNumerical("population");
+  s.district = db->AddRelation(std::move(district));
+
+  RelationSchema account("Account");
+  account.AddPrimaryKey("account_id");
+  s.account_district = account.AddForeignKey("district_id", s.district);
+  s.account_frequency = account.AddCategorical("frequency");
+  s.account_date = account.AddNumerical("date");
+  s.account = db->AddRelation(std::move(account));
+
+  RelationSchema client("Client");
+  client.AddPrimaryKey("client_id");
+  s.client_birth_year = client.AddNumerical("birth_year");
+  s.client_gender = client.AddCategorical("gender");
+  s.client_district = client.AddForeignKey("district_id", s.district);
+  s.client = db->AddRelation(std::move(client));
+
+  RelationSchema disposition("Disposition");
+  disposition.AddPrimaryKey("disp_id");
+  s.disp_account = disposition.AddForeignKey("account_id", s.account);
+  s.disp_client = disposition.AddForeignKey("client_id", s.client);
+  s.disp_type = disposition.AddCategorical("type");
+  s.disposition = db->AddRelation(std::move(disposition));
+
+  RelationSchema card("Card");
+  card.AddPrimaryKey("card_id");
+  s.card_disp = card.AddForeignKey("disp_id", s.disposition);
+  s.card_type = card.AddCategorical("type");
+  s.card_issued = card.AddNumerical("issued");
+  s.card = db->AddRelation(std::move(card));
+
+  RelationSchema order("Order");
+  order.AddPrimaryKey("order_id");
+  s.order_account = order.AddForeignKey("account_id", s.account);
+  s.order_bank_to = order.AddCategorical("bank_to");
+  s.order_amount = order.AddNumerical("amount");
+  s.order_type = order.AddCategorical("type");
+  s.order = db->AddRelation(std::move(order));
+
+  RelationSchema trans("Transaction");
+  trans.AddPrimaryKey("trans_id");
+  s.trans_account = trans.AddForeignKey("account_id", s.account);
+  s.trans_date = trans.AddNumerical("date");
+  s.trans_type = trans.AddCategorical("type");
+  s.trans_operation = trans.AddCategorical("operation");
+  s.trans_amount = trans.AddNumerical("amount");
+  s.trans_balance = trans.AddNumerical("balance");
+  s.trans = db->AddRelation(std::move(trans));
+
+  RelationSchema loan("Loan");
+  loan.AddPrimaryKey("loan_id");
+  s.loan_account = loan.AddForeignKey("account_id", s.account);
+  s.loan_date = loan.AddNumerical("date");
+  s.loan_amount = loan.AddNumerical("amount");
+  s.loan_duration = loan.AddNumerical("duration");
+  s.loan_payment = loan.AddNumerical("payment");
+  s.loan = db->AddRelation(std::move(loan));
+  db->SetTarget(s.loan);
+  return s;
+}
+
+}  // namespace
+
+StatusOr<Database> GenerateFinancialDatabase(const FinancialConfig& config) {
+  if (config.num_loans < 10 || config.num_accounts < 1 ||
+      config.num_districts < 1 || config.num_clients < 1) {
+    return Status::InvalidArgument("financial config too small");
+  }
+  Rng rng(config.seed);
+  Database db;
+  FinancialSchema s = BuildSchema(&db);
+
+  // Dictionaries for readable clauses / CSV export.
+  auto& district = db.mutable_relation(s.district);
+  auto& account = db.mutable_relation(s.account);
+  auto& client = db.mutable_relation(s.client);
+  auto& disposition = db.mutable_relation(s.disposition);
+  auto& card = db.mutable_relation(s.card);
+  auto& order = db.mutable_relation(s.order);
+  auto& trans = db.mutable_relation(s.trans);
+  auto& loan = db.mutable_relation(s.loan);
+
+  const int64_t kMonthly = account.InternCategory(s.account_frequency, "monthly");
+  const int64_t kWeekly = account.InternCategory(s.account_frequency, "weekly");
+  const int64_t kIssuance =
+      account.InternCategory(s.account_frequency, "issuance");
+  const int64_t kOwner = disposition.InternCategory(s.disp_type, "owner");
+  const int64_t kDisponent =
+      disposition.InternCategory(s.disp_type, "disponent");
+  const int64_t kMale = client.InternCategory(s.client_gender, "male");
+  const int64_t kFemale = client.InternCategory(s.client_gender, "female");
+  for (const char* name : {"junior", "classic", "gold"}) {
+    card.InternCategory(s.card_type, name);
+  }
+  for (const char* name :
+       {"insurance", "household", "leasing", "loan_payment"}) {
+    order.InternCategory(s.order_type, name);
+  }
+  for (const char* name : {"credit", "withdrawal"}) {
+    trans.InternCategory(s.trans_type, name);
+  }
+  for (const char* name : {"cash", "card", "remittance", "collection"}) {
+    trans.InternCategory(s.trans_operation, name);
+  }
+  for (int i = 0; i < 8; ++i) {
+    district.InternCategory(s.district_region, "region" + std::to_string(i));
+  }
+
+  // Districts.
+  for (int i = 0; i < config.num_districts; ++i) {
+    TupleId t = district.AddTuple();
+    district.SetInt(t, 0, t);
+    district.SetInt(t, s.district_region,
+                    static_cast<int64_t>(rng.Uniform(8)));
+    district.SetDouble(t, s.district_avg_salary,
+                       rng.UniformDouble(30000, 120000));
+    district.SetDouble(t, s.district_population,
+                       rng.UniformDouble(10000, 1200000));
+  }
+
+  // Accounts.
+  for (int i = 0; i < config.num_accounts; ++i) {
+    TupleId t = account.AddTuple();
+    account.SetInt(t, 0, t);
+    account.SetInt(t, s.account_district,
+                   static_cast<int64_t>(rng.Uniform(
+                       static_cast<uint64_t>(config.num_districts))));
+    double u = rng.UniformDouble();
+    account.SetInt(t, s.account_frequency,
+                   u < 0.70 ? kMonthly : (u < 0.90 ? kWeekly : kIssuance));
+    account.SetDouble(t, s.account_date, rng.UniformDouble(930101, 981231));
+  }
+
+  // Clients.
+  for (int i = 0; i < config.num_clients; ++i) {
+    TupleId t = client.AddTuple();
+    client.SetInt(t, 0, t);
+    client.SetDouble(t, s.client_birth_year, rng.UniformDouble(1920, 1985));
+    client.SetInt(t, s.client_gender, rng.Bernoulli(0.5) ? kMale : kFemale);
+    client.SetInt(t, s.client_district,
+                  static_cast<int64_t>(rng.Uniform(
+                      static_cast<uint64_t>(config.num_districts))));
+  }
+
+  // Dispositions: one owner per account, ~30% get a second disponent.
+  // Remember each account's owner client for the risk score.
+  std::vector<TupleId> owner_of_account(
+      static_cast<size_t>(config.num_accounts));
+  for (int a = 0; a < config.num_accounts; ++a) {
+    TupleId owner_client = static_cast<TupleId>(
+        rng.Uniform(static_cast<uint64_t>(config.num_clients)));
+    owner_of_account[static_cast<size_t>(a)] = owner_client;
+    TupleId t = disposition.AddTuple();
+    disposition.SetInt(t, 0, t);
+    disposition.SetInt(t, s.disp_account, a);
+    disposition.SetInt(t, s.disp_client, owner_client);
+    disposition.SetInt(t, s.disp_type, kOwner);
+    if (rng.Bernoulli(0.3)) {
+      TupleId t2 = disposition.AddTuple();
+      disposition.SetInt(t2, 0, t2);
+      disposition.SetInt(t2, s.disp_account, a);
+      disposition.SetInt(t2, s.disp_client,
+                         static_cast<int64_t>(rng.Uniform(
+                             static_cast<uint64_t>(config.num_clients))));
+      disposition.SetInt(t2, s.disp_type, kDisponent);
+    }
+  }
+
+  // Cards: ~40% of dispositions.
+  for (TupleId d = 0; d < disposition.num_tuples(); ++d) {
+    if (!rng.Bernoulli(0.4)) continue;
+    TupleId t = card.AddTuple();
+    card.SetInt(t, 0, t);
+    card.SetInt(t, s.card_disp, d);
+    card.SetInt(t, s.card_type, static_cast<int64_t>(rng.Uniform(3)));
+    card.SetDouble(t, s.card_issued, rng.UniformDouble(930101, 981231));
+  }
+
+  // Orders; track each account's total order amount for the risk score.
+  std::vector<double> order_sum(static_cast<size_t>(config.num_accounts), 0);
+  for (int a = 0; a < config.num_accounts; ++a) {
+    int64_t n = rng.ExponentialAtLeast(config.orders_per_account, 0);
+    for (int64_t i = 0; i < n; ++i) {
+      TupleId t = order.AddTuple();
+      order.SetInt(t, 0, t);
+      order.SetInt(t, s.order_account, a);
+      order.SetInt(t, s.order_bank_to,
+                   order.InternCategory(
+                       s.order_bank_to,
+                       "bank" + std::to_string(rng.Uniform(10))));
+      double amount = rng.UniformDouble(100, 9000);
+      order.SetDouble(t, s.order_amount, amount);
+      order.SetInt(t, s.order_type, static_cast<int64_t>(rng.Uniform(4)));
+      order_sum[static_cast<size_t>(a)] += amount;
+    }
+  }
+
+  // Transactions; track mean balance per account.
+  std::vector<double> mean_balance(static_cast<size_t>(config.num_accounts),
+                                   0);
+  for (int a = 0; a < config.num_accounts; ++a) {
+    int64_t n = rng.ExponentialAtLeast(config.trans_per_account, 1);
+    double base = rng.UniformDouble(2000, 90000);
+    double sum = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      TupleId t = trans.AddTuple();
+      trans.SetInt(t, 0, t);
+      trans.SetInt(t, s.trans_account, a);
+      trans.SetDouble(t, s.trans_date, rng.UniformDouble(930101, 981231));
+      trans.SetInt(t, s.trans_type, rng.Bernoulli(0.55) ? 0 : 1);
+      trans.SetInt(t, s.trans_operation,
+                   static_cast<int64_t>(rng.Uniform(4)));
+      trans.SetDouble(t, s.trans_amount, rng.UniformDouble(100, 20000));
+      double balance = base * rng.UniformDouble(0.5, 1.5);
+      trans.SetDouble(t, s.trans_balance, balance);
+      sum += balance;
+    }
+    mean_balance[static_cast<size_t>(a)] = sum / static_cast<double>(n);
+  }
+
+  // Loans + hidden risk score.
+  std::vector<double> scores;
+  scores.reserve(static_cast<size_t>(config.num_loans));
+  for (int i = 0; i < config.num_loans; ++i) {
+    TupleId t = loan.AddTuple();
+    loan.SetInt(t, 0, t);
+    TupleId a = static_cast<TupleId>(
+        rng.Uniform(static_cast<uint64_t>(config.num_accounts)));
+    loan.SetInt(t, s.loan_account, a);
+    loan.SetDouble(t, s.loan_date, rng.UniformDouble(930101, 981231));
+    double amount = rng.UniformDouble(5000, 100000);
+    double duration = 12.0 * static_cast<double>(rng.UniformInt(1, 5));
+    loan.SetDouble(t, s.loan_amount, amount);
+    loan.SetDouble(t, s.loan_duration, duration);
+    loan.SetDouble(t, s.loan_payment, amount / duration);
+
+    // Hidden multi-relational risk score (higher = more likely to default):
+    double score = 0;
+    int64_t freq = account.Int(a, s.account_frequency);
+    if (freq == kWeekly) score += 1.0;
+    if (freq == kIssuance) score += 0.5;
+    int64_t d = account.Int(a, s.account_district);
+    if (district.Double(static_cast<TupleId>(d), s.district_avg_salary) <
+        55000) {
+      score += 1.0;  // poor district (2-hop look-ahead link)
+    }
+    if (order_sum[a] > 9000) score += 1.0;  // heavy standing orders (agg)
+    TupleId owner = owner_of_account[a];
+    if (client.Double(owner, s.client_birth_year) > 1968) {
+      score += 0.8;  // young owner (2-hop via Disposition)
+    }
+    if (amount / duration > 1800) score += 1.0;  // steep monthly payment
+    if (mean_balance[a] < 15000) score += 0.6;   // low balances (agg)
+    score += rng.UniformDouble(0.0, 6.0) * config.noise;
+    scores.push_back(score);
+  }
+
+  // Rank by score; the riskiest `negative_fraction` default (class 0 =
+  // negative / not paid, class 1 = positive / paid on time).
+  std::vector<uint32_t> order_idx(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) order_idx[i] = i;
+  std::sort(order_idx.begin(), order_idx.end(),
+            [&scores](uint32_t x, uint32_t y) { return scores[x] > scores[y]; });
+  size_t num_negative = static_cast<size_t>(
+      config.negative_fraction * static_cast<double>(config.num_loans));
+  std::vector<ClassId> labels(scores.size(), 1);
+  for (size_t i = 0; i < num_negative; ++i) labels[order_idx[i]] = 0;
+
+  db.SetLabels(std::move(labels), 2);
+  CM_RETURN_IF_ERROR(db.Finalize());
+  return db;
+}
+
+}  // namespace crossmine::datagen

@@ -1,0 +1,48 @@
+#ifndef CROSSMINE_DATAGEN_FINANCIAL_H_
+#define CROSSMINE_DATAGEN_FINANCIAL_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace crossmine::datagen {
+
+/// Parameters of the PKDD CUP'99-style financial database simulator. The
+/// defaults approximate the modified dataset used in Table 2 of the paper:
+/// eight relations, ~76 000 tuples in total, a Loan target relation with 324
+/// positive (paid on time) and 76 negative tuples.
+struct FinancialConfig {
+  int num_districts = 77;
+  int num_accounts = 4500;
+  int num_clients = 5369;
+  int num_loans = 400;
+  /// Fraction of loans labeled negative (not paid); the paper's modified
+  /// dataset has 76/400 = 0.19.
+  double negative_fraction = 0.19;
+  /// Expected orders / transactions / dispositions volume (the paper shrank
+  /// the originally huge Trans relation).
+  double orders_per_account = 1.5;
+  double trans_per_account = 12.0;
+  /// Label-noise level: weight of the random component in the risk score.
+  double noise = 0.35;
+  uint64_t seed = 7;
+};
+
+/// Builds a synthetic stand-in for the PKDD CUP'99 financial database
+/// (Fig. 1 schema: Loan ← Account ← District, Order, Transaction,
+/// Disposition ← Client/Card). Class labels derive from a hidden risk score
+/// that deliberately exercises every CrossMine mechanism:
+///   * a 1-hop categorical link (account frequency),
+///   * 2-hop look-one-ahead links (district average salary via the account;
+///     owner birth year via the disposition),
+///   * an aggregation link (sum of order amounts),
+///   * a numerical literal on the target itself (monthly payment).
+/// Loans are ranked by noisy score and the top `negative_fraction` become
+/// negative, so the learnable signal matches the paper's ~88–90% accuracy
+/// regime. Deterministic in `seed`.
+StatusOr<Database> GenerateFinancialDatabase(const FinancialConfig& config);
+
+}  // namespace crossmine::datagen
+
+#endif  // CROSSMINE_DATAGEN_FINANCIAL_H_

@@ -1,0 +1,151 @@
+#include "datagen/mutagenesis.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace crossmine::datagen {
+
+StatusOr<Database> GenerateMutagenesisDatabase(
+    const MutagenesisConfig& config) {
+  if (config.num_molecules < 10) {
+    return Status::InvalidArgument("need at least 10 molecules");
+  }
+  if (config.min_atoms < 2 || config.max_atoms < config.min_atoms) {
+    return Status::InvalidArgument("bad atom count range");
+  }
+  Rng rng(config.seed);
+  Database db;
+
+  RelationSchema molecule_schema("Molecule");
+  molecule_schema.AddPrimaryKey("mol_id");
+  AttrId mol_ind1 = molecule_schema.AddCategorical("ind1");
+  AttrId mol_inda = molecule_schema.AddCategorical("inda");
+  AttrId mol_logp = molecule_schema.AddNumerical("logp");
+  AttrId mol_lumo = molecule_schema.AddNumerical("lumo");
+  RelId molecule_rel = db.AddRelation(std::move(molecule_schema));
+
+  RelationSchema atom_schema("Atom");
+  atom_schema.AddPrimaryKey("atom_id");
+  AttrId atom_mol = atom_schema.AddForeignKey("mol_id", molecule_rel);
+  AttrId atom_element = atom_schema.AddCategorical("element");
+  AttrId atom_type = atom_schema.AddCategorical("atype");
+  AttrId atom_charge = atom_schema.AddNumerical("charge");
+  RelId atom_rel = db.AddRelation(std::move(atom_schema));
+
+  RelationSchema bond_schema("Bond");
+  bond_schema.AddPrimaryKey("bond_id");
+  AttrId bond_mol = bond_schema.AddForeignKey("mol_id", molecule_rel);
+  AttrId bond_atom1 = bond_schema.AddForeignKey("atom1_id", atom_rel);
+  AttrId bond_atom2 = bond_schema.AddForeignKey("atom2_id", atom_rel);
+  AttrId bond_type = bond_schema.AddCategorical("btype");
+  RelId bond_rel = db.AddRelation(std::move(bond_schema));
+
+  db.SetTarget(molecule_rel);
+
+  Relation& molecule = db.mutable_relation(molecule_rel);
+  Relation& atom = db.mutable_relation(atom_rel);
+  Relation& bond = db.mutable_relation(bond_rel);
+
+  const char* elements[] = {"c", "h", "o", "n", "cl", "f"};
+  for (const char* e : elements) atom.InternCategory(atom_element, e);
+  const int64_t kCarbon = 0, kOxygen = 2, kNitrogen = 3;
+
+  std::vector<double> scores;
+  for (int m = 0; m < config.num_molecules; ++m) {
+    TupleId mol = molecule.AddTuple();
+    molecule.SetInt(mol, 0, mol);
+    molecule.SetInt(mol, mol_ind1, rng.Bernoulli(0.4) ? 1 : 0);
+    molecule.SetInt(mol, mol_inda, static_cast<int64_t>(rng.Uniform(3)));
+    double logp = rng.UniformDouble(0.5, 7.0);
+    double lumo = rng.UniformDouble(-4.0, 0.5);
+    molecule.SetDouble(mol, mol_logp, logp);
+    molecule.SetDouble(mol, mol_lumo, lumo);
+
+    int num_atoms =
+        static_cast<int>(rng.UniformInt(config.min_atoms, config.max_atoms));
+    TupleId first_atom = atom.num_tuples();
+    int carbon_count = 0;
+    int high_charge = 0;
+    double max_charge = -1.0;
+    for (int i = 0; i < num_atoms; ++i) {
+      TupleId a = atom.AddTuple();
+      atom.SetInt(a, 0, a);
+      atom.SetInt(a, atom_mol, mol);
+      int64_t element = static_cast<int64_t>(rng.Uniform(6));
+      atom.SetInt(a, atom_element, element);
+      atom.SetInt(a, atom_type, static_cast<int64_t>(
+                                    rng.UniformInt(1, 10) * 5));
+      double charge = rng.UniformDouble(-0.8, 0.8);
+      atom.SetDouble(a, atom_charge, charge);
+      if (element == kCarbon) ++carbon_count;
+      if (charge > 0.45) ++high_charge;
+      max_charge = std::max(max_charge, charge);
+      (void)kOxygen;
+      (void)kNitrogen;
+    }
+    // Bonds: a chain plus a few random extras ("rings").
+    int aromatic = 0;
+    for (int i = 0; i + 1 < num_atoms; ++i) {
+      TupleId b = bond.AddTuple();
+      bond.SetInt(b, 0, b);
+      bond.SetInt(b, bond_mol, mol);
+      bond.SetInt(b, bond_atom1, first_atom + static_cast<TupleId>(i));
+      bond.SetInt(b, bond_atom2, first_atom + static_cast<TupleId>(i) + 1);
+      int64_t btype = static_cast<int64_t>(rng.UniformInt(1, 7));
+      bond.SetInt(b, bond_type, btype);
+      if (btype == 7) ++aromatic;  // aromatic bonds
+    }
+    int extra = static_cast<int>(rng.Uniform(5));
+    for (int i = 0; i < extra; ++i) {
+      TupleId b = bond.AddTuple();
+      bond.SetInt(b, 0, b);
+      bond.SetInt(b, bond_mol, mol);
+      bond.SetInt(b, bond_atom1,
+                  first_atom + static_cast<TupleId>(
+                                   rng.Uniform(static_cast<uint64_t>(
+                                       num_atoms))));
+      bond.SetInt(b, bond_atom2,
+                  first_atom + static_cast<TupleId>(
+                                   rng.Uniform(static_cast<uint64_t>(
+                                       num_atoms))));
+      bond.SetInt(b, bond_type, static_cast<int64_t>(rng.UniformInt(1, 7)));
+    }
+
+    // Hidden mutagenicity concept: a disjunction of short conjunctive
+    // rules, the structure the real benchmark is known to have (two
+    // numeric thresholds plus structural patterns), each expressible in
+    // the clause language of the classifiers under test:
+    //   r1: low LUMO and high logP (the classic regression story);
+    //   r2: a strongly positively charged atom exists (>= 0.76);
+    //   r3: both activity indicators set (ind1 = 1, inda = 2).
+    bool r1 = lumo <= -1.5 && logp >= 3.0;
+    bool r2 = max_charge >= 0.76;
+    bool r3 = molecule.Int(mol, mol_ind1) == 1 &&
+              molecule.Int(mol, mol_inda) == 2;
+    double score = (r1 || r2 || r3) ? 1.0 : 0.0;
+    score += rng.UniformDouble(0.0, 1.0) * config.noise;
+    scores.push_back(score);
+    (void)carbon_count;
+    (void)high_charge;
+    (void)aromatic;
+  }
+
+  // Rank and label: top `positive_fraction` are mutagenic (class 1).
+  std::vector<uint32_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&scores](uint32_t x, uint32_t y) {
+    return scores[x] > scores[y];
+  });
+  size_t num_positive = static_cast<size_t>(
+      config.positive_fraction * static_cast<double>(config.num_molecules));
+  std::vector<ClassId> labels(scores.size(), 0);
+  for (size_t i = 0; i < num_positive; ++i) labels[order[i]] = 1;
+
+  db.SetLabels(std::move(labels), 2);
+  CM_RETURN_IF_ERROR(db.Finalize());
+  return db;
+}
+
+}  // namespace crossmine::datagen

@@ -1,0 +1,36 @@
+#ifndef CROSSMINE_DATAGEN_MUTAGENESIS_H_
+#define CROSSMINE_DATAGEN_MUTAGENESIS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace crossmine::datagen {
+
+/// Parameters of the Mutagenesis-style simulator. Defaults approximate the
+/// classic ILP benchmark used in Table 3: 4 relations (Molecule, Atom,
+/// Bond) with 188 target molecules, 125 positive / 63 negative.
+struct MutagenesisConfig {
+  int num_molecules = 188;
+  /// Fraction labeled positive (mutagenic); the benchmark has 124/188.
+  double positive_fraction = 0.66;
+  int min_atoms = 12;
+  int max_atoms = 40;
+  /// Label-noise level: weight of the random component in the score.
+  double noise = 0.3;
+  uint64_t seed = 11;
+};
+
+/// Builds a synthetic stand-in for the Mutagenesis database: Molecule
+/// (target; ind1/inda indicators, logp, lumo) — Atom (element, type,
+/// charge) — Bond (atom pair, bond type). Mutagenicity derives from a noisy
+/// score over molecule-level numericals (low LUMO, high logP), atom
+/// composition (carbon fraction, high positive charges) and ring-like bond
+/// structure, so CrossMine / FOIL / TILDE can all find structure in it.
+/// Deterministic in `seed`.
+StatusOr<Database> GenerateMutagenesisDatabase(const MutagenesisConfig& config);
+
+}  // namespace crossmine::datagen
+
+#endif  // CROSSMINE_DATAGEN_MUTAGENESIS_H_

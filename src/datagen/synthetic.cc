@@ -1,0 +1,367 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace crossmine::datagen {
+
+namespace {
+
+/// Internal representation of one hidden ground-truth rule: a join tree
+/// (node 0 = target relation) plus per-literal categorical constraints.
+struct RuleNode {
+  RelId relation = kInvalidRel;
+  int parent = -1;    // rule-node index the join comes from
+  int edge = -1;      // Database edge id used for the join
+};
+
+struct RuleLiteral {
+  int node = 0;       // rule-node the constraint applies to
+  AttrId attr = kInvalidAttr;
+  int64_t value = 0;
+};
+
+struct Rule {
+  std::vector<RuleNode> nodes;
+  std::vector<RuleLiteral> literals;
+  ClassId label = 0;
+};
+
+/// Per-attribute category cardinalities, per relation (only non-key attrs).
+using Cardinalities = std::vector<std::vector<int64_t>>;
+
+/// Categorical attribute ids of a relation.
+std::vector<AttrId> CategoricalAttrs(const RelationSchema& schema) {
+  std::vector<AttrId> out;
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    if (schema.attr(a).kind == AttrKind::kCategorical) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SyntheticConfig::Name() const {
+  return StrFormat("R%d.T%lld.F%g", num_relations,
+                   static_cast<long long>(expected_tuples), expected_fkeys);
+}
+
+StatusOr<Database> GenerateSyntheticDatabase(const SyntheticConfig& config) {
+  if (config.num_relations < 2) {
+    return Status::InvalidArgument("need at least 2 relations");
+  }
+  if (config.num_classes < 2) {
+    return Status::InvalidArgument("need at least 2 classes");
+  }
+  if (config.min_attrs < 2) {
+    return Status::InvalidArgument(
+        "min_attrs must be >= 2 (primary key + one categorical)");
+  }
+  Rng rng(config.seed);
+
+  // ---- 1. Schema ----------------------------------------------------------
+  // Draw attribute / category-cardinality / foreign-key counts first; the
+  // schemas are then built in one pass (FK targets may point forward).
+  Cardinalities cards(static_cast<size_t>(config.num_relations));
+  for (int r = 0; r < config.num_relations; ++r) {
+    int64_t num_attrs =
+        rng.ExponentialAtLeast(config.expected_attrs, config.min_attrs);
+    // One attribute is the primary key; the rest are categorical.
+    for (int64_t a = 1; a < num_attrs; ++a) {
+      cards[static_cast<size_t>(r)].push_back(
+          rng.ExponentialAtLeast(config.expected_values, config.min_values));
+    }
+  }
+  std::vector<int64_t> fk_counts(static_cast<size_t>(config.num_relations));
+  std::vector<std::vector<RelId>> fk_targets(
+      static_cast<size_t>(config.num_relations));
+  for (int r = 0; r < config.num_relations; ++r) {
+    fk_counts[static_cast<size_t>(r)] =
+        rng.ExponentialAtLeast(config.expected_fkeys, config.min_fkeys);
+    for (int64_t f = 0; f < fk_counts[static_cast<size_t>(r)]; ++f) {
+      // Point at a random other relation.
+      RelId ref = static_cast<RelId>(
+          rng.Uniform(static_cast<uint64_t>(config.num_relations - 1)));
+      if (ref >= r) ++ref;
+      fk_targets[static_cast<size_t>(r)].push_back(ref);
+    }
+  }
+  Database db;
+  for (int r = 0; r < config.num_relations; ++r) {
+    RelationSchema schema(StrFormat("R%d", r));
+    schema.AddPrimaryKey("id");
+    size_t num_cat = cards[static_cast<size_t>(r)].size();
+    for (size_t a = 0; a < num_cat; ++a) {
+      schema.AddCategorical(StrFormat("a%zu", a + 1));
+    }
+    for (size_t f = 0; f < fk_targets[static_cast<size_t>(r)].size(); ++f) {
+      schema.AddForeignKey(StrFormat("f%zu", f),
+                           fk_targets[static_cast<size_t>(r)][f]);
+    }
+    db.AddRelation(std::move(schema));
+  }
+  db.SetTarget(0);
+  db.SetLabels({}, config.num_classes);
+  CM_RETURN_IF_ERROR(db.Finalize());  // builds the join graph on empty data
+
+  // ---- 2. Hidden rules ----------------------------------------------------
+  // Class labels balanced within 20% (paper): round-robin then shuffle.
+  std::vector<ClassId> rule_labels;
+  for (int i = 0; i < config.num_clauses; ++i) {
+    rule_labels.push_back(static_cast<ClassId>(i % config.num_classes));
+  }
+  rng.Shuffle(&rule_labels);
+
+  std::vector<Rule> rules;
+  // (relation, attr, value) triples already claimed by some rule, with the
+  // claiming rule's class. Rules avoid reusing a triple claimed by another
+  // class — cross-class signature collisions would put irreducible noise in
+  // the labels and make every generated database much harder than the
+  // paper's (§7.1 reports ~90% achievable accuracy at T=500).
+  struct Claim {
+    RelId rel;
+    AttrId attr;
+    int64_t value;
+    ClassId label;
+  };
+  std::vector<Claim> claims;
+  for (int i = 0; i < config.num_clauses; ++i) {
+    Rule rule;
+    rule.label = rule_labels[static_cast<size_t>(i)];
+    rule.nodes.push_back(RuleNode{db.target(), -1, -1});
+    int length = static_cast<int>(
+        rng.UniformInt(config.min_literals, config.max_literals));
+    // (node, attr) pairs already constrained — avoid contradictions.
+    std::vector<std::pair<int, AttrId>> used;
+    for (int l = 0; l < length; ++l) {
+      int node;
+      if (rng.Bernoulli(config.prob_active) || db.edges().empty()) {
+        // Literal on an already-active relation.
+        node = static_cast<int>(rng.Uniform(rule.nodes.size()));
+      } else {
+        // Literal involving a propagation: extend the join tree by one edge
+        // from a random active node. Edges landing back on the target
+        // relation are excluded — instantiating them would mint unlabeled
+        // target tuples.
+        int from = static_cast<int>(rng.Uniform(rule.nodes.size()));
+        std::vector<int32_t> out;
+        for (int32_t e :
+             db.OutEdges(rule.nodes[static_cast<size_t>(from)].relation)) {
+          if (db.edges()[static_cast<size_t>(e)].to_rel != db.target()) {
+            out.push_back(e);
+          }
+        }
+        if (out.empty()) {
+          node = from;  // no joins available; degrade to an active literal
+        } else {
+          // Occasionally reach through a relationship relation: two FK->PK
+          // hops whose intermediate node carries no constraint (the Fig. 7
+          // pattern look-one-ahead exists for). FK->PK hops have fan-out
+          // exactly one, so the two-hop signature stays crisp.
+          bool two_hop = rng.Bernoulli(config.prob_two_hop);
+          std::vector<int32_t> first_hops;
+          if (two_hop) {
+            for (int32_t e : out) {
+              if (db.edges()[static_cast<size_t>(e)].kind ==
+                  JoinKind::kFkToPk) {
+                first_hops.push_back(e);
+              }
+            }
+            if (first_hops.empty()) two_hop = false;
+          }
+          if (!two_hop) first_hops = out;
+
+          int32_t e = first_hops[rng.Uniform(first_hops.size())];
+          const JoinEdge& first = db.edges()[static_cast<size_t>(e)];
+          rule.nodes.push_back(RuleNode{first.to_rel, from, e});
+          node = static_cast<int>(rule.nodes.size() - 1);
+          if (two_hop) {
+            std::vector<int32_t> out2;
+            for (int32_t e2 : db.OutEdges(first.to_rel)) {
+              const JoinEdge& second = db.edges()[static_cast<size_t>(e2)];
+              if (second.kind != JoinKind::kFkToPk) continue;
+              if (second.from_attr == first.to_attr) continue;
+              if (second.to_rel == db.target()) continue;
+              out2.push_back(e2);
+            }
+            if (!out2.empty()) {
+              int32_t e2 = out2[rng.Uniform(out2.size())];
+              rule.nodes.push_back(RuleNode{
+                  db.edges()[static_cast<size_t>(e2)].to_rel, node, e2});
+              node = static_cast<int>(rule.nodes.size() - 1);
+            }
+          }
+        }
+      }
+      RelId rel = rule.nodes[static_cast<size_t>(node)].relation;
+      std::vector<AttrId> cats =
+          CategoricalAttrs(db.relation(rel).schema());
+      if (cats.empty()) continue;  // relation has no categorical attributes
+      // Pick an unconstrained attribute on this node, preferring attributes
+      // with enough categories to carry a distinctive signature (tiny
+      // cardinalities make literals coin flips for unrelated tuples).
+      AttrId attr = kInvalidAttr;
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        AttrId cand = cats[rng.Uniform(cats.size())];
+        if (std::find(used.begin(), used.end(),
+                      std::make_pair(node, cand)) != used.end()) {
+          continue;
+        }
+        int64_t cand_card = cards[static_cast<size_t>(rel)][
+            static_cast<size_t>(cand - 1)];
+        if (cand_card < 4 && attempt < 12) continue;  // prefer card >= 4
+        attr = cand;
+        break;
+      }
+      if (attr == kInvalidAttr) continue;
+      used.emplace_back(node, attr);
+      // Attribute a<k> has cardinality cards[rel][k-1] (attr 0 is the pk).
+      int64_t card = cards[static_cast<size_t>(rel)][static_cast<size_t>(
+          attr - 1)];
+      // Draw a value whose (rel, attr, value) triple is not claimed by a
+      // rule of another class.
+      int64_t value = -1;
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        int64_t cand =
+            static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(card)));
+        bool clash = false;
+        for (const Claim& claim : claims) {
+          if (claim.rel == rel && claim.attr == attr &&
+              claim.value == cand && claim.label != rule.label) {
+            clash = true;
+            break;
+          }
+        }
+        if (!clash) {
+          value = cand;
+          break;
+        }
+      }
+      if (value < 0) continue;  // attribute saturated by other classes
+      claims.push_back(Claim{rel, attr, value, rule.label});
+      rule.literals.push_back(RuleLiteral{node, attr, value});
+    }
+    if (rule.literals.empty()) {
+      // Ensure every rule constrains something on the target relation.
+      std::vector<AttrId> cats =
+          CategoricalAttrs(db.target_relation().schema());
+      CM_CHECK(!cats.empty());
+      AttrId attr = cats[rng.Uniform(cats.size())];
+      int64_t card =
+          cards[0][static_cast<size_t>(attr - 1)];
+      rule.literals.push_back(RuleLiteral{
+          0, attr,
+          static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(card)))});
+    }
+    rules.push_back(std::move(rule));
+  }
+
+  // ---- 3. Target tuples satisfying rules ----------------------------------
+  // Helper: create a tuple in `rel` with pk = its tuple id and random
+  // categorical values; FKs stay NULL until fixup.
+  auto new_tuple = [&db, &cards, &rng](RelId rel) -> TupleId {
+    Relation& relation = db.mutable_relation(rel);
+    TupleId t = relation.AddTuple();
+    const RelationSchema& schema = relation.schema();
+    relation.SetInt(t, schema.primary_key(), static_cast<int64_t>(t));
+    int cat_idx = 0;
+    for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+      if (schema.attr(a).kind != AttrKind::kCategorical) continue;
+      int64_t card = cards[static_cast<size_t>(rel)][static_cast<size_t>(
+          cat_idx++)];
+      relation.SetInt(t, a, static_cast<int64_t>(rng.Uniform(
+                                static_cast<uint64_t>(card))));
+    }
+    return t;
+  };
+
+  std::vector<ClassId> labels;
+  for (int64_t i = 0; i < config.expected_tuples; ++i) {
+    const Rule& rule = rules[rng.Uniform(rules.size())];
+    // Instantiate the rule's join tree: one concrete tuple per rule node.
+    std::vector<TupleId> node_tuple(rule.nodes.size());
+    node_tuple[0] = new_tuple(db.target());
+    for (size_t n = 1; n < rule.nodes.size(); ++n) {
+      const RuleNode& rnode = rule.nodes[n];
+      const JoinEdge& edge = db.edges()[static_cast<size_t>(rnode.edge)];
+      TupleId from_t = node_tuple[static_cast<size_t>(rnode.parent)];
+      Relation& from_rel = db.mutable_relation(edge.from_rel);
+      TupleId to_t = new_tuple(edge.to_rel);
+      Relation& to_rel = db.mutable_relation(edge.to_rel);
+      switch (edge.kind) {
+        case JoinKind::kFkToPk:
+          // from.fk must equal the new tuple's pk.
+          from_rel.SetInt(from_t, edge.from_attr,
+                          to_rel.Int(to_t, edge.to_attr));
+          break;
+        case JoinKind::kPkToFk:
+          // new tuple's fk points at from's pk.
+          to_rel.SetInt(to_t, edge.to_attr,
+                        from_rel.Int(from_t, edge.from_attr));
+          break;
+        case JoinKind::kFkToFk: {
+          // Both fks must carry the same value, which must be a valid pk of
+          // the referenced relation: mint a referenced tuple if needed.
+          RelId ref = from_rel.schema().attr(edge.from_attr).references;
+          int64_t v = from_rel.Int(from_t, edge.from_attr);
+          if (v == kNullValue) {
+            if (ref == db.target()) {
+              // Never mint target tuples (they'd be unlabeled); reference
+              // the rule's own target tuple instead.
+              v = static_cast<int64_t>(node_tuple[0]);
+            } else {
+              v = static_cast<int64_t>(new_tuple(ref));
+            }
+            from_rel.SetInt(from_t, edge.from_attr, v);
+          }
+          to_rel.SetInt(to_t, edge.to_attr, v);
+          break;
+        }
+      }
+      node_tuple[n] = to_t;
+    }
+    // Apply the rule's constraints.
+    for (const RuleLiteral& lit : rule.literals) {
+      RelId rel = rule.nodes[static_cast<size_t>(lit.node)].relation;
+      db.mutable_relation(rel).SetInt(
+          node_tuple[static_cast<size_t>(lit.node)], lit.attr, lit.value);
+    }
+    labels.push_back(rule.label);
+  }
+
+  // ---- 4. Padding ----------------------------------------------------------
+  for (RelId r = 1; r < db.num_relations(); ++r) {
+    int64_t want =
+        rng.ExponentialAtLeast(static_cast<double>(config.expected_tuples),
+                               config.min_tuples);
+    while (static_cast<int64_t>(db.relation(r).num_tuples()) < want) {
+      new_tuple(r);
+    }
+  }
+
+  // ---- 5. Referential fixup ------------------------------------------------
+  for (RelId r = 0; r < db.num_relations(); ++r) {
+    Relation& rel = db.mutable_relation(r);
+    const RelationSchema& schema = rel.schema();
+    for (AttrId fk : schema.foreign_keys()) {
+      RelId ref = schema.attr(fk).references;
+      uint64_t ref_size = db.relation(ref).num_tuples();
+      CM_CHECK(ref_size > 0);
+      for (TupleId t = 0; t < rel.num_tuples(); ++t) {
+        if (rel.Int(t, fk) == kNullValue) {
+          rel.SetInt(t, fk, static_cast<int64_t>(rng.Uniform(ref_size)));
+        }
+      }
+    }
+  }
+
+  db.SetLabels(std::move(labels), config.num_classes);
+  return db;
+}
+
+}  // namespace crossmine::datagen

@@ -1,0 +1,60 @@
+#ifndef CROSSMINE_DATAGEN_SYNTHETIC_H_
+#define CROSSMINE_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace crossmine::datagen {
+
+/// Parameters of the paper's synthetic database generator (Table 1).
+/// Defaults are the table's default column; the three headline knobs
+/// (`num_relations` = x, `expected_tuples` = y, `expected_fkeys` = z) give
+/// the databases their `Rx.Ty.Fz` names.
+struct SyntheticConfig {
+  int num_relations = 20;        ///< |R|
+  int64_t min_tuples = 50;       ///< T_min
+  int64_t expected_tuples = 500; ///< T (target relation has exactly T)
+  int64_t min_attrs = 2;         ///< A_min (includes the primary key)
+  double expected_attrs = 5;     ///< A
+  int64_t min_values = 2;        ///< V_min
+  double expected_values = 10;   ///< V
+  int64_t min_fkeys = 2;         ///< F_min
+  double expected_fkeys = 2;     ///< F
+  int num_clauses = 10;          ///< c: number of hidden ground-truth rules
+  int min_literals = 2;          ///< L_min complex literals per rule
+  int max_literals = 6;          ///< L_max
+  double prob_active = 0.25;     ///< f_A: literal lands on an active relation
+  /// Probability that a propagation literal reaches through *two* joins
+  /// (a relationship relation with no constraint of its own — the Fig. 7
+  /// pattern that motivates look-one-ahead). The paper's generator produces
+  /// such patterns implicitly through its random schemas.
+  double prob_two_hop = 0.3;
+  int num_classes = 2;
+  uint64_t seed = 42;
+
+  /// Paper-style name, e.g. "R20.T500.F2".
+  std::string Name() const;
+};
+
+/// Generates a synthetic multi-relational database per §7.1:
+///  1. a random schema (|R| relations; exponential attribute / category /
+///     foreign-key counts; all non-key attributes categorical);
+///  2. hidden rules — lists of complex literals over the schema's join
+///     graph, labels balanced across classes (within 20%);
+///  3. exactly T target tuples, each instantiated to satisfy one randomly
+///     chosen rule (creating the joined tuples its literals require) and
+///     labeled with that rule's class;
+///  4. non-target relations padded with random tuples up to an
+///     exponentially distributed size;
+///  5. referential-integrity fixup (every foreign key points at an existing
+///     primary key).
+///
+/// The result is finalized and ready for training. Deterministic in `seed`.
+StatusOr<Database> GenerateSyntheticDatabase(const SyntheticConfig& config);
+
+}  // namespace crossmine::datagen
+
+#endif  // CROSSMINE_DATAGEN_SYNTHETIC_H_

@@ -1,0 +1,92 @@
+#include "eval/cross_validation.h"
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "eval/metrics.h"
+
+namespace crossmine::eval {
+
+std::vector<Fold> StratifiedKFold(const Database& db, int k, uint64_t seed) {
+  CM_CHECK(k >= 2);
+  TupleId n = db.target_relation().num_tuples();
+  Rng rng(seed);
+
+  // Per-class shuffled id lists.
+  std::vector<std::vector<TupleId>> by_class(
+      static_cast<size_t>(db.num_classes()));
+  for (TupleId t = 0; t < n; ++t) {
+    by_class[static_cast<size_t>(db.labels()[t])].push_back(t);
+  }
+  for (std::vector<TupleId>& ids : by_class) rng.Shuffle(&ids);
+
+  // Deal round-robin into k test buckets.
+  std::vector<std::vector<TupleId>> test_bucket(static_cast<size_t>(k));
+  int next = 0;
+  for (const std::vector<TupleId>& ids : by_class) {
+    for (TupleId t : ids) {
+      test_bucket[static_cast<size_t>(next)].push_back(t);
+      next = (next + 1) % k;
+    }
+  }
+
+  std::vector<Fold> folds(static_cast<size_t>(k));
+  std::vector<int> bucket_of(n, 0);
+  for (int f = 0; f < k; ++f) {
+    for (TupleId t : test_bucket[static_cast<size_t>(f)]) bucket_of[t] = f;
+  }
+  for (int f = 0; f < k; ++f) {
+    Fold& fold = folds[static_cast<size_t>(f)];
+    fold.test = test_bucket[static_cast<size_t>(f)];
+    for (TupleId t = 0; t < n; ++t) {
+      if (bucket_of[t] != f) fold.train.push_back(t);
+    }
+  }
+  return folds;
+}
+
+CrossValResult CrossValidate(const Database& db,
+                             const ClassifierFactory& factory, int k,
+                             uint64_t seed,
+                             double fold_time_limit_seconds) {
+  std::vector<Fold> folds = StratifiedKFold(db, k, seed);
+  CrossValResult result;
+  for (const Fold& fold : folds) {
+    std::unique_ptr<RelationalClassifier> model = factory();
+    FoldResult fr;
+    fr.test_size = static_cast<uint32_t>(fold.test.size());
+
+    Stopwatch train_watch;
+    Status st = model->Train(db, fold.train);
+    fr.train_seconds = train_watch.ElapsedSeconds();
+    CM_CHECK_MSG(st.ok(), st.ToString().c_str());
+
+    Stopwatch predict_watch;
+    std::vector<ClassId> pred = model->Predict(db, fold.test);
+    fr.predict_seconds = predict_watch.ElapsedSeconds();
+
+    std::vector<ClassId> truth;
+    truth.reserve(fold.test.size());
+    for (TupleId t : fold.test) truth.push_back(db.labels()[t]);
+    fr.accuracy = Accuracy(truth, pred);
+    result.folds.push_back(fr);
+
+    if (fold_time_limit_seconds > 0 &&
+        fr.train_seconds + fr.predict_seconds > fold_time_limit_seconds) {
+      result.truncated = result.folds.size() < folds.size();
+      break;
+    }
+  }
+
+  for (const FoldResult& fr : result.folds) {
+    result.mean_accuracy += fr.accuracy;
+    result.mean_fold_seconds += fr.train_seconds + fr.predict_seconds;
+  }
+  if (!result.folds.empty()) {
+    result.mean_accuracy /= static_cast<double>(result.folds.size());
+    result.mean_fold_seconds /= static_cast<double>(result.folds.size());
+  }
+  return result;
+}
+
+}  // namespace crossmine::eval

@@ -1,0 +1,78 @@
+#include "eval/metrics.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace crossmine::eval {
+
+double Accuracy(const std::vector<ClassId>& truth,
+                const std::vector<ClassId>& predicted) {
+  CM_CHECK(truth.size() == predicted.size());
+  if (truth.empty()) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == predicted[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<size_t>(num_classes) *
+                  static_cast<size_t>(num_classes),
+              0) {
+  CM_CHECK(num_classes > 0);
+}
+
+void ConfusionMatrix::Add(ClassId truth, ClassId predicted) {
+  CM_CHECK(truth >= 0 && truth < num_classes_);
+  CM_CHECK(predicted >= 0 && predicted < num_classes_);
+  ++counts_[static_cast<size_t>(truth) * static_cast<size_t>(num_classes_) +
+            static_cast<size_t>(predicted)];
+  ++total_;
+}
+
+uint64_t ConfusionMatrix::count(ClassId truth, ClassId predicted) const {
+  return counts_[static_cast<size_t>(truth) *
+                     static_cast<size_t>(num_classes_) +
+                 static_cast<size_t>(predicted)];
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  uint64_t correct = 0;
+  for (int c = 0; c < num_classes_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Precision(ClassId cls) const {
+  uint64_t predicted_cls = 0;
+  for (int t = 0; t < num_classes_; ++t) predicted_cls += count(t, cls);
+  if (predicted_cls == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) /
+         static_cast<double>(predicted_cls);
+}
+
+double ConfusionMatrix::Recall(ClassId cls) const {
+  uint64_t actual_cls = 0;
+  for (int p = 0; p < num_classes_; ++p) actual_cls += count(cls, p);
+  if (actual_cls == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) /
+         static_cast<double>(actual_cls);
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::string out = "true\\pred";
+  for (int p = 0; p < num_classes_; ++p) out += StrFormat("%8d", p);
+  out += "\n";
+  for (int t = 0; t < num_classes_; ++t) {
+    out += StrFormat("%9d", t);
+    for (int p = 0; p < num_classes_; ++p) {
+      out += StrFormat("%8llu", static_cast<unsigned long long>(count(t, p)));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace crossmine::eval

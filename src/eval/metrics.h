@@ -1,0 +1,40 @@
+#ifndef CROSSMINE_EVAL_METRICS_H_
+#define CROSSMINE_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/types.h"
+
+namespace crossmine::eval {
+
+/// Fraction of matching entries; `truth` and `predicted` must be parallel.
+double Accuracy(const std::vector<ClassId>& truth,
+                const std::vector<ClassId>& predicted);
+
+/// Row = true class, column = predicted class.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void Add(ClassId truth, ClassId predicted);
+  uint64_t count(ClassId truth, ClassId predicted) const;
+  uint64_t total() const { return total_; }
+
+  double Accuracy() const;
+  /// Precision / recall of one class (one-vs-rest). Zero denominators give 0.
+  double Precision(ClassId cls) const;
+  double Recall(ClassId cls) const;
+
+  std::string ToString() const;
+
+ private:
+  int num_classes_;
+  std::vector<uint64_t> counts_;  // row-major
+  uint64_t total_ = 0;
+};
+
+}  // namespace crossmine::eval
+
+#endif  // CROSSMINE_EVAL_METRICS_H_

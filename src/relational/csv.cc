@@ -1,0 +1,305 @@
+#include "relational/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace crossmine {
+
+namespace {
+
+// CSV quoting: fields containing comma, quote or newline are double-quoted.
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+// Splits one CSV line honoring double-quoted fields.
+std::vector<std::string> CsvSplit(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string CellToString(const Relation& rel, TupleId t, AttrId a) {
+  const Attribute& attr = rel.schema().attr(a);
+  if (attr.kind == AttrKind::kNumerical) {
+    return StrFormat("%.17g", rel.Double(t, a));
+  }
+  int64_t v = rel.Int(t, a);
+  if (v == kNullValue) return "";
+  if (attr.kind == AttrKind::kCategorical && !rel.Dictionary(a).empty()) {
+    return rel.CategoryName(a, v);
+  }
+  return std::to_string(v);
+}
+
+}  // namespace
+
+Status SaveDatabaseCsv(const Database& db, const std::string& dir) {
+  // schema.txt
+  {
+    std::ofstream out(dir + "/schema.txt");
+    if (!out) return Status::IoError("cannot write " + dir + "/schema.txt");
+    out << "classes " << db.num_classes() << "\n";
+    for (RelId r = 0; r < db.num_relations(); ++r) {
+      const RelationSchema& schema = db.relation(r).schema();
+      out << "relation " << schema.name();
+      if (r == db.target()) out << " target";
+      out << "\n";
+      for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+        const Attribute& attr = schema.attr(a);
+        out << "attr " << attr.name << " " << AttrKindName(attr.kind);
+        if (attr.kind == AttrKind::kForeignKey) {
+          out << " " << db.relation(attr.references).name();
+        }
+        out << "\n";
+      }
+    }
+  }
+  // One CSV per relation.
+  for (RelId r = 0; r < db.num_relations(); ++r) {
+    const Relation& rel = db.relation(r);
+    std::ofstream out(dir + "/" + rel.name() + ".csv");
+    if (!out) {
+      return Status::IoError("cannot write " + dir + "/" + rel.name() +
+                             ".csv");
+    }
+    std::vector<std::string> header;
+    for (AttrId a = 0; a < rel.schema().num_attrs(); ++a) {
+      header.push_back(rel.schema().attr(a).name);
+    }
+    bool is_target = (r == db.target());
+    if (is_target) header.push_back("__class__");
+    for (auto& h : header) h = CsvEscape(h);
+    out << Join(header, ",") << "\n";
+    for (TupleId t = 0; t < rel.num_tuples(); ++t) {
+      std::vector<std::string> row;
+      for (AttrId a = 0; a < rel.schema().num_attrs(); ++a) {
+        row.push_back(CsvEscape(CellToString(rel, t, a)));
+      }
+      if (is_target) row.push_back(std::to_string(db.labels()[t]));
+      out << Join(row, ",") << "\n";
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<Database> LoadDatabaseCsv(const std::string& dir) {
+  std::ifstream schema_in(dir + "/schema.txt");
+  if (!schema_in) {
+    return Status::IoError("cannot read " + dir + "/schema.txt");
+  }
+
+  // Parse the manifest into an intermediate form first: foreign keys refer
+  // to relations by name, which may appear later in the file.
+  struct AttrSpec {
+    std::string name;
+    std::string kind;
+    std::string fk_target;
+  };
+  struct RelSpec {
+    std::string name;
+    bool is_target = false;
+    std::vector<AttrSpec> attrs;
+  };
+  std::vector<RelSpec> specs;
+  int num_classes = 0;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(schema_in, line)) {
+    ++lineno;
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    std::istringstream ls{std::string(sv)};
+    std::string tok;
+    ls >> tok;
+    if (tok == "classes") {
+      ls >> num_classes;
+    } else if (tok == "relation") {
+      RelSpec spec;
+      ls >> spec.name;
+      std::string flag;
+      if (ls >> flag) spec.is_target = (flag == "target");
+      if (spec.name.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("schema.txt:%d: relation with no name", lineno));
+      }
+      specs.push_back(std::move(spec));
+    } else if (tok == "attr") {
+      if (specs.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("schema.txt:%d: attr before any relation", lineno));
+      }
+      AttrSpec attr;
+      ls >> attr.name >> attr.kind;
+      if (attr.kind == "fk") ls >> attr.fk_target;
+      if (attr.name.empty() || attr.kind.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("schema.txt:%d: malformed attr line", lineno));
+      }
+      specs.back().attrs.push_back(std::move(attr));
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("schema.txt:%d: unknown directive '%s'", lineno,
+                    tok.c_str()));
+    }
+  }
+  if (num_classes <= 0) {
+    return Status::InvalidArgument("schema.txt: missing 'classes' directive");
+  }
+
+  // Resolve relation names.
+  auto rel_index = [&specs](const std::string& name) -> RelId {
+    for (size_t i = 0; i < specs.size(); ++i) {
+      if (specs[i].name == name) return static_cast<RelId>(i);
+    }
+    return kInvalidRel;
+  };
+
+  Database db;
+  for (const RelSpec& spec : specs) {
+    RelationSchema schema(spec.name);
+    for (const AttrSpec& attr : spec.attrs) {
+      if (attr.kind == "pk") {
+        schema.AddPrimaryKey(attr.name);
+      } else if (attr.kind == "fk") {
+        RelId ref = rel_index(attr.fk_target);
+        if (ref == kInvalidRel) {
+          return Status::InvalidArgument(
+              "unknown fk target relation: " + attr.fk_target);
+        }
+        schema.AddForeignKey(attr.name, ref);
+      } else if (attr.kind == "cat") {
+        schema.AddCategorical(attr.name);
+      } else if (attr.kind == "num") {
+        schema.AddNumerical(attr.name);
+      } else {
+        return Status::InvalidArgument("unknown attr kind: " + attr.kind);
+      }
+    }
+    RelId r = db.AddRelation(std::move(schema));
+    if (spec.is_target) db.SetTarget(r);
+  }
+  if (db.target() == kInvalidRel) {
+    return Status::InvalidArgument("schema.txt: no relation marked target");
+  }
+
+  // Load the data files.
+  std::vector<ClassId> labels;
+  for (RelId r = 0; r < db.num_relations(); ++r) {
+    Relation& rel = db.mutable_relation(r);
+    std::string path = dir + "/" + rel.name() + ".csv";
+    std::ifstream in(path);
+    if (!in) return Status::IoError("cannot read " + path);
+    bool is_target = (r == db.target());
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument(path + ": empty file");
+    }
+    std::vector<std::string> header = CsvSplit(line);
+    size_t expected = static_cast<size_t>(rel.schema().num_attrs()) +
+                      (is_target ? 1u : 0u);
+    if (header.size() != expected) {
+      return Status::InvalidArgument(
+          StrFormat("%s: header has %zu columns, schema expects %zu",
+                    path.c_str(), header.size(), expected));
+    }
+    int row_no = 1;
+    while (std::getline(in, line)) {
+      ++row_no;
+      if (Trim(line).empty()) continue;
+      std::vector<std::string> fields = CsvSplit(line);
+      if (fields.size() != expected) {
+        return Status::InvalidArgument(
+            StrFormat("%s:%d: row has %zu columns, expected %zu", path.c_str(),
+                      row_no, fields.size(), expected));
+      }
+      TupleId t = rel.AddTuple();
+      for (AttrId a = 0; a < rel.schema().num_attrs(); ++a) {
+        const std::string& cell = fields[static_cast<size_t>(a)];
+        const Attribute& attr = rel.schema().attr(a);
+        if (attr.kind == AttrKind::kNumerical) {
+          double v = 0;
+          if (!ParseDouble(cell, &v)) {
+            return Status::InvalidArgument(
+                StrFormat("%s:%d: bad numeric value '%s'", path.c_str(),
+                          row_no, cell.c_str()));
+          }
+          rel.SetDouble(t, a, v);
+        } else if (attr.kind == AttrKind::kCategorical) {
+          if (cell.empty()) {
+            rel.SetInt(t, a, kNullValue);
+          } else {
+            int64_t v;
+            // Bare integers load as codes; anything else is interned.
+            if (ParseInt64(cell, &v)) {
+              rel.SetInt(t, a, v);
+            } else {
+              rel.SetInt(t, a, rel.InternCategory(a, cell));
+            }
+          }
+        } else {  // pk / fk
+          if (cell.empty()) {
+            rel.SetInt(t, a, kNullValue);
+          } else {
+            int64_t v;
+            if (!ParseInt64(cell, &v)) {
+              return Status::InvalidArgument(
+                  StrFormat("%s:%d: bad key value '%s'", path.c_str(), row_no,
+                            cell.c_str()));
+            }
+            rel.SetInt(t, a, v);
+          }
+        }
+      }
+      if (is_target) {
+        int64_t label;
+        if (!ParseInt64(fields.back(), &label) || label < 0 ||
+            label >= num_classes) {
+          return Status::InvalidArgument(
+              StrFormat("%s:%d: bad class label '%s'", path.c_str(), row_no,
+                        fields.back().c_str()));
+        }
+        labels.push_back(static_cast<ClassId>(label));
+      }
+    }
+  }
+
+  db.SetLabels(std::move(labels), num_classes);
+  CM_RETURN_IF_ERROR(db.Finalize());
+  return db;
+}
+
+}  // namespace crossmine

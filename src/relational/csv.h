@@ -1,0 +1,35 @@
+#ifndef CROSSMINE_RELATIONAL_CSV_H_
+#define CROSSMINE_RELATIONAL_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace crossmine {
+
+/// Persists a database as a directory of CSV files plus a `schema.txt`
+/// manifest, so downstream users can inspect or edit datasets with ordinary
+/// tools. One `<relation>.csv` per relation; the target relation carries an
+/// extra `__class__` column. Categorical cells are written as dictionary
+/// strings when a dictionary exists, otherwise as their integer codes. NULL
+/// key/categorical cells are written as empty fields.
+Status SaveDatabaseCsv(const Database& db, const std::string& dir);
+
+/// Loads a database previously written by `SaveDatabaseCsv` (or hand-written
+/// in the same format). The result is finalized and ready for training.
+///
+/// `schema.txt` grammar (one directive per line, `#` comments allowed):
+/// ```
+///   classes <n>
+///   relation <name> [target]
+///   attr <name> pk
+///   attr <name> fk <relation-name>
+///   attr <name> cat
+///   attr <name> num
+/// ```
+StatusOr<Database> LoadDatabaseCsv(const std::string& dir);
+
+}  // namespace crossmine
+
+#endif  // CROSSMINE_RELATIONAL_CSV_H_

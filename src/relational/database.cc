@@ -1,0 +1,111 @@
+#include "relational/database.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace crossmine {
+
+RelId Database::AddRelation(RelationSchema schema) {
+  CM_CHECK_MSG(!finalized_, "cannot add relations after Finalize()");
+  relations_.emplace_back(std::move(schema));
+  return static_cast<RelId>(relations_.size() - 1);
+}
+
+RelId Database::FindRelation(const std::string& name) const {
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (relations_[i].name() == name) return static_cast<RelId>(i);
+  }
+  return kInvalidRel;
+}
+
+Status Database::Finalize() {
+  if (finalized_) return Status::OK();
+  if (target_ == kInvalidRel) {
+    return Status::FailedPrecondition("no target relation set");
+  }
+  if (relations_[static_cast<size_t>(target_)].schema().primary_key() ==
+      kInvalidAttr) {
+    return Status::FailedPrecondition(
+        "target relation must have a primary key (it carries the tuple IDs)");
+  }
+  if (labels_.size() != target_relation().num_tuples()) {
+    return Status::FailedPrecondition(StrFormat(
+        "labels (%zu) not parallel to target relation (%u tuples)",
+        labels_.size(), target_relation().num_tuples()));
+  }
+  for (ClassId label : labels_) {
+    if (label < 0 || label >= num_classes_) {
+      return Status::InvalidArgument("class label out of range");
+    }
+  }
+
+  // Validate foreign keys and collect, per referenced relation, the list of
+  // (relation, fk-attr) pairs pointing at it.
+  std::vector<std::vector<std::pair<RelId, AttrId>>> referrers(
+      relations_.size());
+  for (RelId r = 0; r < num_relations(); ++r) {
+    const RelationSchema& schema = relations_[static_cast<size_t>(r)].schema();
+    for (AttrId fk : schema.foreign_keys()) {
+      RelId ref = schema.attr(fk).references;
+      if (ref < 0 || ref >= num_relations()) {
+        return Status::InvalidArgument(
+            StrFormat("relation %s: foreign key %s references invalid "
+                      "relation id %d",
+                      schema.name().c_str(), schema.attr(fk).name.c_str(),
+                      ref));
+      }
+      if (relations_[static_cast<size_t>(ref)].schema().primary_key() ==
+          kInvalidAttr) {
+        return Status::InvalidArgument(
+            StrFormat("relation %s: foreign key %s references relation %s "
+                      "which has no primary key",
+                      schema.name().c_str(), schema.attr(fk).name.c_str(),
+                      relations_[static_cast<size_t>(ref)].name().c_str()));
+      }
+      referrers[static_cast<size_t>(ref)].emplace_back(r, fk);
+    }
+  }
+
+  // Build the join graph. §3.1: (1) joins between a primary key and foreign
+  // keys pointing to it, (2) joins between two foreign keys pointing to the
+  // same primary key. Both directions of every join become directed edges.
+  edges_.clear();
+  for (RelId ref = 0; ref < num_relations(); ++ref) {
+    const std::vector<std::pair<RelId, AttrId>>& fks =
+        referrers[static_cast<size_t>(ref)];
+    if (fks.empty()) continue;
+    AttrId pk = relations_[static_cast<size_t>(ref)].schema().primary_key();
+    for (const auto& [fk_rel, fk_attr] : fks) {
+      edges_.push_back({ref, pk, fk_rel, fk_attr, JoinKind::kPkToFk});
+      edges_.push_back({fk_rel, fk_attr, ref, pk, JoinKind::kFkToPk});
+    }
+    for (size_t i = 0; i < fks.size(); ++i) {
+      for (size_t j = 0; j < fks.size(); ++j) {
+        if (i == j) continue;
+        // Distinct FK attributes referencing the same PK, e.g.
+        // Loan.account_id ⋈ Order.account_id. Includes pairs within the same
+        // relation as long as the attributes differ.
+        edges_.push_back({fks[i].first, fks[i].second, fks[j].first,
+                          fks[j].second, JoinKind::kFkToFk});
+      }
+    }
+  }
+
+  out_edges_.assign(relations_.size(), {});
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    out_edges_[static_cast<size_t>(edges_[e].from_rel)].push_back(
+        static_cast<int32_t>(e));
+  }
+
+  finalized_ = true;
+  return Status::OK();
+}
+
+uint64_t Database::TotalTuples() const {
+  uint64_t total = 0;
+  for (const Relation& r : relations_) total += r.num_tuples();
+  return total;
+}
+
+}  // namespace crossmine

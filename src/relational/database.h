@@ -1,0 +1,114 @@
+#ifndef CROSSMINE_RELATIONAL_DATABASE_H_
+#define CROSSMINE_RELATIONAL_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "relational/types.h"
+
+namespace crossmine {
+
+/// Kind of a directed join edge (§3.1 of the paper: only PK↔FK joins and
+/// FK–FK joins through a shared referenced PK are considered).
+enum class JoinKind {
+  kPkToFk,  ///< from a primary key to a foreign key referencing it
+  kFkToPk,  ///< from a foreign key to the primary key it references
+  kFkToFk,  ///< between two foreign keys referencing the same primary key
+};
+
+/// A directed join edge: tuples of `from_rel` join tuples of `to_rel` on
+/// equality of `from_attr` / `to_attr`. Tuple ID propagation flows along
+/// these edges (Definition 2). Both directions of every join are present in
+/// `Database::edges()`.
+struct JoinEdge {
+  RelId from_rel = kInvalidRel;
+  AttrId from_attr = kInvalidAttr;
+  RelId to_rel = kInvalidRel;
+  AttrId to_attr = kInvalidAttr;
+  JoinKind kind = JoinKind::kPkToFk;
+};
+
+/// A relational database: a set of relations, one designated target relation
+/// whose tuples carry class labels, and the derived join graph.
+///
+/// Typical construction:
+/// ```
+///   Database db;
+///   RelId loan = db.AddRelation(loan_schema);
+///   ...
+///   db.SetTarget(loan);
+///   db.SetLabels(labels, /*num_classes=*/2);
+///   CM_CHECK(db.Finalize().ok());
+/// ```
+/// `Finalize()` validates key declarations and builds the join graph; it
+/// must be called before training or join-graph queries. Adding tuples after
+/// finalization is allowed (indexes rebuild lazily); schema changes are not.
+class Database {
+ public:
+  Database() = default;
+
+  // Movable, not copyable (relations can be large).
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Adds a relation; returns its RelId (stable).
+  RelId AddRelation(RelationSchema schema);
+
+  RelId num_relations() const { return static_cast<RelId>(relations_.size()); }
+  const Relation& relation(RelId r) const {
+    return relations_[static_cast<size_t>(r)];
+  }
+  Relation& mutable_relation(RelId r) {
+    return relations_[static_cast<size_t>(r)];
+  }
+
+  /// Finds a relation by name; kInvalidRel if absent.
+  RelId FindRelation(const std::string& name) const;
+
+  /// Designates the target relation (must have a primary key by Finalize()).
+  void SetTarget(RelId r) { target_ = r; }
+  RelId target() const { return target_; }
+  const Relation& target_relation() const { return relation(target_); }
+
+  /// Class labels of the target tuples, parallel to the target relation.
+  void SetLabels(std::vector<ClassId> labels, int num_classes) {
+    labels_ = std::move(labels);
+    num_classes_ = num_classes;
+  }
+  const std::vector<ClassId>& labels() const { return labels_; }
+  int num_classes() const { return num_classes_; }
+
+  /// Validates the schema (single PK per relation, FK targets exist, target
+  /// set, labels parallel to target) and builds the join graph.
+  Status Finalize();
+  bool finalized() const { return finalized_; }
+
+  /// All directed join edges.
+  const std::vector<JoinEdge>& edges() const { return edges_; }
+  /// Ids (into `edges()`) of edges leaving relation `r`.
+  const std::vector<int32_t>& OutEdges(RelId r) const {
+    return out_edges_[static_cast<size_t>(r)];
+  }
+
+  /// Total tuple count across all relations (reporting convenience).
+  uint64_t TotalTuples() const;
+
+ private:
+  std::vector<Relation> relations_;
+  RelId target_ = kInvalidRel;
+  std::vector<ClassId> labels_;
+  int num_classes_ = 0;
+
+  bool finalized_ = false;
+  std::vector<JoinEdge> edges_;
+  std::vector<std::vector<int32_t>> out_edges_;
+};
+
+}  // namespace crossmine
+
+#endif  // CROSSMINE_RELATIONAL_DATABASE_H_

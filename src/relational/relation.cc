@@ -1,0 +1,92 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+
+namespace crossmine {
+
+Relation::Relation(RelationSchema schema) : schema_(std::move(schema)) {
+  size_t n = static_cast<size_t>(schema_.num_attrs());
+  int_cols_.resize(n);
+  double_cols_.resize(n);
+  dicts_.resize(n);
+  dict_lookup_.resize(n);
+  hash_indexes_.resize(n);
+  hash_index_version_.assign(n, ~0ULL);
+  sorted_indexes_.resize(n);
+  sorted_index_version_.assign(n, ~0ULL);
+}
+
+TupleId Relation::AddTuple() {
+  for (AttrId a = 0; a < schema_.num_attrs(); ++a) {
+    if (schema_.IsIntAttr(a)) {
+      int_cols_[static_cast<size_t>(a)].push_back(kNullValue);
+    } else {
+      double_cols_[static_cast<size_t>(a)].push_back(0.0);
+    }
+  }
+  ++version_;
+  return num_tuples_++;
+}
+
+const HashIndex& Relation::GetHashIndex(AttrId a) const {
+  size_t idx = static_cast<size_t>(a);
+  CM_CHECK(schema_.IsIntAttr(a));
+  if (hash_index_version_[idx] != version_) {
+    HashIndex index;
+    const std::vector<int64_t>& col = int_cols_[idx];
+    index.reserve(col.size());
+    for (TupleId t = 0; t < num_tuples_; ++t) {
+      if (col[t] == kNullValue) continue;
+      index[col[t]].push_back(t);
+    }
+    hash_indexes_[idx] = std::move(index);
+    hash_index_version_[idx] = version_;
+  }
+  return hash_indexes_[idx];
+}
+
+const std::vector<TupleId>& Relation::GetSortedIndex(AttrId a) const {
+  size_t idx = static_cast<size_t>(a);
+  CM_CHECK(!schema_.IsIntAttr(a));
+  if (sorted_index_version_[idx] != version_) {
+    std::vector<TupleId> order(num_tuples_);
+    for (TupleId t = 0; t < num_tuples_; ++t) order[t] = t;
+    const std::vector<double>& col = double_cols_[idx];
+    std::stable_sort(order.begin(), order.end(),
+                     [&col](TupleId x, TupleId y) { return col[x] < col[y]; });
+    sorted_indexes_[idx] = std::move(order);
+    sorted_index_version_[idx] = version_;
+  }
+  return sorted_indexes_[idx];
+}
+
+std::vector<int64_t> Relation::DistinctCategories(AttrId a) const {
+  CM_CHECK(schema_.IsIntAttr(a));
+  std::vector<int64_t> values = int_cols_[static_cast<size_t>(a)];
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  if (!values.empty() && values.front() == kNullValue) {
+    values.erase(values.begin());
+  }
+  return values;
+}
+
+int64_t Relation::InternCategory(AttrId a, const std::string& label) {
+  size_t idx = static_cast<size_t>(a);
+  auto it = dict_lookup_[idx].find(label);
+  if (it != dict_lookup_[idx].end()) return it->second;
+  int64_t code = static_cast<int64_t>(dicts_[idx].size());
+  dicts_[idx].push_back(label);
+  dict_lookup_[idx].emplace(label, code);
+  return code;
+}
+
+std::string Relation::CategoryName(AttrId a, int64_t code) const {
+  const std::vector<std::string>& dict = dicts_[static_cast<size_t>(a)];
+  if (code >= 0 && static_cast<size_t>(code) < dict.size()) {
+    return dict[static_cast<size_t>(code)];
+  }
+  return std::to_string(code);
+}
+
+}  // namespace crossmine

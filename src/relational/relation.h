@@ -1,0 +1,111 @@
+#ifndef CROSSMINE_RELATIONAL_RELATION_H_
+#define CROSSMINE_RELATIONAL_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "relational/schema.h"
+#include "relational/types.h"
+
+namespace crossmine {
+
+/// Hash index on an integer-valued attribute: value -> tuple ids having it.
+/// NULL values (`kNullValue`) are not indexed, matching SQL join semantics.
+using HashIndex = std::unordered_map<int64_t, std::vector<TupleId>>;
+
+/// Columnar in-memory relation. Key and categorical attributes are stored as
+/// `int64_t` columns (categorical values are dictionary codes), numerical
+/// attributes as `double` columns. Rows are append-only; cell updates are
+/// allowed until indexes are first requested.
+///
+/// Index caches (hash index per int attribute, sorted permutation per
+/// numerical attribute) are built lazily and invalidated by any mutation.
+class Relation {
+ public:
+  explicit Relation(RelationSchema schema);
+
+  const RelationSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name(); }
+
+  TupleId num_tuples() const { return num_tuples_; }
+
+  /// Appends an all-NULL / zero row and returns its id.
+  TupleId AddTuple();
+
+  /// Cell accessors. `Int` is valid for pk/fk/categorical attributes,
+  /// `Double` for numerical ones; kind mismatches abort.
+  int64_t Int(TupleId t, AttrId a) const {
+    CM_CHECK(schema_.IsIntAttr(a));
+    return int_cols_[static_cast<size_t>(a)][t];
+  }
+  double Double(TupleId t, AttrId a) const {
+    CM_CHECK(!schema_.IsIntAttr(a));
+    return double_cols_[static_cast<size_t>(a)][t];
+  }
+  void SetInt(TupleId t, AttrId a, int64_t v) {
+    CM_CHECK(schema_.IsIntAttr(a));
+    int_cols_[static_cast<size_t>(a)][t] = v;
+    ++version_;
+  }
+  void SetDouble(TupleId t, AttrId a, double v) {
+    CM_CHECK(!schema_.IsIntAttr(a));
+    double_cols_[static_cast<size_t>(a)][t] = v;
+    ++version_;
+  }
+
+  /// Whole int column (pk/fk/categorical attribute).
+  const std::vector<int64_t>& IntColumn(AttrId a) const {
+    CM_CHECK(schema_.IsIntAttr(a));
+    return int_cols_[static_cast<size_t>(a)];
+  }
+  /// Whole double column (numerical attribute).
+  const std::vector<double>& DoubleColumn(AttrId a) const {
+    CM_CHECK(!schema_.IsIntAttr(a));
+    return double_cols_[static_cast<size_t>(a)];
+  }
+
+  /// Hash index over an integer attribute (lazily built, cached).
+  const HashIndex& GetHashIndex(AttrId a) const;
+
+  /// Tuple ids sorted ascending by the numerical attribute's value (lazily
+  /// built, cached). Used for the paper's numerical-literal sweeps (§5.1).
+  const std::vector<TupleId>& GetSortedIndex(AttrId a) const;
+
+  /// Distinct values of a categorical attribute actually present (sorted).
+  /// NULLs excluded.
+  std::vector<int64_t> DistinctCategories(AttrId a) const;
+
+  /// Optional dictionary mapping categorical codes to display strings (used
+  /// by CSV I/O and clause pretty-printing). Empty if never set.
+  const std::vector<std::string>& Dictionary(AttrId a) const {
+    return dicts_[static_cast<size_t>(a)];
+  }
+  /// Interns `label` into attribute `a`'s dictionary, returning its code.
+  int64_t InternCategory(AttrId a, const std::string& label);
+  /// Returns the display string for a code, or the code's decimal rendering
+  /// if no dictionary entry exists.
+  std::string CategoryName(AttrId a, int64_t code) const;
+
+ private:
+  RelationSchema schema_;
+  TupleId num_tuples_ = 0;
+  // One entry per attribute; only the matching-kind vector is populated.
+  std::vector<std::vector<int64_t>> int_cols_;
+  std::vector<std::vector<double>> double_cols_;
+  std::vector<std::vector<std::string>> dicts_;
+  std::vector<std::unordered_map<std::string, int64_t>> dict_lookup_;
+
+  // Lazy index caches, invalidated via version counters.
+  uint64_t version_ = 0;
+  mutable std::vector<HashIndex> hash_indexes_;
+  mutable std::vector<uint64_t> hash_index_version_;
+  mutable std::vector<std::vector<TupleId>> sorted_indexes_;
+  mutable std::vector<uint64_t> sorted_index_version_;
+};
+
+}  // namespace crossmine
+
+#endif  // CROSSMINE_RELATIONAL_RELATION_H_

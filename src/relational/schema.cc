@@ -1,0 +1,67 @@
+#include "relational/schema.h"
+
+#include "common/macros.h"
+
+namespace crossmine {
+
+const char* AttrKindName(AttrKind kind) {
+  switch (kind) {
+    case AttrKind::kPrimaryKey:
+      return "pk";
+    case AttrKind::kForeignKey:
+      return "fk";
+    case AttrKind::kCategorical:
+      return "cat";
+    case AttrKind::kNumerical:
+      return "num";
+  }
+  return "?";
+}
+
+AttrId RelationSchema::Add(Attribute a) {
+  attrs_.push_back(std::move(a));
+  return static_cast<AttrId>(attrs_.size() - 1);
+}
+
+AttrId RelationSchema::AddPrimaryKey(std::string name) {
+  CM_CHECK_MSG(primary_key_ == kInvalidAttr,
+               "relation already has a primary key");
+  Attribute a;
+  a.name = std::move(name);
+  a.kind = AttrKind::kPrimaryKey;
+  primary_key_ = Add(std::move(a));
+  return primary_key_;
+}
+
+AttrId RelationSchema::AddForeignKey(std::string name, RelId references) {
+  Attribute a;
+  a.name = std::move(name);
+  a.kind = AttrKind::kForeignKey;
+  a.references = references;
+  AttrId id = Add(std::move(a));
+  foreign_keys_.push_back(id);
+  return id;
+}
+
+AttrId RelationSchema::AddCategorical(std::string name) {
+  Attribute a;
+  a.name = std::move(name);
+  a.kind = AttrKind::kCategorical;
+  return Add(std::move(a));
+}
+
+AttrId RelationSchema::AddNumerical(std::string name) {
+  Attribute a;
+  a.name = std::move(name);
+  a.kind = AttrKind::kNumerical;
+  return Add(std::move(a));
+}
+
+AttrId RelationSchema::FindAttr(const std::string& name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == name) return static_cast<AttrId>(i);
+  }
+  return kInvalidAttr;
+}
+
+}  // namespace crossmine

@@ -1,0 +1,78 @@
+#ifndef CROSSMINE_RELATIONAL_SCHEMA_H_
+#define CROSSMINE_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/types.h"
+
+namespace crossmine {
+
+/// Role of an attribute in the relational schema. CrossMine treats the four
+/// kinds very differently: keys define the join graph (§3.1 of the paper),
+/// categorical / numerical attributes define the literal space (§3.2).
+enum class AttrKind {
+  kPrimaryKey,   ///< integer primary key; at most one per relation
+  kForeignKey,   ///< integer key referencing another relation's primary key
+  kCategorical,  ///< dictionary-coded category (stored as int64 code)
+  kNumerical,    ///< real-valued attribute (stored as double)
+};
+
+/// Returns a short human-readable name ("pk", "fk", "cat", "num").
+const char* AttrKindName(AttrKind kind);
+
+/// Describes one attribute of a relation.
+struct Attribute {
+  std::string name;
+  AttrKind kind = AttrKind::kCategorical;
+  /// For kForeignKey: the referenced relation. kInvalidRel otherwise.
+  RelId references = kInvalidRel;
+};
+
+/// Immutable-after-construction description of a relation: name plus ordered
+/// attribute list. At most one primary key.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+  explicit RelationSchema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Appends a primary-key attribute. Returns its AttrId.
+  AttrId AddPrimaryKey(std::string name);
+  /// Appends a foreign-key attribute referencing `references`.
+  AttrId AddForeignKey(std::string name, RelId references);
+  /// Appends a categorical attribute.
+  AttrId AddCategorical(std::string name);
+  /// Appends a numerical attribute.
+  AttrId AddNumerical(std::string name);
+
+  AttrId num_attrs() const { return static_cast<AttrId>(attrs_.size()); }
+  const Attribute& attr(AttrId a) const { return attrs_[static_cast<size_t>(a)]; }
+
+  /// AttrId of the primary key, or kInvalidAttr if the relation has none.
+  AttrId primary_key() const { return primary_key_; }
+
+  /// All foreign-key attribute ids, in declaration order.
+  const std::vector<AttrId>& foreign_keys() const { return foreign_keys_; }
+
+  /// Finds an attribute by name; kInvalidAttr if absent.
+  AttrId FindAttr(const std::string& name) const;
+
+  /// True for kPrimaryKey / kForeignKey / kCategorical (stored as int64).
+  bool IsIntAttr(AttrId a) const {
+    return attr(a).kind != AttrKind::kNumerical;
+  }
+
+ private:
+  AttrId Add(Attribute a);
+
+  std::string name_;
+  std::vector<Attribute> attrs_;
+  AttrId primary_key_ = kInvalidAttr;
+  std::vector<AttrId> foreign_keys_;
+};
+
+}  // namespace crossmine
+
+#endif  // CROSSMINE_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,26 @@
+#ifndef CROSSMINE_RELATIONAL_TYPES_H_
+#define CROSSMINE_RELATIONAL_TYPES_H_
+
+#include <cstdint>
+
+namespace crossmine {
+
+/// Index of a relation within a Database.
+using RelId = int32_t;
+/// Index of an attribute within a RelationSchema.
+using AttrId = int32_t;
+/// Index of a tuple within a Relation. Target-tuple IDs (the values that
+/// tuple ID propagation carries around) are TupleIds of the target relation.
+using TupleId = uint32_t;
+/// Class label of a target tuple.
+using ClassId = int32_t;
+
+/// Sentinel for NULL key / categorical values.
+inline constexpr int64_t kNullValue = -1;
+
+inline constexpr RelId kInvalidRel = -1;
+inline constexpr AttrId kInvalidAttr = -1;
+
+}  // namespace crossmine
+
+#endif  // CROSSMINE_RELATIONAL_TYPES_H_

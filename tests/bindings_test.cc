@@ -1,0 +1,246 @@
+#include "baselines/bindings.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace crossmine::baselines {
+namespace {
+
+using crossmine::testing::Fig2Database;
+using crossmine::testing::MakeFig2Database;
+using crossmine::testing::MakeRandomDatabase;
+
+const JoinEdge& LoanToAccount(const Fig2Database& f) {
+  for (const JoinEdge& e : f.db.edges()) {
+    if (e.from_rel == f.loan && e.to_rel == f.account &&
+        e.kind == JoinKind::kFkToPk) {
+      return e;
+    }
+  }
+  CM_CHECK(false);
+  return f.db.edges()[0];
+}
+
+TEST(BindingsTableTest, InitialTableOneRowPerTarget) {
+  Fig2Database f = MakeFig2Database();
+  BindingsTable table(&f.db, {0, 2, 4});
+  EXPECT_EQ(table.num_rows(), 3u);
+  EXPECT_EQ(table.num_cols(), 1);
+  EXPECT_EQ(table.col_relation(0), f.loan);
+  EXPECT_EQ(table.target_of(1), 2u);
+}
+
+TEST(BindingsTableTest, JoinAppendsColumn) {
+  Fig2Database f = MakeFig2Database();
+  BindingsTable table(&f.db, {0, 1, 2, 3, 4});
+  BindingsTable joined(&f.db, std::vector<TupleId>{});
+  ASSERT_TRUE(table.Join(LoanToAccount(f), 0, 1000, &joined));
+  EXPECT_EQ(joined.num_cols(), 2);
+  EXPECT_EQ(joined.col_relation(1), f.account);
+  EXPECT_EQ(joined.num_rows(), 5u);  // every loan has exactly one account
+  EXPECT_EQ(joined.cell(0, 1), 0u);  // loan 0 -> account 124 (tuple 0)
+  EXPECT_EQ(joined.cell(3, 1), 2u);  // loan 3 -> account 45 (tuple 2)
+}
+
+TEST(BindingsTableTest, JoinFanOutMultipliesRows) {
+  // Account -> Loan via PkToFk: accounts 124 and 45 have two loans each.
+  Fig2Database f = MakeFig2Database();
+  BindingsTable table(&f.db, {0, 1, 2, 3, 4});
+  BindingsTable at_account(&f.db, std::vector<TupleId>{});
+  ASSERT_TRUE(table.Join(LoanToAccount(f), 0, 1000, &at_account));
+  const JoinEdge* back = nullptr;
+  for (const JoinEdge& e : f.db.edges()) {
+    if (e.from_rel == f.account && e.to_rel == f.loan) back = &e;
+  }
+  ASSERT_NE(back, nullptr);
+  BindingsTable two_hop(&f.db, std::vector<TupleId>{});
+  ASSERT_TRUE(at_account.Join(*back, 1, 1000, &two_hop));
+  // loans via account: 2+2+1+2+2 = 9 rows.
+  EXPECT_EQ(two_hop.num_rows(), 9u);
+  EXPECT_EQ(two_hop.num_cols(), 3);
+}
+
+TEST(BindingsTableTest, JoinRowBudgetEnforced) {
+  Fig2Database f = MakeFig2Database();
+  BindingsTable table(&f.db, {0, 1, 2, 3, 4});
+  BindingsTable joined(&f.db, std::vector<TupleId>{});
+  EXPECT_FALSE(table.Join(LoanToAccount(f), 0, /*max_rows=*/3, &joined));
+}
+
+TEST(BindingsTableTest, FilterRemovesRows) {
+  Fig2Database f = MakeFig2Database();
+  BindingsTable table(&f.db, {0, 1, 2, 3, 4});
+  BindingsTable joined(&f.db, std::vector<TupleId>{});
+  ASSERT_TRUE(table.Join(LoanToAccount(f), 0, 1000, &joined));
+  Constraint monthly;
+  monthly.attr = f.account_frequency;
+  monthly.cmp = CmpOp::kEq;
+  monthly.category = f.monthly;
+  joined.Filter(monthly, 1);
+  EXPECT_EQ(joined.DistinctTargets(), (std::vector<TupleId>{0, 1, 3, 4}));
+}
+
+TEST(BindingsTableTest, FilterTargets) {
+  Fig2Database f = MakeFig2Database();
+  BindingsTable table(&f.db, {0, 1, 2, 3, 4});
+  std::vector<uint8_t> keep{1, 0, 0, 0, 1};
+  table.FilterTargets(keep);
+  EXPECT_EQ(table.DistinctTargets(), (std::vector<TupleId>{0, 4}));
+}
+
+TEST(BindingsTableTest, ClassCountsDistinctVsRows) {
+  Fig2Database f = MakeFig2Database();
+  // Duplicate bindings for target 0 (positive).
+  BindingsTable table(&f.db, {0, 0, 0, 2});
+  std::vector<uint32_t> rows = table.RowClassCounts(f.db.labels(), 2);
+  EXPECT_EQ(rows[1], 3u);  // target 0 counted per row
+  EXPECT_EQ(rows[0], 1u);
+  std::vector<uint32_t> distinct = table.ClassCounts(f.db.labels(), 2);
+  EXPECT_EQ(distinct[1], 1u);  // distinct targets
+  EXPECT_EQ(distinct[0], 1u);
+}
+
+TEST(BindingsCandidatesTest, CategoricalCountsOnFig2) {
+  Fig2Database f = MakeFig2Database();
+  BindingsTable table(&f.db, {0, 1, 2, 3, 4});
+  BindingsTable joined(&f.db, std::vector<TupleId>{});
+  ASSERT_TRUE(table.Join(LoanToAccount(f), 0, 1000, &joined));
+  std::vector<BaselineCandidate> cands =
+      CategoricalCandidates(joined, 1, f.account_frequency, f.db.labels(), 2);
+  ASSERT_EQ(cands.size(), 2u);
+  // monthly (code 0): loans {0,1,3,4} = 3 positive, 1 negative.
+  EXPECT_EQ(cands[0].constraint.category, f.monthly);
+  EXPECT_EQ(cands[0].counts[1], 3u);
+  EXPECT_EQ(cands[0].counts[0], 1u);
+  // weekly: loan {2} = 1 negative.
+  EXPECT_EQ(cands[1].counts[1], 0u);
+  EXPECT_EQ(cands[1].counts[0], 1u);
+}
+
+TEST(BindingsCandidatesTest, NumericalSweepCounts) {
+  Fig2Database f = MakeFig2Database();
+  BindingsTable table(&f.db, {0, 1, 2, 3, 4});
+  std::vector<BaselineCandidate> cands =
+      NumericalCandidates(table, 0, f.loan_duration, f.db.labels(), 2);
+  // Durations: 12,12,24,36,24. Distinct boundaries: 12, 24, 36 (two
+  // directions => 6 candidates).
+  ASSERT_EQ(cands.size(), 6u);
+  // duration <= 12 covers loans 0,1 (both positive).
+  EXPECT_EQ(cands[0].constraint.cmp, CmpOp::kLe);
+  EXPECT_DOUBLE_EQ(cands[0].constraint.threshold, 12.0);
+  EXPECT_EQ(cands[0].counts[1], 2u);
+  EXPECT_EQ(cands[0].counts[0], 0u);
+}
+
+// The per-candidate "dataset construction" evaluator must agree with the
+// set-oriented evaluators on distinct-target counts.
+class ConstructionOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConstructionOracleTest, MatchesSetOrientedEvaluators) {
+  Database db = MakeRandomDatabase(GetParam());
+  std::vector<TupleId> all;
+  for (TupleId t = 0; t < db.target_relation().num_tuples(); ++t) {
+    all.push_back(t);
+  }
+  BindingsTable table(&db, all);
+
+  for (const JoinEdge& edge : db.edges()) {
+    if (edge.from_rel != db.target()) continue;
+    BindingsTable joined(&db, std::vector<TupleId>{});
+    if (!table.Join(edge, 0, 1u << 20, &joined)) continue;
+    int col = joined.num_cols() - 1;
+    const Relation& rel = db.relation(edge.to_rel);
+    for (AttrId a = 0; a < rel.schema().num_attrs(); ++a) {
+      if (rel.schema().attr(a).kind == AttrKind::kCategorical) {
+        std::vector<BaselineCandidate> fast =
+            CategoricalCandidates(joined, col, a, db.labels(), 2);
+        std::vector<BaselineCandidate> slow = EvaluateByConstruction(
+            joined, col, a, db.labels(), 2, /*count_rows=*/false, 0);
+        ASSERT_EQ(fast.size(), slow.size());
+        for (size_t i = 0; i < fast.size(); ++i) {
+          EXPECT_EQ(fast[i].constraint.category, slow[i].constraint.category);
+          EXPECT_EQ(fast[i].counts, slow[i].counts);
+        }
+      } else if (rel.schema().attr(a).kind == AttrKind::kNumerical) {
+        std::vector<BaselineCandidate> fast =
+            NumericalCandidates(joined, col, a, db.labels(), 2);
+        // Unlimited thresholds => same candidate grid.
+        std::vector<BaselineCandidate> slow = EvaluateByConstruction(
+            joined, col, a, db.labels(), 2, /*count_rows=*/false, 0);
+        // fast enumerates <= ascending then >= descending; slow enumerates
+        // (<=, >=) per threshold ascending. Compare as (cmp, thr) -> counts.
+        auto key = [](const BaselineCandidate& c) {
+          return std::make_pair(static_cast<int>(c.constraint.cmp),
+                                c.constraint.threshold);
+        };
+        std::map<std::pair<int, double>, std::vector<uint32_t>> fast_map,
+            slow_map;
+        for (const auto& c : fast) fast_map[key(c)] = c.counts;
+        for (const auto& c : slow) slow_map[key(c)] = c.counts;
+        EXPECT_EQ(fast_map, slow_map);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConstructionOracleTest,
+                         ::testing::Range<uint64_t>(300, 310));
+
+// Nested-loop and hash joins must produce identical tables (only the cost
+// model differs).
+class JoinEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinEquivalenceTest, NestedLoopMatchesIndexedJoin) {
+  Database db = MakeRandomDatabase(GetParam());
+  std::vector<TupleId> all;
+  for (TupleId t = 0; t < db.target_relation().num_tuples(); ++t) {
+    all.push_back(t);
+  }
+  BindingsTable table(&db, all);
+  for (const JoinEdge& edge : db.edges()) {
+    if (edge.from_rel != db.target()) continue;
+    BindingsTable indexed(&db, std::vector<TupleId>{});
+    BindingsTable scanned(&db, std::vector<TupleId>{});
+    bool ok1 = table.Join(edge, 0, 1u << 20, &indexed, /*use_index=*/true);
+    bool ok2 = table.Join(edge, 0, 1u << 20, &scanned, /*use_index=*/false);
+    ASSERT_EQ(ok1, ok2);
+    if (!ok1) continue;
+    ASSERT_EQ(indexed.num_rows(), scanned.num_rows());
+    for (size_t r = 0; r < indexed.num_rows(); ++r) {
+      for (int c = 0; c < indexed.num_cols(); ++c) {
+        ASSERT_EQ(indexed.cell(r, c), scanned.cell(r, c));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinEquivalenceTest,
+                         ::testing::Range<uint64_t>(400, 408));
+
+TEST(EvaluateJoinCandidatesTest, AgreesWithManualJoinPlusFilter) {
+  Fig2Database f = MakeFig2Database();
+  BindingsTable table(&f.db, {0, 1, 2, 3, 4});
+  bool failed = false;
+  std::vector<BaselineCandidate> cands = EvaluateJoinCandidates(
+      table, 0, LoanToAccount(f), f.db.labels(), 2, /*count_rows=*/false,
+      /*use_numerical=*/false, 0, 1000, &failed);
+  EXPECT_FALSE(failed);
+  ASSERT_EQ(cands.size(), 2u);  // monthly / weekly
+  EXPECT_EQ(cands[0].counts[1], 3u);
+  EXPECT_EQ(cands[0].counts[0], 1u);
+}
+
+TEST(EvaluateJoinCandidatesTest, ReportsJoinFailure) {
+  Fig2Database f = MakeFig2Database();
+  BindingsTable table(&f.db, {0, 1, 2, 3, 4});
+  bool failed = false;
+  std::vector<BaselineCandidate> cands = EvaluateJoinCandidates(
+      table, 0, LoanToAccount(f), f.db.labels(), 2, false, false, 0,
+      /*max_join_rows=*/2, &failed);
+  EXPECT_TRUE(failed);
+  EXPECT_TRUE(cands.empty());
+}
+
+}  // namespace
+}  // namespace crossmine::baselines

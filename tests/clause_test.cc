@@ -1,0 +1,176 @@
+#include "core/literal.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace crossmine {
+namespace {
+
+using testing::Fig2Database;
+using testing::MakeFig2Database;
+
+int32_t FindEdgeId(const Database& db, RelId from, AttrId from_attr,
+                   RelId to) {
+  for (size_t e = 0; e < db.edges().size(); ++e) {
+    const JoinEdge& edge = db.edges()[e];
+    if (edge.from_rel == from && edge.from_attr == from_attr &&
+        edge.to_rel == to) {
+      return static_cast<int32_t>(e);
+    }
+  }
+  return -1;
+}
+
+TEST(ConstraintToStringTest, AllForms) {
+  Fig2Database f = MakeFig2Database();
+  const Relation& account = f.db.relation(f.account);
+  const Relation& loan = f.db.relation(f.loan);
+
+  Constraint cat;
+  cat.attr = f.account_frequency;
+  cat.cmp = CmpOp::kEq;
+  cat.category = f.monthly;
+  EXPECT_EQ(cat.ToString(account), "frequency = monthly");
+
+  Constraint num;
+  num.attr = f.loan_duration;
+  num.cmp = CmpOp::kGe;
+  num.threshold = 12;
+  EXPECT_EQ(num.ToString(loan), "duration >= 12");
+
+  Constraint sum;
+  sum.agg = AggOp::kSum;
+  sum.attr = f.loan_amount;
+  sum.cmp = CmpOp::kGe;
+  sum.threshold = 1000;
+  EXPECT_EQ(sum.ToString(loan), "sum(amount) >= 1000");
+
+  Constraint cnt;
+  cnt.agg = AggOp::kCount;
+  cnt.attr = kInvalidAttr;
+  cnt.cmp = CmpOp::kLe;
+  cnt.threshold = 3;
+  EXPECT_EQ(cnt.ToString(loan), "count(*) <= 3");
+}
+
+TEST(ClauseTest, EmptyClause) {
+  Fig2Database f = MakeFig2Database();
+  Clause c(f.db.target());
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.length(), 0);
+  ASSERT_EQ(c.nodes().size(), 1u);
+  EXPECT_EQ(c.nodes()[0].relation, f.loan);
+  EXPECT_EQ(c.nodes()[0].parent, -1);
+}
+
+TEST(ClauseTest, AppendWithEmptyPathKeepsNodes) {
+  Fig2Database f = MakeFig2Database();
+  Clause c(f.db.target());
+  ComplexLiteral lit;
+  lit.source_node = 0;
+  lit.constraint.attr = f.loan_duration;
+  lit.constraint.cmp = CmpOp::kLe;
+  lit.constraint.threshold = 12;
+  const ComplexLiteral& added = c.Append(f.db, lit);
+  EXPECT_EQ(c.nodes().size(), 1u);
+  EXPECT_EQ(added.ConstraintNode(), 0);
+  EXPECT_EQ(c.length(), 1);
+}
+
+TEST(ClauseTest, AppendWithPathCreatesNodes) {
+  Fig2Database f = MakeFig2Database();
+  int32_t edge = FindEdgeId(f.db, f.loan, f.loan_account, f.account);
+  ASSERT_GE(edge, 0);
+
+  Clause c(f.db.target());
+  ComplexLiteral lit;
+  lit.source_node = 0;
+  lit.edge_path = {edge};
+  lit.constraint.attr = f.account_frequency;
+  lit.constraint.cmp = CmpOp::kEq;
+  lit.constraint.category = f.monthly;
+  const ComplexLiteral& added = c.Append(f.db, lit);
+
+  ASSERT_EQ(c.nodes().size(), 2u);
+  EXPECT_EQ(c.nodes()[1].relation, f.account);
+  EXPECT_EQ(c.nodes()[1].parent, 0);
+  EXPECT_EQ(c.nodes()[1].edge, edge);
+  EXPECT_EQ(added.path_nodes, (std::vector<int32_t>{1}));
+  EXPECT_EQ(added.ConstraintNode(), 1);
+}
+
+TEST(ClauseTest, AppendFromNonRootNode) {
+  Fig2Database f = MakeFig2Database();
+  int32_t to_account = FindEdgeId(f.db, f.loan, f.loan_account, f.account);
+  int32_t back_to_loan = FindEdgeId(f.db, f.account, 0, f.loan);
+  ASSERT_GE(to_account, 0);
+  ASSERT_GE(back_to_loan, 0);
+
+  Clause c(f.db.target());
+  ComplexLiteral first;
+  first.source_node = 0;
+  first.edge_path = {to_account};
+  first.constraint.attr = f.account_frequency;
+  first.constraint.cmp = CmpOp::kEq;
+  first.constraint.category = f.monthly;
+  c.Append(f.db, first);
+
+  ComplexLiteral second;
+  second.source_node = 1;  // extend from the Account node
+  second.edge_path = {back_to_loan};
+  second.constraint.attr = f.loan_amount;
+  second.constraint.cmp = CmpOp::kGe;
+  second.constraint.threshold = 2000;
+  const ComplexLiteral& added = c.Append(f.db, second);
+  ASSERT_EQ(c.nodes().size(), 3u);
+  EXPECT_EQ(c.nodes()[2].relation, f.loan);
+  EXPECT_EQ(c.nodes()[2].parent, 1);
+  EXPECT_EQ(added.ConstraintNode(), 2);
+}
+
+TEST(ClauseTest, TwoHopPathCreatesTwoNodes) {
+  Fig2Database f = MakeFig2Database();
+  int32_t to_account = FindEdgeId(f.db, f.loan, f.loan_account, f.account);
+  int32_t back_to_loan = FindEdgeId(f.db, f.account, 0, f.loan);
+
+  Clause c(f.db.target());
+  ComplexLiteral lit;
+  lit.source_node = 0;
+  lit.edge_path = {to_account, back_to_loan};
+  lit.constraint.attr = f.loan_amount;
+  lit.constraint.cmp = CmpOp::kLe;
+  lit.constraint.threshold = 5000;
+  const ComplexLiteral& added = c.Append(f.db, lit);
+  EXPECT_EQ(c.nodes().size(), 3u);
+  EXPECT_EQ(added.path_nodes, (std::vector<int32_t>{1, 2}));
+  EXPECT_EQ(added.ConstraintNode(), 2);
+}
+
+TEST(ClauseTest, ToStringMatchesPaperSyntax) {
+  Fig2Database f = MakeFig2Database();
+  int32_t edge = FindEdgeId(f.db, f.loan, f.loan_account, f.account);
+  Clause c(f.db.target());
+  c.predicted_class = 1;
+  ComplexLiteral lit;
+  lit.source_node = 0;
+  lit.edge_path = {edge};
+  lit.constraint.attr = f.account_frequency;
+  lit.constraint.cmp = CmpOp::kEq;
+  lit.constraint.category = f.monthly;
+  c.Append(f.db, lit);
+  EXPECT_EQ(c.ToString(f.db),
+            "Loan(class=1) :- [Loan.account_id -> Account.account_id, "
+            "Account.frequency = monthly]");
+}
+
+TEST(ClauseTest, AppendValidatesSourceNode) {
+  Fig2Database f = MakeFig2Database();
+  Clause c(f.db.target());
+  ComplexLiteral lit;
+  lit.source_node = 3;  // out of range
+  EXPECT_DEATH(c.Append(f.db, lit), "");
+}
+
+}  // namespace
+}  // namespace crossmine

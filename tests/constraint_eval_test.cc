@@ -1,0 +1,176 @@
+#include "core/constraint_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace crossmine {
+namespace {
+
+using testing::Fig2Database;
+using testing::MakeFig2Database;
+
+Constraint Categorical(AttrId attr, int64_t value) {
+  Constraint c;
+  c.attr = attr;
+  c.cmp = CmpOp::kEq;
+  c.category = value;
+  return c;
+}
+
+Constraint Numerical(AttrId attr, CmpOp cmp, double threshold) {
+  Constraint c;
+  c.attr = attr;
+  c.cmp = cmp;
+  c.threshold = threshold;
+  return c;
+}
+
+Constraint Aggregation(AggOp agg, AttrId attr, CmpOp cmp, double threshold) {
+  Constraint c;
+  c.agg = agg;
+  c.attr = attr;
+  c.cmp = cmp;
+  c.threshold = threshold;
+  return c;
+}
+
+TEST(TupleSatisfiesTest, CategoricalEquality) {
+  Fig2Database f = MakeFig2Database();
+  const Relation& account = f.db.relation(f.account);
+  Constraint monthly = Categorical(f.account_frequency, f.monthly);
+  EXPECT_TRUE(TupleSatisfies(account, 0, monthly));
+  EXPECT_FALSE(TupleSatisfies(account, 1, monthly));
+  EXPECT_TRUE(TupleSatisfies(account, 2, monthly));
+}
+
+TEST(TupleSatisfiesTest, NullNeverSatisfiesCategorical) {
+  Fig2Database f = MakeFig2Database();
+  Relation& account = f.db.mutable_relation(f.account);
+  account.SetInt(0, f.account_frequency, kNullValue);
+  EXPECT_FALSE(TupleSatisfies(account, 0,
+                              Categorical(f.account_frequency, f.monthly)));
+}
+
+TEST(TupleSatisfiesTest, NumericalComparisons) {
+  Fig2Database f = MakeFig2Database();
+  const Relation& loan = f.db.relation(f.loan);
+  // Loan 0 has duration 12.
+  EXPECT_TRUE(TupleSatisfies(loan, 0,
+                             Numerical(f.loan_duration, CmpOp::kLe, 12)));
+  EXPECT_TRUE(TupleSatisfies(loan, 0,
+                             Numerical(f.loan_duration, CmpOp::kGe, 12)));
+  EXPECT_FALSE(TupleSatisfies(loan, 0,
+                              Numerical(f.loan_duration, CmpOp::kGe, 13)));
+  EXPECT_FALSE(TupleSatisfies(loan, 0,
+                              Numerical(f.loan_duration, CmpOp::kLe, 11)));
+}
+
+// Helper: attach idsets to Account per Fig. 4 and run ApplyConstraint.
+struct AppliedResult {
+  std::vector<IdSet> idsets;
+  std::vector<uint8_t> satisfied;
+};
+
+AppliedResult Apply(const Fig2Database& f, const Constraint& c,
+                    std::vector<uint8_t> alive = {1, 1, 1, 1, 1}) {
+  AppliedResult r;
+  r.idsets = {{0, 1}, {2}, {3, 4}, {}};  // Fig. 4 idsets on Account
+  r.satisfied.assign(5, 0);
+  ApplyConstraint(f.db.relation(f.account), c, alive, &r.idsets,
+                  &r.satisfied);
+  return r;
+}
+
+TEST(ApplyConstraintTest, CategoricalSatisfiedSetMatchesPaper) {
+  // "frequency = monthly" is satisfied by loans {1,2,4,5} (ids 0,1,3,4).
+  Fig2Database f = MakeFig2Database();
+  AppliedResult r = Apply(f, Categorical(f.account_frequency, f.monthly));
+  EXPECT_EQ(r.satisfied, (std::vector<uint8_t>{1, 1, 0, 1, 1}));
+}
+
+TEST(ApplyConstraintTest, CategoricalClearsNonSatisfyingIdsets) {
+  // Variable-binding semantics: the weekly account's idset is wiped so
+  // onward propagation follows only monthly accounts.
+  Fig2Database f = MakeFig2Database();
+  AppliedResult r = Apply(f, Categorical(f.account_frequency, f.monthly));
+  EXPECT_EQ(r.idsets[0], (IdSet{0, 1}));
+  EXPECT_TRUE(r.idsets[1].empty());  // weekly account 108
+  EXPECT_EQ(r.idsets[2], (IdSet{3, 4}));
+}
+
+TEST(ApplyConstraintTest, AliveMaskExcludesDeadTargets) {
+  Fig2Database f = MakeFig2Database();
+  AppliedResult r = Apply(f, Categorical(f.account_frequency, f.monthly),
+                          {1, 0, 1, 0, 1});
+  EXPECT_EQ(r.satisfied, (std::vector<uint8_t>{1, 0, 0, 0, 1}));
+}
+
+TEST(ApplyConstraintTest, NumericalConstraint) {
+  Fig2Database f = MakeFig2Database();
+  // Account.date >= 950101 holds for accounts 124 (960227) and 108 (950923)
+  // — loans {0,1} and {2}.
+  AppliedResult r = Apply(f, Numerical(f.account_date, CmpOp::kGe, 950101));
+  EXPECT_EQ(r.satisfied, (std::vector<uint8_t>{1, 1, 1, 0, 0}));
+}
+
+TEST(ApplyConstraintTest, AggregationCount) {
+  Fig2Database f = MakeFig2Database();
+  // count(*) >= 1: every loan with an account qualifies (all five).
+  AppliedResult r =
+      Apply(f, Aggregation(AggOp::kCount, kInvalidAttr, CmpOp::kGe, 1));
+  EXPECT_EQ(r.satisfied, (std::vector<uint8_t>{1, 1, 1, 1, 1}));
+  // Each loan joins exactly one account, so count >= 2 holds for none.
+  r = Apply(f, Aggregation(AggOp::kCount, kInvalidAttr, CmpOp::kGe, 2));
+  EXPECT_EQ(r.satisfied, (std::vector<uint8_t>{0, 0, 0, 0, 0}));
+}
+
+TEST(ApplyConstraintTest, AggregationLeavesIdsetsIntact) {
+  Fig2Database f = MakeFig2Database();
+  AppliedResult r =
+      Apply(f, Aggregation(AggOp::kCount, kInvalidAttr, CmpOp::kGe, 2));
+  EXPECT_EQ(r.idsets[0], (IdSet{0, 1}));  // untouched
+}
+
+TEST(ApplyConstraintTest, AggregationSumAndAvg) {
+  // Give loan 0 two accounts by reusing idsets: accounts 124 and 108 both
+  // carry id 0. sum(date) over them = 960227 + 950923; avg in between.
+  Fig2Database f = MakeFig2Database();
+  std::vector<IdSet> idsets = {{0}, {0}, {}, {}};
+  std::vector<uint8_t> satisfied(5, 0);
+  std::vector<uint8_t> alive(5, 1);
+  Constraint sum_c =
+      Aggregation(AggOp::kSum, f.account_date, CmpOp::kGe, 1911150.0);
+  ApplyConstraint(f.db.relation(f.account), sum_c, alive, &idsets,
+                  &satisfied);
+  EXPECT_EQ(satisfied[0], 1);  // 960227 + 950923 = 1911150
+
+  idsets = {{0}, {0}, {}, {}};
+  Constraint avg_c =
+      Aggregation(AggOp::kAvg, f.account_date, CmpOp::kLe, 955575.0);
+  ApplyConstraint(f.db.relation(f.account), avg_c, alive, &idsets,
+                  &satisfied);
+  EXPECT_EQ(satisfied[0], 1);  // avg = 955575
+  avg_c.threshold = 955574.0;
+  idsets = {{0}, {0}, {}, {}};
+  ApplyConstraint(f.db.relation(f.account), avg_c, alive, &idsets,
+                  &satisfied);
+  EXPECT_EQ(satisfied[0], 0);
+}
+
+TEST(ApplyConstraintTest, AggregationNeedsAtLeastOneJoinPartner) {
+  Fig2Database f = MakeFig2Database();
+  // No account carries loan 2's id -> loan 2 cannot satisfy any
+  // aggregation literal, even "count <= 100".
+  std::vector<IdSet> idsets = {{0, 1}, {}, {3, 4}, {}};
+  std::vector<uint8_t> satisfied(5, 0);
+  std::vector<uint8_t> alive(5, 1);
+  Constraint c =
+      Aggregation(AggOp::kCount, kInvalidAttr, CmpOp::kLe, 100);
+  ApplyConstraint(f.db.relation(f.account), c, alive, &idsets, &satisfied);
+  EXPECT_EQ(satisfied[2], 0);
+  EXPECT_EQ(satisfied[0], 1);
+}
+
+}  // namespace
+}  // namespace crossmine

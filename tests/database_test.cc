@@ -1,0 +1,192 @@
+#include "relational/database.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace crossmine {
+namespace {
+
+using testing::MakeFig2Database;
+
+Database MakeUnfinalized() {
+  Database db;
+  RelationSchema a("A");
+  a.AddPrimaryKey("id");
+  db.AddRelation(std::move(a));
+  RelationSchema b("B");
+  b.AddPrimaryKey("id");
+  b.AddForeignKey("a_id", 0);
+  db.AddRelation(std::move(b));
+  return db;
+}
+
+TEST(DatabaseTest, FindRelation) {
+  Database db = MakeUnfinalized();
+  EXPECT_EQ(db.FindRelation("A"), 0);
+  EXPECT_EQ(db.FindRelation("B"), 1);
+  EXPECT_EQ(db.FindRelation("C"), kInvalidRel);
+}
+
+TEST(DatabaseTest, FinalizeRequiresTarget) {
+  Database db = MakeUnfinalized();
+  Status st = db.Finalize();
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DatabaseTest, FinalizeRequiresTargetPrimaryKey) {
+  Database db;
+  RelationSchema t("T");
+  t.AddCategorical("c");  // no pk
+  db.AddRelation(std::move(t));
+  db.SetTarget(0);
+  db.SetLabels({}, 2);
+  EXPECT_EQ(db.Finalize().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DatabaseTest, FinalizeRequiresParallelLabels) {
+  Database db = MakeUnfinalized();
+  db.SetTarget(0);
+  db.mutable_relation(0).AddTuple();
+  db.SetLabels({}, 2);  // 1 tuple, 0 labels
+  EXPECT_EQ(db.Finalize().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DatabaseTest, FinalizeRejectsOutOfRangeLabels) {
+  Database db = MakeUnfinalized();
+  db.SetTarget(0);
+  db.mutable_relation(0).AddTuple();
+  db.SetLabels({5}, 2);
+  EXPECT_EQ(db.Finalize().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, FinalizeRejectsFkToRelationWithoutPk) {
+  Database db;
+  RelationSchema t("T");
+  t.AddPrimaryKey("id");
+  t.AddForeignKey("weird", 1);
+  db.AddRelation(std::move(t));
+  RelationSchema nopk("NoPk");
+  nopk.AddCategorical("c");
+  db.AddRelation(std::move(nopk));
+  db.SetTarget(0);
+  db.SetLabels({}, 2);
+  EXPECT_EQ(db.Finalize().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, FinalizeIdempotent) {
+  testing::Fig2Database f = MakeFig2Database();
+  EXPECT_TRUE(f.db.finalized());
+  EXPECT_TRUE(f.db.Finalize().ok());
+}
+
+TEST(DatabaseTest, JoinGraphHasBothDirectionsOfPkFk) {
+  testing::Fig2Database f = MakeFig2Database();
+  bool fk_to_pk = false, pk_to_fk = false;
+  for (const JoinEdge& e : f.db.edges()) {
+    if (e.from_rel == f.loan && e.from_attr == f.loan_account &&
+        e.to_rel == f.account && e.kind == JoinKind::kFkToPk) {
+      fk_to_pk = true;
+    }
+    if (e.from_rel == f.account && e.to_rel == f.loan &&
+        e.to_attr == f.loan_account && e.kind == JoinKind::kPkToFk) {
+      pk_to_fk = true;
+    }
+  }
+  EXPECT_TRUE(fk_to_pk);
+  EXPECT_TRUE(pk_to_fk);
+}
+
+TEST(DatabaseTest, JoinGraphFkFkEdges) {
+  // Two relations with FKs into the same relation produce FK-FK edges in
+  // both directions (e.g. Loan.account_id ⋈ Order.account_id in the paper).
+  Database db;
+  RelationSchema acc("Account");
+  acc.AddPrimaryKey("id");
+  db.AddRelation(std::move(acc));
+  RelationSchema loan("Loan");
+  loan.AddPrimaryKey("id");
+  AttrId loan_fk = loan.AddForeignKey("account_id", 0);
+  db.AddRelation(std::move(loan));
+  RelationSchema ord("Order");
+  ord.AddPrimaryKey("id");
+  AttrId ord_fk = ord.AddForeignKey("account_id", 0);
+  db.AddRelation(std::move(ord));
+  db.SetTarget(1);
+  db.SetLabels({}, 2);
+  ASSERT_TRUE(db.Finalize().ok());
+
+  int fkfk = 0;
+  bool loan_to_order = false;
+  for (const JoinEdge& e : db.edges()) {
+    if (e.kind != JoinKind::kFkToFk) continue;
+    ++fkfk;
+    if (e.from_rel == 1 && e.from_attr == loan_fk && e.to_rel == 2 &&
+        e.to_attr == ord_fk) {
+      loan_to_order = true;
+    }
+  }
+  EXPECT_EQ(fkfk, 2);
+  EXPECT_TRUE(loan_to_order);
+}
+
+TEST(DatabaseTest, JoinGraphFkFkWithinOneRelation) {
+  // Two FKs of the same relation referencing the same PK also join.
+  Database db;
+  RelationSchema person("Person");
+  person.AddPrimaryKey("id");
+  db.AddRelation(std::move(person));
+  RelationSchema edge("Friendship");
+  edge.AddPrimaryKey("id");
+  edge.AddForeignKey("a", 0);
+  edge.AddForeignKey("b", 0);
+  db.AddRelation(std::move(edge));
+  db.SetTarget(0);
+  db.SetLabels({}, 2);
+  ASSERT_TRUE(db.Finalize().ok());
+
+  int self_fkfk = 0;
+  for (const JoinEdge& e : db.edges()) {
+    if (e.kind == JoinKind::kFkToFk && e.from_rel == 1 && e.to_rel == 1) {
+      EXPECT_NE(e.from_attr, e.to_attr);
+      ++self_fkfk;
+    }
+  }
+  EXPECT_EQ(self_fkfk, 2);
+}
+
+TEST(DatabaseTest, OutEdgesConsistentWithEdges) {
+  testing::Fig2Database f = MakeFig2Database();
+  size_t total = 0;
+  for (RelId r = 0; r < f.db.num_relations(); ++r) {
+    for (int32_t e : f.db.OutEdges(r)) {
+      EXPECT_EQ(f.db.edges()[static_cast<size_t>(e)].from_rel, r);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, f.db.edges().size());
+}
+
+TEST(DatabaseTest, TotalTuples) {
+  testing::Fig2Database f = MakeFig2Database();
+  EXPECT_EQ(f.db.TotalTuples(), 9u);  // 5 loans + 4 accounts
+}
+
+TEST(DatabaseTest, AddRelationAfterFinalizeAborts) {
+  testing::Fig2Database f = MakeFig2Database();
+  RelationSchema extra("X");
+  EXPECT_DEATH(f.db.AddRelation(std::move(extra)), "Finalize");
+}
+
+TEST(DatabaseTest, LabelsAccessors) {
+  testing::Fig2Database f = MakeFig2Database();
+  EXPECT_EQ(f.db.num_classes(), 2);
+  EXPECT_EQ(f.db.labels().size(), 5u);
+  EXPECT_EQ(f.db.labels()[0], 1);
+  EXPECT_EQ(f.db.labels()[2], 0);
+}
+
+}  // namespace
+}  // namespace crossmine

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/financial.h"
+#include "datagen/mutagenesis.h"
+#include "datagen/synthetic.h"
+
+namespace crossmine::datagen {
+namespace {
+
+// --------------------------------------------------------- synthetic ------
+
+TEST(SyntheticTest, ConfigNameMatchesPaperConvention) {
+  SyntheticConfig cfg;
+  cfg.num_relations = 50;
+  cfg.expected_tuples = 1000;
+  cfg.expected_fkeys = 3;
+  EXPECT_EQ(cfg.Name(), "R50.T1000.F3");
+}
+
+TEST(SyntheticTest, RejectsDegenerateConfigs) {
+  SyntheticConfig cfg;
+  cfg.num_relations = 1;
+  EXPECT_FALSE(GenerateSyntheticDatabase(cfg).ok());
+  cfg = SyntheticConfig();
+  cfg.num_classes = 1;
+  EXPECT_FALSE(GenerateSyntheticDatabase(cfg).ok());
+  cfg = SyntheticConfig();
+  cfg.min_attrs = 1;
+  EXPECT_FALSE(GenerateSyntheticDatabase(cfg).ok());
+}
+
+TEST(SyntheticTest, TargetRelationHasExactlyTTuples) {
+  SyntheticConfig cfg;
+  cfg.num_relations = 6;
+  cfg.expected_tuples = 123;
+  cfg.seed = 1;
+  StatusOr<Database> db = GenerateSyntheticDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->target_relation().num_tuples(), 123u);
+  EXPECT_EQ(db->labels().size(), 123u);
+}
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  SyntheticConfig cfg;
+  cfg.num_relations = 6;
+  cfg.expected_tuples = 80;
+  cfg.seed = 9;
+  StatusOr<Database> a = GenerateSyntheticDatabase(cfg);
+  StatusOr<Database> b = GenerateSyntheticDatabase(cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->TotalTuples(), b->TotalTuples());
+  EXPECT_EQ(a->labels(), b->labels());
+  EXPECT_EQ(a->edges().size(), b->edges().size());
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticConfig cfg;
+  cfg.num_relations = 6;
+  cfg.expected_tuples = 80;
+  cfg.seed = 9;
+  StatusOr<Database> a = GenerateSyntheticDatabase(cfg);
+  cfg.seed = 10;
+  StatusOr<Database> b = GenerateSyntheticDatabase(cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->labels(), b->labels());
+}
+
+TEST(SyntheticTest, SchemaRespectsMinimums) {
+  SyntheticConfig cfg;
+  cfg.num_relations = 12;
+  cfg.expected_tuples = 60;
+  cfg.seed = 4;
+  StatusOr<Database> db = GenerateSyntheticDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_relations(), 12);
+  for (RelId r = 0; r < db->num_relations(); ++r) {
+    const RelationSchema& schema = db->relation(r).schema();
+    EXPECT_NE(schema.primary_key(), kInvalidAttr);
+    // A_min = 2 (pk + >= 1 categorical).
+    int cats = 0;
+    for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+      cats += schema.attr(a).kind == AttrKind::kCategorical;
+    }
+    EXPECT_GE(cats, 1);
+    EXPECT_GE(schema.foreign_keys().size(),
+              static_cast<size_t>(cfg.min_fkeys));
+    // Non-target relations obey T_min.
+    if (r != db->target()) {
+      EXPECT_GE(db->relation(r).num_tuples(),
+                static_cast<TupleId>(cfg.min_tuples));
+    }
+  }
+}
+
+TEST(SyntheticTest, LabelsRoughlyBalanced) {
+  SyntheticConfig cfg;
+  cfg.num_relations = 8;
+  cfg.expected_tuples = 400;
+  cfg.seed = 6;
+  StatusOr<Database> db = GenerateSyntheticDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  int pos = 0;
+  for (ClassId l : db->labels()) pos += (l == 1);
+  // 10 rules split 5/5; per-tuple rule choice is uniform.
+  EXPECT_GT(pos, 120);
+  EXPECT_LT(pos, 280);
+}
+
+class SyntheticIntegrityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SyntheticIntegrityTest, ReferentialIntegrityHolds) {
+  SyntheticConfig cfg;
+  cfg.num_relations = 7;
+  cfg.expected_tuples = 90;
+  cfg.seed = GetParam();
+  StatusOr<Database> db = GenerateSyntheticDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  for (RelId r = 0; r < db->num_relations(); ++r) {
+    const Relation& rel = db->relation(r);
+    for (AttrId fk : rel.schema().foreign_keys()) {
+      RelId ref = rel.schema().attr(fk).references;
+      TupleId ref_size = db->relation(ref).num_tuples();
+      for (TupleId t = 0; t < rel.num_tuples(); ++t) {
+        int64_t v = rel.Int(t, fk);
+        ASSERT_NE(v, kNullValue);
+        ASSERT_GE(v, 0);
+        ASSERT_LT(v, static_cast<int64_t>(ref_size));
+        // pk of tuple v is v itself (generator invariant).
+        EXPECT_EQ(db->relation(ref).Int(static_cast<TupleId>(v),
+                                        db->relation(ref)
+                                            .schema()
+                                            .primary_key()),
+                  v);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyntheticIntegrityTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+// --------------------------------------------------------- financial ------
+
+TEST(FinancialTest, SchemaMatchesFig1) {
+  FinancialConfig cfg;
+  cfg.num_accounts = 200;
+  cfg.num_clients = 220;
+  cfg.num_loans = 60;
+  StatusOr<Database> db = GenerateFinancialDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_relations(), 8);
+  for (const char* name : {"Loan", "Account", "District", "Client",
+                           "Disposition", "Card", "Order", "Transaction"}) {
+    EXPECT_NE(db->FindRelation(name), kInvalidRel) << name;
+  }
+  EXPECT_EQ(db->target(), db->FindRelation("Loan"));
+}
+
+TEST(FinancialTest, SizesAndLabelFraction) {
+  FinancialConfig cfg;
+  cfg.num_loans = 400;
+  cfg.negative_fraction = 0.19;
+  StatusOr<Database> db = GenerateFinancialDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->target_relation().num_tuples(), 400u);
+  int neg = 0;
+  for (ClassId l : db->labels()) neg += (l == 0);
+  EXPECT_EQ(neg, 76);  // exactly 19% of 400, the paper's 324+/76-
+}
+
+TEST(FinancialTest, Deterministic) {
+  FinancialConfig cfg;
+  cfg.num_loans = 100;
+  cfg.num_accounts = 300;
+  StatusOr<Database> a = GenerateFinancialDatabase(cfg);
+  StatusOr<Database> b = GenerateFinancialDatabase(cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->labels(), b->labels());
+  EXPECT_EQ(a->TotalTuples(), b->TotalTuples());
+}
+
+TEST(FinancialTest, DictionariesReadable) {
+  FinancialConfig cfg;
+  cfg.num_loans = 50;
+  cfg.num_accounts = 100;
+  cfg.num_clients = 100;
+  StatusOr<Database> db = GenerateFinancialDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  const Relation& account = db->relation(db->FindRelation("Account"));
+  AttrId freq = account.schema().FindAttr("frequency");
+  ASSERT_NE(freq, kInvalidAttr);
+  EXPECT_EQ(account.CategoryName(freq, 0), "monthly");
+}
+
+TEST(FinancialTest, ReferentialIntegrity) {
+  FinancialConfig cfg;
+  cfg.num_loans = 80;
+  cfg.num_accounts = 150;
+  cfg.num_clients = 160;
+  StatusOr<Database> db = GenerateFinancialDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  for (RelId r = 0; r < db->num_relations(); ++r) {
+    const Relation& rel = db->relation(r);
+    for (AttrId fk : rel.schema().foreign_keys()) {
+      RelId ref = rel.schema().attr(fk).references;
+      for (TupleId t = 0; t < rel.num_tuples(); ++t) {
+        int64_t v = rel.Int(t, fk);
+        ASSERT_GE(v, 0);
+        ASSERT_LT(v, static_cast<int64_t>(db->relation(ref).num_tuples()));
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- mutagenesis ------
+
+TEST(MutagenesisTest, SizesMatchBenchmark) {
+  MutagenesisConfig cfg;
+  StatusOr<Database> db = GenerateMutagenesisDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_relations(), 3);
+  EXPECT_EQ(db->target_relation().num_tuples(), 188u);
+  int pos = 0;
+  for (ClassId l : db->labels()) pos += (l == 1);
+  EXPECT_EQ(pos, 124);  // 124+/64- like the ILP benchmark
+}
+
+TEST(MutagenesisTest, AtomsAndBondsReferenceMolecules) {
+  MutagenesisConfig cfg;
+  cfg.num_molecules = 40;
+  StatusOr<Database> db = GenerateMutagenesisDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  const Relation& atom = db->relation(db->FindRelation("Atom"));
+  const Relation& bond = db->relation(db->FindRelation("Bond"));
+  EXPECT_GE(atom.num_tuples(), 40u * 12u);
+  AttrId atom_mol = atom.schema().FindAttr("mol_id");
+  for (TupleId t = 0; t < atom.num_tuples(); ++t) {
+    ASSERT_LT(atom.Int(t, atom_mol), 40);
+  }
+  AttrId bond_a1 = bond.schema().FindAttr("atom1_id");
+  for (TupleId t = 0; t < bond.num_tuples(); ++t) {
+    ASSERT_LT(bond.Int(t, bond_a1),
+              static_cast<int64_t>(atom.num_tuples()));
+  }
+}
+
+TEST(MutagenesisTest, Deterministic) {
+  MutagenesisConfig cfg;
+  StatusOr<Database> a = GenerateMutagenesisDatabase(cfg);
+  StatusOr<Database> b = GenerateMutagenesisDatabase(cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->labels(), b->labels());
+  EXPECT_EQ(a->TotalTuples(), b->TotalTuples());
+}
+
+TEST(MutagenesisTest, RejectsDegenerateConfig) {
+  MutagenesisConfig cfg;
+  cfg.num_molecules = 2;
+  EXPECT_FALSE(GenerateMutagenesisDatabase(cfg).ok());
+  cfg = MutagenesisConfig();
+  cfg.min_atoms = 50;
+  cfg.max_atoms = 10;
+  EXPECT_FALSE(GenerateMutagenesisDatabase(cfg).ok());
+}
+
+}  // namespace
+}  // namespace crossmine::datagen

@@ -1,0 +1,211 @@
+#include "core/ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "eval/cross_validation.h"
+#include "test_util.h"
+
+namespace crossmine {
+namespace {
+
+using testing::Fig2Database;
+using testing::MakeFig2Database;
+
+std::vector<TupleId> AllIds(const Database& db) {
+  std::vector<TupleId> ids(db.target_relation().num_tuples());
+  for (TupleId t = 0; t < ids.size(); ++t) ids[t] = t;
+  return ids;
+}
+
+// ------------------------------------------------------ prediction modes --
+
+TEST(PredictionModeTest, AllModesSolveTheSeparableCase) {
+  Fig2Database f = MakeFig2Database();
+  for (PredictionMode mode :
+       {PredictionMode::kBestClause, PredictionMode::kWeightedVote,
+        PredictionMode::kDecisionList}) {
+    CrossMineOptions opts;
+    opts.min_foil_gain = 0.5;
+    opts.prediction_mode = mode;
+    CrossMineClassifier model(opts);
+    ASSERT_TRUE(model.Train(f.db, AllIds(f.db)).ok());
+    EXPECT_EQ(model.Predict(f.db, AllIds(f.db)),
+              (std::vector<ClassId>{1, 1, 0, 0, 1}))
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(PredictionModeTest, ModesComparableOnSynthetic) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_relations = 8;
+  cfg.expected_tuples = 250;
+  cfg.seed = 101;
+  StatusOr<Database> db = datagen::GenerateSyntheticDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  for (PredictionMode mode :
+       {PredictionMode::kBestClause, PredictionMode::kWeightedVote,
+        PredictionMode::kDecisionList}) {
+    CrossMineOptions opts;
+    opts.use_aggregation_literals = false;
+    opts.prediction_mode = mode;
+    auto result = eval::CrossValidate(
+        *db, [&] { return std::make_unique<CrossMineClassifier>(opts); }, 3,
+        1);
+    EXPECT_GT(result.mean_accuracy, 0.65)
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(PredictionModeTest, UnsatisfiedTupleGetsDefaultInEveryMode) {
+  // A model with one clause that covers nothing of the query.
+  Fig2Database f = MakeFig2Database();
+  for (PredictionMode mode :
+       {PredictionMode::kBestClause, PredictionMode::kWeightedVote,
+        PredictionMode::kDecisionList}) {
+    CrossMineOptions opts;
+    opts.min_foil_gain = 0.5;
+    opts.prediction_mode = mode;
+    CrossMineClassifier model(opts);
+    // Train on loans 0..3 only; loan 4's account is shared with loan 3 so
+    // predictions stay meaningful, but force the "no clause" path via an
+    // empty model instead:
+    model.RestoreModel({}, /*default_class=*/1, /*num_classes=*/2);
+    EXPECT_EQ(model.Predict(f.db, {0, 2, 4}),
+              (std::vector<ClassId>{1, 1, 1}));
+  }
+}
+
+// -------------------------------------------------------------- explain --
+
+TEST(ExplainTest, ReportsDecidingClause) {
+  Fig2Database f = MakeFig2Database();
+  CrossMineOptions opts;
+  opts.min_foil_gain = 0.5;
+  CrossMineClassifier model(opts);
+  ASSERT_TRUE(model.Train(f.db, AllIds(f.db)).ok());
+
+  CrossMineClassifier::Explanation ex = model.Explain(f.db, 0);
+  EXPECT_EQ(ex.predicted, 1);
+  ASSERT_GE(ex.clause_index, 0);
+  EXPECT_EQ(model.clauses()[static_cast<size_t>(ex.clause_index)]
+                .predicted_class,
+            1);
+  EXPECT_FALSE(ex.satisfied.empty());
+  // The deciding clause must be among the satisfied ones.
+  EXPECT_NE(std::find(ex.satisfied.begin(), ex.satisfied.end(),
+                      ex.clause_index),
+            ex.satisfied.end());
+}
+
+TEST(ExplainTest, DefaultPredictionHasNoClause) {
+  Fig2Database f = MakeFig2Database();
+  CrossMineClassifier model;
+  model.RestoreModel({}, /*default_class=*/0, /*num_classes=*/2);
+  CrossMineClassifier::Explanation ex = model.Explain(f.db, 3);
+  EXPECT_EQ(ex.predicted, 0);
+  EXPECT_EQ(ex.clause_index, -1);
+  EXPECT_TRUE(ex.satisfied.empty());
+}
+
+TEST(ExplainTest, ConsistentWithPredict) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_relations = 6;
+  cfg.expected_tuples = 120;
+  cfg.seed = 102;
+  StatusOr<Database> db = datagen::GenerateSyntheticDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  CrossMineClassifier model;
+  ASSERT_TRUE(model.Train(*db, AllIds(*db)).ok());
+  std::vector<ClassId> pred = model.Predict(*db, AllIds(*db));
+  for (TupleId t = 0; t < 20; ++t) {
+    EXPECT_EQ(model.Explain(*db, t).predicted, pred[t]);
+  }
+}
+
+// -------------------------------------------------------------- ensemble --
+
+TEST(EnsembleTest, RejectsBadOptions) {
+  Fig2Database f = MakeFig2Database();
+  BaggedCrossMineOptions opts;
+  opts.num_models = 0;
+  EXPECT_FALSE(BaggedCrossMineClassifier(opts).Train(f.db, AllIds(f.db)).ok());
+  opts = BaggedCrossMineOptions();
+  opts.subsample_fraction = 0.0;
+  EXPECT_FALSE(BaggedCrossMineClassifier(opts).Train(f.db, AllIds(f.db)).ok());
+  EXPECT_FALSE(
+      BaggedCrossMineClassifier().Train(f.db, {}).ok());
+}
+
+TEST(EnsembleTest, TrainsRequestedNumberOfMembers) {
+  Fig2Database f = MakeFig2Database();
+  BaggedCrossMineOptions opts;
+  opts.num_models = 3;
+  opts.subsample_fraction = 1.0;
+  opts.base.min_foil_gain = 0.5;
+  BaggedCrossMineClassifier ensemble(opts);
+  ASSERT_TRUE(ensemble.Train(f.db, AllIds(f.db)).ok());
+  EXPECT_EQ(ensemble.models().size(), 3u);
+  EXPECT_EQ(ensemble.Predict(f.db, AllIds(f.db)),
+            (std::vector<ClassId>{1, 1, 0, 0, 1}));
+}
+
+TEST(EnsembleTest, DeterministicInSeed) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_relations = 6;
+  cfg.expected_tuples = 120;
+  cfg.seed = 103;
+  StatusOr<Database> db = datagen::GenerateSyntheticDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  BaggedCrossMineOptions opts;
+  opts.num_models = 3;
+  opts.base.use_aggregation_literals = false;
+  BaggedCrossMineClassifier a(opts), b(opts);
+  ASSERT_TRUE(a.Train(*db, AllIds(*db)).ok());
+  ASSERT_TRUE(b.Train(*db, AllIds(*db)).ok());
+  EXPECT_EQ(a.Predict(*db, AllIds(*db)), b.Predict(*db, AllIds(*db)));
+}
+
+TEST(EnsembleTest, AtLeastAsGoodAsAverageMemberOnSynthetic) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_relations = 8;
+  cfg.expected_tuples = 300;
+  cfg.seed = 104;
+  StatusOr<Database> db = datagen::GenerateSyntheticDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+
+  BaggedCrossMineOptions opts;
+  opts.num_models = 5;
+  opts.base.use_aggregation_literals = false;
+  opts.base.use_numerical_literals = false;
+
+  auto ensemble_result = eval::CrossValidate(
+      *db,
+      [&] { return std::make_unique<BaggedCrossMineClassifier>(opts); }, 3,
+      1);
+  auto single_result = eval::CrossValidate(
+      *db,
+      [&] { return std::make_unique<CrossMineClassifier>(opts.base); }, 3,
+      1);
+  // Bagging should not be materially worse than a single model, and is
+  // usually better; allow a small tolerance for unlucky splits.
+  EXPECT_GT(ensemble_result.mean_accuracy,
+            single_result.mean_accuracy - 0.05);
+}
+
+TEST(EnsembleTest, WorksThroughTheAbstractInterface) {
+  Fig2Database f = MakeFig2Database();
+  BaggedCrossMineOptions opts;
+  opts.num_models = 3;
+  // Full subsample: five tuples are too few to subsample meaningfully.
+  opts.subsample_fraction = 1.0;
+  opts.base.min_foil_gain = 0.5;
+  std::unique_ptr<RelationalClassifier> model =
+      std::make_unique<BaggedCrossMineClassifier>(opts);
+  EXPECT_STREQ(model->name(), "BaggedCrossMine");
+  ASSERT_TRUE(model->Train(f.db, AllIds(f.db)).ok());
+  EXPECT_EQ(model->Predict(f.db, {2}), (std::vector<ClassId>{0}));
+}
+
+}  // namespace
+}  // namespace crossmine

@@ -1,0 +1,79 @@
+#include "core/foil_gain.h"
+
+#include <gtest/gtest.h>
+
+namespace crossmine {
+namespace {
+
+TEST(FoilGainTest, InformationContentBalanced) {
+  // P = N: one bit needed per example.
+  EXPECT_DOUBLE_EQ(InformationContent(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(InformationContent(100, 100), 1.0);
+}
+
+TEST(FoilGainTest, InformationContentPure) {
+  EXPECT_DOUBLE_EQ(InformationContent(7, 0), 0.0);
+}
+
+TEST(FoilGainTest, InformationContentZeroPositivesIsInfinite) {
+  EXPECT_TRUE(std::isinf(InformationContent(0, 5)));
+}
+
+TEST(FoilGainTest, InformationContentSkewed) {
+  EXPECT_DOUBLE_EQ(InformationContent(1, 3), 2.0);    // -log2(1/4)
+  EXPECT_DOUBLE_EQ(InformationContent(1, 7), 3.0);    // -log2(1/8)
+}
+
+TEST(FoilGainTest, GainHandComputed) {
+  // c: 4+/4- (I=1). c+l: 3+/0- (I=0). gain = 3 * (1 - 0) = 3.
+  EXPECT_DOUBLE_EQ(FoilGain(4, 4, 3, 0), 3.0);
+  // c: 2+/6- (I=2). c+l: 2+/2- (I=1). gain = 2 * (2 - 1) = 2.
+  EXPECT_DOUBLE_EQ(FoilGain(2, 6, 2, 2), 2.0);
+}
+
+TEST(FoilGainTest, GainZeroWhenNoPositivesCovered) {
+  EXPECT_DOUBLE_EQ(FoilGain(4, 4, 0, 2), 0.0);
+}
+
+TEST(FoilGainTest, GainZeroWhenRatioUnchanged) {
+  // Same pos/neg ratio before and after: no information gained.
+  EXPECT_DOUBLE_EQ(FoilGain(4, 4, 2, 2), 0.0);
+}
+
+TEST(FoilGainTest, GainNegativeWhenRatioWorsens) {
+  EXPECT_LT(FoilGain(4, 4, 1, 3), 0.0);
+}
+
+TEST(FoilGainTest, GainScalesWithCoverage) {
+  // Same purity improvement covering more positives gains more.
+  EXPECT_LT(FoilGain(8, 8, 2, 0), FoilGain(8, 8, 6, 0));
+}
+
+TEST(FoilGainTest, PaperExampleFig2) {
+  // Fig. 2: clause "frequency = monthly" covers loans {1,2,4,5}: 3+/1-,
+  // out of 3+/2- total.
+  double gain = FoilGain(3, 2, 3, 1);
+  // I(c) = -log2(3/5), I(c+l) = -log2(3/4).
+  double expected = 3.0 * (-std::log2(3.0 / 5.0) + std::log2(3.0 / 4.0));
+  EXPECT_DOUBLE_EQ(gain, expected);
+  EXPECT_GT(gain, 0.0);
+}
+
+TEST(LaplaceAccuracyTest, Formula) {
+  // (sup+ + 1) / (sup+ + sup- + C)
+  EXPECT_DOUBLE_EQ(LaplaceAccuracy(9, 0, 2), 10.0 / 11.0);
+  EXPECT_DOUBLE_EQ(LaplaceAccuracy(0, 0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(LaplaceAccuracy(3, 1, 2), 4.0 / 6.0);
+}
+
+TEST(LaplaceAccuracyTest, FractionalNegativesFromSamplingEstimate) {
+  double acc = LaplaceAccuracy(10, 2.5, 2);
+  EXPECT_DOUBLE_EQ(acc, 11.0 / 14.5);
+}
+
+TEST(LaplaceAccuracyTest, MoreClassesLowerPrior) {
+  EXPECT_LT(LaplaceAccuracy(5, 0, 4), LaplaceAccuracy(5, 0, 2));
+}
+
+}  // namespace
+}  // namespace crossmine

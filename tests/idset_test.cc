@@ -1,0 +1,68 @@
+#include "core/idset.h"
+
+#include <gtest/gtest.h>
+
+namespace crossmine {
+namespace {
+
+TEST(IdSetTest, NormalizeSortsAndDedupes) {
+  IdSet s{5, 1, 3, 1, 5};
+  NormalizeIdSet(&s);
+  EXPECT_EQ(s, (IdSet{1, 3, 5}));
+}
+
+TEST(IdSetTest, NormalizeEmpty) {
+  IdSet s;
+  NormalizeIdSet(&s);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IdSetTest, UnionIntoEmpty) {
+  IdSet dst;
+  UnionInPlace(&dst, {1, 2, 3});
+  EXPECT_EQ(dst, (IdSet{1, 2, 3}));
+}
+
+TEST(IdSetTest, UnionFromEmptyNoop) {
+  IdSet dst{1, 2};
+  UnionInPlace(&dst, {});
+  EXPECT_EQ(dst, (IdSet{1, 2}));
+}
+
+TEST(IdSetTest, UnionMergesDisjoint) {
+  IdSet dst{1, 4};
+  UnionInPlace(&dst, {2, 3, 5});
+  EXPECT_EQ(dst, (IdSet{1, 2, 3, 4, 5}));
+}
+
+TEST(IdSetTest, UnionDeduplicatesOverlap) {
+  IdSet dst{1, 2, 3};
+  UnionInPlace(&dst, {2, 3, 4});
+  EXPECT_EQ(dst, (IdSet{1, 2, 3, 4}));
+}
+
+TEST(IdSetTest, FilterIdSetDropsDeadIds) {
+  IdSet s{0, 1, 2, 3, 4};
+  std::vector<uint8_t> alive{1, 0, 1, 0, 1};
+  FilterIdSet(&s, alive);
+  EXPECT_EQ(s, (IdSet{0, 2, 4}));
+}
+
+TEST(IdSetTest, FilterIdSetsShrinksEmptied) {
+  std::vector<IdSet> sets{{0, 1}, {1}, {}};
+  std::vector<uint8_t> alive{1, 0};
+  FilterIdSets(&sets, alive);
+  EXPECT_EQ(sets[0], (IdSet{0}));
+  EXPECT_TRUE(sets[1].empty());
+  EXPECT_EQ(sets[1].capacity(), 0u);  // storage released
+  EXPECT_TRUE(sets[2].empty());
+}
+
+TEST(IdSetTest, TotalIds) {
+  std::vector<IdSet> sets{{0, 1}, {}, {2, 3, 4}};
+  EXPECT_EQ(TotalIds(sets), 5u);
+  EXPECT_EQ(TotalIds({}), 0u);
+}
+
+}  // namespace
+}  // namespace crossmine

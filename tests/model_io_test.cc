@@ -1,0 +1,173 @@
+#include "core/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "datagen/synthetic.h"
+#include "test_util.h"
+
+namespace crossmine {
+namespace {
+
+using testing::Fig2Database;
+using testing::MakeFig2Database;
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/model_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".cmm";
+    std::filesystem::remove(path_);
+  }
+  std::string path_;
+};
+
+TEST_F(ModelIoTest, RoundTripPreservesModel) {
+  Fig2Database f = MakeFig2Database();
+  CrossMineOptions opts;
+  opts.min_foil_gain = 0.5;
+  CrossMineClassifier model(opts);
+  ASSERT_TRUE(model.Train(f.db, {0, 1, 2, 3, 4}).ok());
+  ASSERT_TRUE(SaveModel(model, f.db, path_).ok());
+
+  StatusOr<CrossMineClassifier> loaded = LoadModel(f.db, path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->clauses().size(), model.clauses().size());
+  EXPECT_EQ(loaded->default_class(), model.default_class());
+  for (size_t i = 0; i < model.clauses().size(); ++i) {
+    EXPECT_EQ(loaded->clauses()[i].ToString(f.db),
+              model.clauses()[i].ToString(f.db));
+    EXPECT_DOUBLE_EQ(loaded->clauses()[i].accuracy,
+                     model.clauses()[i].accuracy);
+  }
+  std::vector<TupleId> all{0, 1, 2, 3, 4};
+  EXPECT_EQ(loaded->Predict(f.db, all), model.Predict(f.db, all));
+}
+
+TEST_F(ModelIoTest, RoundTripOnSyntheticDatabase) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_relations = 6;
+  cfg.expected_tuples = 120;
+  cfg.seed = 81;
+  StatusOr<Database> db = datagen::GenerateSyntheticDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  std::vector<TupleId> ids(db->target_relation().num_tuples());
+  for (TupleId t = 0; t < ids.size(); ++t) ids[t] = t;
+
+  CrossMineClassifier model;
+  ASSERT_TRUE(model.Train(*db, ids).ok());
+  ASSERT_TRUE(SaveModel(model, *db, path_).ok());
+  StatusOr<CrossMineClassifier> loaded = LoadModel(*db, path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->Predict(*db, ids), model.Predict(*db, ids));
+}
+
+TEST_F(ModelIoTest, SchemaFingerprintDetectsMismatch) {
+  Fig2Database f = MakeFig2Database();
+  CrossMineOptions opts;
+  opts.min_foil_gain = 0.5;
+  CrossMineClassifier model(opts);
+  ASSERT_TRUE(model.Train(f.db, {0, 1, 2, 3, 4}).ok());
+  ASSERT_TRUE(SaveModel(model, f.db, path_).ok());
+
+  // A structurally different database must be rejected.
+  datagen::SyntheticConfig cfg;
+  cfg.num_relations = 3;
+  cfg.expected_tuples = 60;
+  StatusOr<Database> other = datagen::GenerateSyntheticDatabase(cfg);
+  ASSERT_TRUE(other.ok());
+  StatusOr<CrossMineClassifier> loaded = LoadModel(*other, path_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ModelIoTest, FingerprintStableAcrossDataChanges) {
+  // The fingerprint covers schema + join graph, not tuples.
+  Fig2Database a = MakeFig2Database();
+  uint64_t before = SchemaFingerprint(a.db);
+  a.db.mutable_relation(a.loan).AddTuple();
+  EXPECT_EQ(SchemaFingerprint(a.db), before);
+  Fig2Database b = MakeFig2Database();
+  EXPECT_EQ(SchemaFingerprint(b.db), before);
+}
+
+TEST_F(ModelIoTest, MissingFileFails) {
+  Fig2Database f = MakeFig2Database();
+  StatusOr<CrossMineClassifier> loaded =
+      LoadModel(f.db, path_ + ".does-not-exist");
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(ModelIoTest, MalformedFilesRejected) {
+  Fig2Database f = MakeFig2Database();
+  const char* bad_files[] = {
+      "",                                         // empty
+      "not-a-model 1\n",                          // wrong magic
+      "crossmine-model 999\n",                    // wrong version
+      "crossmine-model 1\nclasses 2 default 5\n", // default out of range
+      "crossmine-model 1\nclasses 2 default 0\nliteral 0 path ; none eq 1 "
+      "0 0 0\n",                                  // literal outside clause
+      "crossmine-model 1\nclasses 2 default 0\nbogus\n",  // unknown directive
+  };
+  for (const char* content : bad_files) {
+    {
+      std::ofstream out(path_);
+      out << content;
+    }
+    StatusOr<CrossMineClassifier> loaded = LoadModel(f.db, path_);
+    EXPECT_FALSE(loaded.ok()) << "content: " << content;
+  }
+}
+
+TEST_F(ModelIoTest, RejectsOutOfRangeEdgeIds) {
+  Fig2Database f = MakeFig2Database();
+  {
+    std::ofstream out(path_);
+    out << "crossmine-model 1\n"
+        << "schema " << SchemaFingerprint(f.db) << "\n"
+        << "classes 2 default 1\n"
+        << "clause 1 0.9 3 0 3 2\n"
+        << "literal 0 path 9999 ; none eq 1 0 0 3.0\n"
+        << "end\n";
+  }
+  StatusOr<CrossMineClassifier> loaded = LoadModel(f.db, path_);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(ModelIoTest, RejectsConstraintAttributeOutOfRange) {
+  Fig2Database f = MakeFig2Database();
+  {
+    std::ofstream out(path_);
+    out << "crossmine-model 1\n"
+        << "schema " << SchemaFingerprint(f.db) << "\n"
+        << "classes 2 default 1\n"
+        << "clause 1 0.9 3 0 3 2\n"
+        << "literal 0 path ; none eq 99 0 0 3.0\n"
+        << "end\n";
+  }
+  StatusOr<CrossMineClassifier> loaded = LoadModel(f.db, path_);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(ModelIoTest, CommentsAndBlankLinesIgnored) {
+  Fig2Database f = MakeFig2Database();
+  {
+    std::ofstream out(path_);
+    out << "crossmine-model 1\n"
+        << "# a comment\n\n"
+        << "schema " << SchemaFingerprint(f.db) << "\n"
+        << "classes 2 default 1\n";
+  }
+  StatusOr<CrossMineClassifier> loaded = LoadModel(f.db, path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->clauses().empty());
+  EXPECT_EQ(loaded->default_class(), 1);
+  // An empty model predicts the default class.
+  EXPECT_EQ(loaded->Predict(f.db, {0, 2}), (std::vector<ClassId>{1, 1}));
+}
+
+}  // namespace
+}  // namespace crossmine

@@ -1,0 +1,231 @@
+#include "core/propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace crossmine {
+namespace {
+
+using testing::BruteForcePropagate;
+using testing::Fig2Database;
+using testing::MakeFig2Database;
+using testing::MakeRandomDatabase;
+
+// Finds the directed edge between two (relation, attribute) pairs.
+const JoinEdge* FindEdge(const Database& db, RelId from, AttrId from_attr,
+                         RelId to, AttrId to_attr) {
+  for (const JoinEdge& e : db.edges()) {
+    if (e.from_rel == from && e.from_attr == from_attr && e.to_rel == to &&
+        e.to_attr == to_attr) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+// Root idsets for the target relation: idset(t) = {t}.
+std::vector<IdSet> RootIdSets(const Database& db) {
+  std::vector<IdSet> root(db.target_relation().num_tuples());
+  for (TupleId t = 0; t < root.size(); ++t) root[t] = {t};
+  return root;
+}
+
+TEST(PropagationTest, PaperFig4Example) {
+  // Propagating Loan IDs to Account must yield exactly the idsets printed
+  // in Fig. 4: account 124 <- {1,2}, 108 <- {3}, 45 <- {4,5}, 67 <- {}.
+  // (Our tuple ids are 0-based: accounts 0..3, loans 0..4.)
+  Fig2Database f = MakeFig2Database();
+  const JoinEdge* edge = FindEdge(f.db, f.loan, f.loan_account, f.account, 0);
+  ASSERT_NE(edge, nullptr);
+
+  PropagationResult result =
+      PropagateIds(f.db, *edge, RootIdSets(f.db), nullptr);
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.idsets.size(), 4u);
+  EXPECT_EQ(result.idsets[0], (IdSet{0, 1}));  // account 124
+  EXPECT_EQ(result.idsets[1], (IdSet{2}));     // account 108
+  EXPECT_EQ(result.idsets[2], (IdSet{3, 4}));  // account 45
+  EXPECT_TRUE(result.idsets[3].empty());       // account 67
+  EXPECT_EQ(result.total_ids, 5u);
+}
+
+TEST(PropagationTest, ReversePropagationRecoversLoans) {
+  // Account -> Loan (PK to FK): each loan receives the ids of the loans
+  // sharing its account.
+  Fig2Database f = MakeFig2Database();
+  const JoinEdge* to_account =
+      FindEdge(f.db, f.loan, f.loan_account, f.account, 0);
+  const JoinEdge* to_loan =
+      FindEdge(f.db, f.account, 0, f.loan, f.loan_account);
+  ASSERT_NE(to_account, nullptr);
+  ASSERT_NE(to_loan, nullptr);
+
+  PropagationResult at_account =
+      PropagateIds(f.db, *to_account, RootIdSets(f.db), nullptr);
+  PropagationResult back =
+      PropagateIds(f.db, *to_loan, at_account.idsets, nullptr);
+  ASSERT_TRUE(back.ok);
+  // Loans 0 and 1 share account 124.
+  EXPECT_EQ(back.idsets[0], (IdSet{0, 1}));
+  EXPECT_EQ(back.idsets[1], (IdSet{0, 1}));
+  EXPECT_EQ(back.idsets[2], (IdSet{2}));
+  EXPECT_EQ(back.idsets[3], (IdSet{3, 4}));
+  EXPECT_EQ(back.idsets[4], (IdSet{3, 4}));
+}
+
+TEST(PropagationTest, AliveMaskFiltersIds) {
+  Fig2Database f = MakeFig2Database();
+  const JoinEdge* edge = FindEdge(f.db, f.loan, f.loan_account, f.account, 0);
+  std::vector<uint8_t> alive{1, 0, 1, 0, 1};  // loans 0, 2, 4 alive
+
+  PropagationResult result =
+      PropagateIds(f.db, *edge, RootIdSets(f.db), &alive);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.idsets[0], (IdSet{0}));
+  EXPECT_EQ(result.idsets[1], (IdSet{2}));
+  EXPECT_EQ(result.idsets[2], (IdSet{4}));
+}
+
+TEST(PropagationTest, NullJoinValuesNeverMatch) {
+  Fig2Database f = MakeFig2Database();
+  // NULL out loan 0's account id.
+  f.db.mutable_relation(f.loan).SetInt(0, f.loan_account, kNullValue);
+  const JoinEdge* edge = FindEdge(f.db, f.loan, f.loan_account, f.account, 0);
+  PropagationResult result =
+      PropagateIds(f.db, *edge, RootIdSets(f.db), nullptr);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.idsets[0], (IdSet{1}));  // loan 0 no longer reaches 124
+}
+
+TEST(PropagationTest, EmptySourceIdsetsYieldEmptyDestination) {
+  Fig2Database f = MakeFig2Database();
+  const JoinEdge* edge = FindEdge(f.db, f.loan, f.loan_account, f.account, 0);
+  std::vector<IdSet> empty(f.db.target_relation().num_tuples());
+  PropagationResult result = PropagateIds(f.db, *edge, empty, nullptr);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.total_ids, 0u);
+}
+
+TEST(PropagationTest, MaxTotalIdsLimitRejects) {
+  Fig2Database f = MakeFig2Database();
+  const JoinEdge* edge = FindEdge(f.db, f.loan, f.loan_account, f.account, 0);
+  PropagationLimits limits;
+  limits.max_total_ids = 2;  // Fig. 4 needs 5
+  PropagationResult result =
+      PropagateIds(f.db, *edge, RootIdSets(f.db), nullptr, limits);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.idsets.empty());
+}
+
+TEST(PropagationTest, MaxAvgFanoutLimitRejectsUnselectiveLink) {
+  Fig2Database f = MakeFig2Database();
+  const JoinEdge* edge = FindEdge(f.db, f.loan, f.loan_account, f.account, 0);
+  PropagationLimits limits;
+  limits.max_avg_fanout = 1.2;  // Fig. 4 average is 5/3 ≈ 1.67
+  PropagationResult result =
+      PropagateIds(f.db, *edge, RootIdSets(f.db), nullptr, limits);
+  EXPECT_FALSE(result.ok);
+
+  limits.max_avg_fanout = 2.0;  // now admissible
+  result = PropagateIds(f.db, *edge, RootIdSets(f.db), nullptr, limits);
+  EXPECT_TRUE(result.ok);
+}
+
+TEST(PropagationTest, TransitivePropagationLemma2) {
+  // Chain: Target -> Mid -> Leaf; IDs propagated through Mid must equal
+  // the target tuples joinable along the two-hop path.
+  Database db;
+  RelationSchema leaf("Leaf");
+  leaf.AddPrimaryKey("id");
+  db.AddRelation(std::move(leaf));
+  RelationSchema mid("Mid");
+  mid.AddPrimaryKey("id");
+  mid.AddForeignKey("leaf_id", 0);
+  db.AddRelation(std::move(mid));
+  RelationSchema target("Target");
+  target.AddPrimaryKey("id");
+  target.AddForeignKey("mid_id", 1);
+  db.AddRelation(std::move(target));
+  db.SetTarget(2);
+
+  Relation& leaf_rel = db.mutable_relation(0);
+  for (int i = 0; i < 2; ++i) {
+    TupleId t = leaf_rel.AddTuple();
+    leaf_rel.SetInt(t, 0, t);
+  }
+  Relation& mid_rel = db.mutable_relation(1);
+  const int64_t mid_to_leaf[] = {0, 0, 1};
+  for (int64_t l : mid_to_leaf) {
+    TupleId t = mid_rel.AddTuple();
+    mid_rel.SetInt(t, 0, t);
+    mid_rel.SetInt(t, 1, l);
+  }
+  Relation& target_rel = db.mutable_relation(2);
+  const int64_t target_to_mid[] = {0, 1, 2, 2};
+  std::vector<ClassId> labels;
+  for (int64_t m : target_to_mid) {
+    TupleId t = target_rel.AddTuple();
+    target_rel.SetInt(t, 0, t);
+    target_rel.SetInt(t, 1, m);
+    labels.push_back(0);
+  }
+  db.SetLabels(labels, 2);
+  ASSERT_TRUE(db.Finalize().ok());
+
+  const JoinEdge* to_mid = FindEdge(db, 2, 1, 1, 0);
+  const JoinEdge* to_leaf = FindEdge(db, 1, 1, 0, 0);
+  ASSERT_NE(to_mid, nullptr);
+  ASSERT_NE(to_leaf, nullptr);
+
+  std::vector<IdSet> root(4);
+  for (TupleId t = 0; t < 4; ++t) root[t] = {t};
+  PropagationResult at_mid = PropagateIds(db, *to_mid, root, nullptr);
+  PropagationResult at_leaf =
+      PropagateIds(db, *to_leaf, at_mid.idsets, nullptr);
+  ASSERT_TRUE(at_leaf.ok);
+  // Leaf 0 <- mids {0,1} <- targets {0,1}; leaf 1 <- mid 2 <- targets {2,3}.
+  EXPECT_EQ(at_leaf.idsets[0], (IdSet{0, 1}));
+  EXPECT_EQ(at_leaf.idsets[1], (IdSet{2, 3}));
+}
+
+// Property test: on random databases, PropagateIds agrees with a
+// brute-force nested-loop oracle on every edge, with and without an alive
+// mask.
+class PropagationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropagationPropertyTest, MatchesBruteForceOnEveryEdge) {
+  Database db = MakeRandomDatabase(GetParam());
+  std::vector<IdSet> root(db.target_relation().num_tuples());
+  for (TupleId t = 0; t < root.size(); ++t) root[t] = {t};
+
+  Rng rng(GetParam() ^ 0xabcd);
+  std::vector<uint8_t> alive(root.size());
+  for (auto& a : alive) a = rng.Bernoulli(0.7);
+
+  for (const JoinEdge& edge : db.edges()) {
+    if (edge.from_rel != db.target()) continue;
+    PropagationResult got = PropagateIds(db, edge, root, nullptr);
+    ASSERT_TRUE(got.ok);
+    EXPECT_EQ(got.idsets, BruteForcePropagate(db, edge, root, nullptr));
+
+    PropagationResult masked = PropagateIds(db, edge, root, &alive);
+    ASSERT_TRUE(masked.ok);
+    EXPECT_EQ(masked.idsets, BruteForcePropagate(db, edge, root, &alive));
+
+    // Second hop from the reached relation, exercising Lemma 2.
+    for (int32_t e2 : db.OutEdges(edge.to_rel)) {
+      const JoinEdge& second = db.edges()[static_cast<size_t>(e2)];
+      PropagationResult hop2 = PropagateIds(db, second, got.idsets, nullptr);
+      ASSERT_TRUE(hop2.ok);
+      EXPECT_EQ(hop2.idsets,
+                BruteForcePropagate(db, second, got.idsets, nullptr));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropagationPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace crossmine

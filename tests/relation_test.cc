@@ -1,0 +1,167 @@
+#include "relational/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace crossmine {
+namespace {
+
+RelationSchema MakeSchema() {
+  RelationSchema s("R");
+  s.AddPrimaryKey("id");       // 0
+  s.AddCategorical("color");   // 1
+  s.AddNumerical("price");     // 2
+  s.AddForeignKey("other", 1); // 3
+  return s;
+}
+
+TEST(RelationTest, StartsEmpty) {
+  Relation r(MakeSchema());
+  EXPECT_EQ(r.num_tuples(), 0u);
+  EXPECT_EQ(r.name(), "R");
+}
+
+TEST(RelationTest, AddTupleDefaults) {
+  Relation r(MakeSchema());
+  TupleId t = r.AddTuple();
+  EXPECT_EQ(t, 0u);
+  EXPECT_EQ(r.Int(t, 0), kNullValue);
+  EXPECT_EQ(r.Int(t, 1), kNullValue);
+  EXPECT_DOUBLE_EQ(r.Double(t, 2), 0.0);
+  EXPECT_EQ(r.Int(t, 3), kNullValue);
+}
+
+TEST(RelationTest, SetAndGetCells) {
+  Relation r(MakeSchema());
+  TupleId t = r.AddTuple();
+  r.SetInt(t, 0, 10);
+  r.SetInt(t, 1, 2);
+  r.SetDouble(t, 2, 3.5);
+  r.SetInt(t, 3, 77);
+  EXPECT_EQ(r.Int(t, 0), 10);
+  EXPECT_EQ(r.Int(t, 1), 2);
+  EXPECT_DOUBLE_EQ(r.Double(t, 2), 3.5);
+  EXPECT_EQ(r.Int(t, 3), 77);
+}
+
+TEST(RelationTest, KindMismatchAborts) {
+  Relation r(MakeSchema());
+  TupleId t = r.AddTuple();
+  EXPECT_DEATH(r.Double(t, 0), "");
+  EXPECT_DEATH(r.Int(t, 2), "");
+}
+
+TEST(RelationTest, Columns) {
+  Relation r(MakeSchema());
+  for (int i = 0; i < 3; ++i) {
+    TupleId t = r.AddTuple();
+    r.SetInt(t, 1, i);
+    r.SetDouble(t, 2, i * 1.5);
+  }
+  EXPECT_EQ(r.IntColumn(1), (std::vector<int64_t>{0, 1, 2}));
+  EXPECT_EQ(r.DoubleColumn(2), (std::vector<double>{0.0, 1.5, 3.0}));
+}
+
+TEST(RelationTest, HashIndexGroupsByValue) {
+  Relation r(MakeSchema());
+  int64_t values[] = {5, 7, 5, 9, 5};
+  for (int64_t v : values) {
+    TupleId t = r.AddTuple();
+    r.SetInt(t, 1, v);
+  }
+  const HashIndex& index = r.GetHashIndex(1);
+  EXPECT_EQ(index.size(), 3u);
+  EXPECT_EQ(index.at(5), (std::vector<TupleId>{0, 2, 4}));
+  EXPECT_EQ(index.at(7), (std::vector<TupleId>{1}));
+  EXPECT_EQ(index.at(9), (std::vector<TupleId>{3}));
+}
+
+TEST(RelationTest, HashIndexSkipsNulls) {
+  Relation r(MakeSchema());
+  TupleId a = r.AddTuple();
+  r.SetInt(a, 1, 4);
+  r.AddTuple();  // stays NULL
+  const HashIndex& index = r.GetHashIndex(1);
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_EQ(index.count(kNullValue), 0u);
+}
+
+TEST(RelationTest, HashIndexInvalidatedByMutation) {
+  Relation r(MakeSchema());
+  TupleId t = r.AddTuple();
+  r.SetInt(t, 1, 1);
+  EXPECT_EQ(r.GetHashIndex(1).at(1).size(), 1u);
+  r.SetInt(t, 1, 2);
+  const HashIndex& index = r.GetHashIndex(1);
+  EXPECT_EQ(index.count(1), 0u);
+  EXPECT_EQ(index.at(2).size(), 1u);
+}
+
+TEST(RelationTest, HashIndexInvalidatedByAddTuple) {
+  Relation r(MakeSchema());
+  TupleId a = r.AddTuple();
+  r.SetInt(a, 1, 3);
+  EXPECT_EQ(r.GetHashIndex(1).at(3).size(), 1u);
+  TupleId b = r.AddTuple();
+  r.SetInt(b, 1, 3);
+  EXPECT_EQ(r.GetHashIndex(1).at(3).size(), 2u);
+}
+
+TEST(RelationTest, SortedIndexOrdersByValue) {
+  Relation r(MakeSchema());
+  double values[] = {5.0, 1.0, 3.0, 2.0, 4.0};
+  for (double v : values) {
+    TupleId t = r.AddTuple();
+    r.SetDouble(t, 2, v);
+  }
+  EXPECT_EQ(r.GetSortedIndex(2), (std::vector<TupleId>{1, 3, 2, 4, 0}));
+}
+
+TEST(RelationTest, SortedIndexStableForTies) {
+  Relation r(MakeSchema());
+  double values[] = {2.0, 1.0, 2.0, 1.0};
+  for (double v : values) {
+    TupleId t = r.AddTuple();
+    r.SetDouble(t, 2, v);
+  }
+  EXPECT_EQ(r.GetSortedIndex(2), (std::vector<TupleId>{1, 3, 0, 2}));
+}
+
+TEST(RelationTest, SortedIndexInvalidatedByMutation) {
+  Relation r(MakeSchema());
+  TupleId a = r.AddTuple();
+  TupleId b = r.AddTuple();
+  r.SetDouble(a, 2, 1.0);
+  r.SetDouble(b, 2, 2.0);
+  EXPECT_EQ(r.GetSortedIndex(2).front(), a);
+  r.SetDouble(a, 2, 3.0);
+  EXPECT_EQ(r.GetSortedIndex(2).front(), b);
+}
+
+TEST(RelationTest, DistinctCategoriesSortedAndNullFree) {
+  Relation r(MakeSchema());
+  int64_t values[] = {3, kNullValue, 1, 3, 2};
+  for (int64_t v : values) {
+    TupleId t = r.AddTuple();
+    r.SetInt(t, 1, v);
+  }
+  EXPECT_EQ(r.DistinctCategories(1), (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(RelationTest, DictionaryInternAndLookup) {
+  Relation r(MakeSchema());
+  EXPECT_EQ(r.InternCategory(1, "red"), 0);
+  EXPECT_EQ(r.InternCategory(1, "blue"), 1);
+  EXPECT_EQ(r.InternCategory(1, "red"), 0);  // idempotent
+  EXPECT_EQ(r.CategoryName(1, 0), "red");
+  EXPECT_EQ(r.CategoryName(1, 1), "blue");
+  EXPECT_EQ(r.Dictionary(1).size(), 2u);
+}
+
+TEST(RelationTest, CategoryNameFallsBackToNumber) {
+  Relation r(MakeSchema());
+  EXPECT_EQ(r.CategoryName(1, 42), "42");
+  EXPECT_EQ(r.CategoryName(1, -1), "-1");
+}
+
+}  // namespace
+}  // namespace crossmine

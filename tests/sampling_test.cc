@@ -1,0 +1,102 @@
+#include "core/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crossmine {
+namespace {
+
+TEST(SamplingTest, ExactWhenNothingDropped) {
+  EXPECT_DOUBLE_EQ(SafeNegativeEstimate(100, 100, 37), 37.0);
+  EXPECT_DOUBLE_EQ(SafeNegativeEstimate(0, 0, 0), 0.0);
+}
+
+TEST(SamplingTest, ZeroSampleGivesZero) {
+  EXPECT_DOUBLE_EQ(SafeNegativeEstimate(100, 0, 0), 0.0);
+}
+
+TEST(SamplingTest, SafeEstimateExceedsNaiveScaling) {
+  // Naive: n' * N / N' = 10 * 1000 / 100 = 100. The safe (90th percentile
+  // upper bound) estimate must be at least that.
+  double est = SafeNegativeEstimate(1000, 100, 10);
+  EXPECT_GE(est, 100.0);
+  EXPECT_LE(est, 1000.0);
+}
+
+TEST(SamplingTest, ZeroSatisfyingStillConservative) {
+  // Even n' = 0 cannot prove n = 0: the bound stays positive.
+  double est = SafeNegativeEstimate(1000, 100, 0);
+  EXPECT_GT(est, 0.0);
+  EXPECT_LT(est, 1000.0 * 0.05);
+}
+
+TEST(SamplingTest, MonotonicInSatisfyingCount) {
+  double prev = -1.0;
+  for (uint64_t n_prime = 0; n_prime <= 100; n_prime += 10) {
+    double est = SafeNegativeEstimate(1000, 100, n_prime);
+    EXPECT_GT(est, prev);
+    prev = est;
+  }
+}
+
+TEST(SamplingTest, AllSatisfyingClampsToTotal) {
+  EXPECT_NEAR(SafeNegativeEstimate(1000, 100, 100), 1000.0, 1e-6);
+}
+
+TEST(SamplingTest, SolvesPaperQuadratic) {
+  // The estimate/N must be the greater root x2 of
+  // (1 + 1.64/N') x^2 - (2d + 1.64/N') x + d^2 = 0 with d = n'/N'.
+  const uint64_t N = 5000, Np = 200, np = 40;
+  double x = SafeNegativeEstimate(N, Np, np) / static_cast<double>(N);
+  double d = static_cast<double>(np) / static_cast<double>(Np);
+  double a = 1.0 + 1.64 / static_cast<double>(Np);
+  double residual = a * x * x - (2 * d + 1.64 / static_cast<double>(Np)) * x +
+                    d * d;
+  EXPECT_NEAR(residual, 0.0, 1e-9);
+  EXPECT_GT(x, d);  // greater root lies above the naive fraction
+}
+
+TEST(SamplingTest, LargerSampleTightensBound) {
+  // With the same observed fraction, a bigger sample should give an
+  // estimate closer to the naive one.
+  double naive = 0.1 * 10000;
+  double loose = SafeNegativeEstimate(10000, 100, 10);
+  double tight = SafeNegativeEstimate(10000, 1000, 100);
+  EXPECT_GT(loose, tight);
+  EXPECT_GT(tight, naive);
+}
+
+TEST(SamplingTest, EstimateNeverBelowObservedCount) {
+  for (uint64_t np = 0; np <= 50; np += 5) {
+    EXPECT_GE(SafeNegativeEstimate(60, 50, np), static_cast<double>(np));
+  }
+}
+
+class SamplingSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SamplingSweepTest, BoundsAndRootProperty) {
+  auto [total, sampled] = GetParam();
+  for (int np = 0; np <= sampled; np += std::max(1, sampled / 7)) {
+    double est = SafeNegativeEstimate(static_cast<uint64_t>(total),
+                                      static_cast<uint64_t>(sampled),
+                                      static_cast<uint64_t>(np));
+    EXPECT_GE(est, static_cast<double>(np));
+    EXPECT_LE(est, static_cast<double>(total));
+    if (sampled < total) {
+      // Safe estimate dominates the naive extrapolation.
+      EXPECT_GE(est + 1e-9, static_cast<double>(np) * total / sampled);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SamplingSweepTest,
+    ::testing::Values(std::make_tuple(100, 10), std::make_tuple(100, 100),
+                      std::make_tuple(1000, 50), std::make_tuple(1000, 600),
+                      std::make_tuple(5000, 600),
+                      std::make_tuple(100000, 600)));
+
+}  // namespace
+}  // namespace crossmine

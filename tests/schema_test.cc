@@ -1,0 +1,89 @@
+#include "relational/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace crossmine {
+namespace {
+
+TEST(SchemaTest, EmptySchema) {
+  RelationSchema s("Empty");
+  EXPECT_EQ(s.name(), "Empty");
+  EXPECT_EQ(s.num_attrs(), 0);
+  EXPECT_EQ(s.primary_key(), kInvalidAttr);
+  EXPECT_TRUE(s.foreign_keys().empty());
+}
+
+TEST(SchemaTest, AddAttributesAssignsSequentialIds) {
+  RelationSchema s("R");
+  EXPECT_EQ(s.AddPrimaryKey("id"), 0);
+  EXPECT_EQ(s.AddCategorical("color"), 1);
+  EXPECT_EQ(s.AddNumerical("price"), 2);
+  EXPECT_EQ(s.AddForeignKey("other_id", 5), 3);
+  EXPECT_EQ(s.num_attrs(), 4);
+}
+
+TEST(SchemaTest, AttrKindsRecorded) {
+  RelationSchema s("R");
+  s.AddPrimaryKey("id");
+  s.AddCategorical("c");
+  s.AddNumerical("n");
+  s.AddForeignKey("f", 2);
+  EXPECT_EQ(s.attr(0).kind, AttrKind::kPrimaryKey);
+  EXPECT_EQ(s.attr(1).kind, AttrKind::kCategorical);
+  EXPECT_EQ(s.attr(2).kind, AttrKind::kNumerical);
+  EXPECT_EQ(s.attr(3).kind, AttrKind::kForeignKey);
+  EXPECT_EQ(s.attr(3).references, 2);
+}
+
+TEST(SchemaTest, PrimaryKeyTracked) {
+  RelationSchema s("R");
+  s.AddCategorical("c");
+  AttrId pk = s.AddPrimaryKey("id");
+  EXPECT_EQ(s.primary_key(), pk);
+}
+
+TEST(SchemaTest, SecondPrimaryKeyAborts) {
+  RelationSchema s("R");
+  s.AddPrimaryKey("id");
+  EXPECT_DEATH(s.AddPrimaryKey("id2"), "primary key");
+}
+
+TEST(SchemaTest, ForeignKeysListedInOrder) {
+  RelationSchema s("R");
+  s.AddPrimaryKey("id");
+  AttrId f1 = s.AddForeignKey("a", 1);
+  s.AddCategorical("c");
+  AttrId f2 = s.AddForeignKey("b", 2);
+  EXPECT_EQ(s.foreign_keys(), (std::vector<AttrId>{f1, f2}));
+}
+
+TEST(SchemaTest, FindAttr) {
+  RelationSchema s("R");
+  s.AddPrimaryKey("id");
+  s.AddCategorical("color");
+  EXPECT_EQ(s.FindAttr("color"), 1);
+  EXPECT_EQ(s.FindAttr("id"), 0);
+  EXPECT_EQ(s.FindAttr("nope"), kInvalidAttr);
+}
+
+TEST(SchemaTest, IsIntAttr) {
+  RelationSchema s("R");
+  s.AddPrimaryKey("id");
+  s.AddCategorical("c");
+  s.AddNumerical("n");
+  s.AddForeignKey("f", 0);
+  EXPECT_TRUE(s.IsIntAttr(0));
+  EXPECT_TRUE(s.IsIntAttr(1));
+  EXPECT_FALSE(s.IsIntAttr(2));
+  EXPECT_TRUE(s.IsIntAttr(3));
+}
+
+TEST(SchemaTest, AttrKindNames) {
+  EXPECT_STREQ(AttrKindName(AttrKind::kPrimaryKey), "pk");
+  EXPECT_STREQ(AttrKindName(AttrKind::kForeignKey), "fk");
+  EXPECT_STREQ(AttrKindName(AttrKind::kCategorical), "cat");
+  EXPECT_STREQ(AttrKindName(AttrKind::kNumerical), "num");
+}
+
+}  // namespace
+}  // namespace crossmine

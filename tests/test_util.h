@@ -1,0 +1,226 @@
+#ifndef CROSSMINE_TESTS_TEST_UTIL_H_
+#define CROSSMINE_TESTS_TEST_UTIL_H_
+
+// Shared fixtures and brute-force oracles for the CrossMine test suite.
+
+#include <set>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "core/constraint_eval.h"
+#include "core/literal.h"
+#include "relational/database.h"
+
+namespace crossmine::testing {
+
+/// The sample database of Fig. 2 / Fig. 4 of the paper:
+///
+///   Loan(loan-id, account-id, amount, duration, payment, class)
+///     (1,124,1000,12,120,+) (2,124,4000,12,350,+) (3,108,10000,24,500,-)
+///     (4,45,12000,36,400,-) (5,45,2000,24,90,+)
+///   Account(account-id, frequency, date)
+///     (124,monthly,960227) (108,weekly,950923) (45,monthly,941209)
+///     (67,weekly,950101)
+///
+/// Loan ids map to tuple ids 0..4, account-ids 124/108/45/67 to 0..3.
+/// frequency codes: monthly=0, weekly=1. Class: + = 1, - = 0.
+struct Fig2Database {
+  Database db;
+  RelId loan, account;
+  AttrId loan_account, loan_amount, loan_duration, loan_payment;
+  AttrId account_frequency, account_date;
+  int64_t monthly, weekly;
+};
+
+inline Fig2Database MakeFig2Database() {
+  Fig2Database f;
+
+  RelationSchema account_schema("Account");
+  account_schema.AddPrimaryKey("account_id");
+  f.account_frequency = account_schema.AddCategorical("frequency");
+  f.account_date = account_schema.AddNumerical("date");
+  f.account = f.db.AddRelation(std::move(account_schema));
+
+  RelationSchema loan_schema("Loan");
+  loan_schema.AddPrimaryKey("loan_id");
+  f.loan_account = loan_schema.AddForeignKey("account_id", f.account);
+  f.loan_amount = loan_schema.AddNumerical("amount");
+  f.loan_duration = loan_schema.AddNumerical("duration");
+  f.loan_payment = loan_schema.AddNumerical("payment");
+  f.loan = f.db.AddRelation(std::move(loan_schema));
+  f.db.SetTarget(f.loan);
+
+  Relation& account = f.db.mutable_relation(f.account);
+  f.monthly = account.InternCategory(f.account_frequency, "monthly");
+  f.weekly = account.InternCategory(f.account_frequency, "weekly");
+  const struct {
+    int64_t freq;
+    double date;
+  } accounts[] = {
+      {f.monthly, 960227}, {f.weekly, 950923}, {f.monthly, 941209},
+      {f.weekly, 950101}};
+  for (const auto& row : accounts) {
+    TupleId t = account.AddTuple();
+    account.SetInt(t, 0, t);
+    account.SetInt(t, f.account_frequency, row.freq);
+    account.SetDouble(t, f.account_date, row.date);
+  }
+
+  Relation& loan = f.db.mutable_relation(f.loan);
+  const struct {
+    int64_t account;
+    double amount, duration, payment;
+    ClassId cls;
+  } loans[] = {{0, 1000, 12, 120, 1},
+               {0, 4000, 12, 350, 1},
+               {1, 10000, 24, 500, 0},
+               {2, 12000, 36, 400, 0},
+               {2, 2000, 24, 90, 1}};
+  std::vector<ClassId> labels;
+  for (const auto& row : loans) {
+    TupleId t = loan.AddTuple();
+    loan.SetInt(t, 0, t);
+    loan.SetInt(t, f.loan_account, row.account);
+    loan.SetDouble(t, f.loan_amount, row.amount);
+    loan.SetDouble(t, f.loan_duration, row.duration);
+    loan.SetDouble(t, f.loan_payment, row.payment);
+    labels.push_back(row.cls);
+  }
+  f.db.SetLabels(labels, 2);
+  CM_CHECK(f.db.Finalize().ok());
+  return f;
+}
+
+/// A random small database for property tests: `num_relations` relations
+/// (relation 0 is the target), each non-target relation reached via a
+/// random mix of FK directions, 1–2 categorical and 0–1 numerical
+/// attributes per relation, random sizes, random labels. FK values may
+/// dangle deliberately unless `fix_referential` is set.
+inline Database MakeRandomDatabase(uint64_t seed, int num_relations = 3,
+                                   int max_tuples = 30) {
+  Rng rng(seed);
+  Database db;
+  // Relation 0: target with pk, one categorical, one numerical, and one FK
+  // to each other relation (so the join graph is connected).
+  std::vector<int> num_cats(static_cast<size_t>(num_relations));
+  for (int r = 0; r < num_relations; ++r) {
+    num_cats[static_cast<size_t>(r)] = 1 + static_cast<int>(rng.Uniform(2));
+  }
+  for (int r = 0; r < num_relations; ++r) {
+    RelationSchema schema("T" + std::to_string(r));
+    schema.AddPrimaryKey("id");
+    for (int c = 0; c < num_cats[static_cast<size_t>(r)]; ++c) {
+      schema.AddCategorical("c" + std::to_string(c));
+    }
+    schema.AddNumerical("x");
+    if (r == 0) {
+      for (int s = 1; s < num_relations; ++s) {
+        schema.AddForeignKey("fk" + std::to_string(s), s);
+      }
+    } else if (rng.Bernoulli(0.5)) {
+      schema.AddForeignKey("back", 0);  // FK back to the target
+    }
+    db.AddRelation(std::move(schema));
+  }
+  db.SetTarget(0);
+
+  std::vector<ClassId> labels;
+  for (int r = 0; r < num_relations; ++r) {
+    Relation& rel = db.mutable_relation(r);
+    const RelationSchema& schema = rel.schema();
+    int64_t n = 2 + static_cast<int64_t>(rng.Uniform(
+                        static_cast<uint64_t>(max_tuples - 1)));
+    for (int64_t i = 0; i < n; ++i) {
+      TupleId t = rel.AddTuple();
+      rel.SetInt(t, 0, t);
+      for (AttrId a = 1; a < schema.num_attrs(); ++a) {
+        switch (schema.attr(a).kind) {
+          case AttrKind::kCategorical:
+            rel.SetInt(t, a, static_cast<int64_t>(rng.Uniform(4)));
+            break;
+          case AttrKind::kNumerical:
+            rel.SetDouble(t, a, rng.UniformDouble(0, 10));
+            break;
+          case AttrKind::kForeignKey:
+            // May dangle or be NULL — propagation must tolerate both.
+            if (rng.Bernoulli(0.1)) {
+              rel.SetInt(t, a, kNullValue);
+            } else {
+              rel.SetInt(t, a, static_cast<int64_t>(rng.Uniform(
+                                   static_cast<uint64_t>(max_tuples))));
+            }
+            break;
+          case AttrKind::kPrimaryKey:
+            break;
+        }
+      }
+      if (r == 0) labels.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+    }
+  }
+  db.SetLabels(std::move(labels), 2);
+  CM_CHECK(db.Finalize().ok());
+  return db;
+}
+
+/// Brute-force oracle for one propagation step: target ids joinable with
+/// each destination tuple given source idsets (Definition 2).
+inline std::vector<IdSet> BruteForcePropagate(
+    const Database& db, const JoinEdge& edge,
+    const std::vector<IdSet>& src_idsets, const std::vector<uint8_t>* alive) {
+  const Relation& src = db.relation(edge.from_rel);
+  const Relation& dst = db.relation(edge.to_rel);
+  std::vector<IdSet> out(dst.num_tuples());
+  for (TupleId u = 0; u < dst.num_tuples(); ++u) {
+    int64_t uv = dst.Int(u, edge.to_attr);
+    if (uv == kNullValue) continue;
+    std::set<TupleId> ids;
+    for (TupleId t = 0; t < src.num_tuples(); ++t) {
+      if (src.Int(t, edge.from_attr) != uv) continue;
+      for (TupleId id : src_idsets[t]) {
+        if (alive == nullptr || (*alive)[id]) ids.insert(id);
+      }
+    }
+    out[u].assign(ids.begin(), ids.end());
+  }
+  return out;
+}
+
+/// Brute-force oracle for clause satisfaction: replays the clause's node
+/// idsets with BruteForcePropagate + ApplyConstraint.
+inline std::vector<uint8_t> BruteForceClauseSatisfied(
+    const Database& db, const Clause& clause,
+    const std::vector<uint8_t>& query) {
+  TupleId n = db.target_relation().num_tuples();
+  std::vector<uint8_t> alive = query;
+  std::vector<std::vector<IdSet>> nodes;
+  std::vector<IdSet> root(n);
+  for (TupleId t = 0; t < n; ++t) {
+    if (alive[t]) root[t] = {t};
+  }
+  nodes.push_back(std::move(root));
+  std::vector<uint8_t> satisfied(n, 0);
+  for (const ComplexLiteral& lit : clause.literals()) {
+    const std::vector<IdSet>* cur =
+        &nodes[static_cast<size_t>(lit.source_node)];
+    for (int32_t e : lit.edge_path) {
+      nodes.push_back(BruteForcePropagate(
+          db, db.edges()[static_cast<size_t>(e)], *cur, &alive));
+      cur = &nodes.back();
+    }
+    int32_t cnode = lit.ConstraintNode();
+    const Relation& rel =
+        db.relation(clause.nodes()[static_cast<size_t>(cnode)].relation);
+    ApplyConstraint(rel, lit.constraint, alive,
+                    &nodes[static_cast<size_t>(cnode)], &satisfied);
+    for (TupleId t = 0; t < n; ++t) alive[t] = alive[t] && satisfied[t];
+    for (std::vector<IdSet>& idsets : nodes) {
+      FilterIdSets(&idsets, alive);
+    }
+  }
+  return alive;
+}
+
+}  // namespace crossmine::testing
+
+#endif  // CROSSMINE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,157 @@
+#include "baselines/tilde.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "eval/cross_validation.h"
+#include "test_util.h"
+
+namespace crossmine::baselines {
+namespace {
+
+using crossmine::testing::Fig2Database;
+using crossmine::testing::MakeFig2Database;
+
+TildeOptions SmallDataOptions() {
+  TildeOptions opts;
+  opts.min_examples = 2;
+  return opts;
+}
+
+TEST(TildeTest, TrainRequiresFinalizedDatabase) {
+  Database db;
+  RelationSchema t("T");
+  t.AddPrimaryKey("id");
+  db.AddRelation(std::move(t));
+  db.SetTarget(0);
+  TildeClassifier model;
+  EXPECT_EQ(model.Train(db, {0}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TildeTest, TrainRejectsEmptyTrainingSet) {
+  Fig2Database f = MakeFig2Database();
+  TildeClassifier model;
+  EXPECT_EQ(model.Train(f.db, {}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TildeTest, LearnsMonthlyWeeklyRule) {
+  Fig2Database f = MakeFig2Database();
+  TildeClassifier model(SmallDataOptions());
+  ASSERT_TRUE(model.Train(f.db, {0, 1, 2, 3, 4}).ok());
+  EXPECT_GT(model.tree_size(), 1u);
+  EXPECT_EQ(model.Predict(f.db, {0, 1, 2, 3, 4}),
+            (std::vector<ClassId>{1, 1, 0, 0, 1}));
+}
+
+TEST(TildeTest, PureNodeBecomesLeaf) {
+  // All-positive labels: the tree must be a single leaf predicting 1.
+  Fig2Database f = MakeFig2Database();
+  f.db.SetLabels({1, 1, 1, 1, 1}, 2);
+  TildeClassifier model(SmallDataOptions());
+  ASSERT_TRUE(model.Train(f.db, {0, 1, 2, 3, 4}).ok());
+  EXPECT_EQ(model.tree_size(), 1u);
+  EXPECT_EQ(model.Predict(f.db, {0, 1}), (std::vector<ClassId>{1, 1}));
+}
+
+TEST(TildeTest, MaxDepthLimitsTree) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_relations = 5;
+  cfg.expected_tuples = 120;
+  cfg.seed = 61;
+  StatusOr<Database> db = datagen::GenerateSyntheticDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  std::vector<TupleId> ids(db->target_relation().num_tuples());
+  for (TupleId t = 0; t < ids.size(); ++t) ids[t] = t;
+
+  TildeOptions shallow;
+  shallow.max_depth = 1;
+  TildeClassifier model(shallow);
+  ASSERT_TRUE(model.Train(*db, ids).ok());
+  EXPECT_LE(model.tree_size(), 3u);  // root + two children at most
+}
+
+TEST(TildeTest, ReasonableAccuracyOnSmallSynthetic) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_relations = 5;
+  cfg.expected_tuples = 150;
+  cfg.seed = 62;
+  StatusOr<Database> db = datagen::GenerateSyntheticDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  TildeOptions opts;
+  opts.use_numerical_literals = false;
+  auto result = eval::CrossValidate(
+      *db, [&] { return std::make_unique<TildeClassifier>(opts); }, 3, 1);
+  EXPECT_GT(result.mean_accuracy, 0.6);
+}
+
+TEST(TildeTest, TimeBudgetTruncatesTraining) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_relations = 8;
+  cfg.expected_tuples = 250;
+  cfg.seed = 63;
+  StatusOr<Database> db = datagen::GenerateSyntheticDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  TildeOptions opts;
+  opts.time_budget_seconds = 1e-4;
+  TildeClassifier model(opts);
+  std::vector<TupleId> ids(db->target_relation().num_tuples());
+  for (TupleId t = 0; t < ids.size(); ++t) ids[t] = t;
+  ASSERT_TRUE(model.Train(*db, ids).ok());
+  EXPECT_TRUE(model.truncated());
+  EXPECT_EQ(model.Predict(*db, ids).size(), ids.size());
+}
+
+TEST(TildeTest, DeterministicAcrossRuns) {
+  Fig2Database f = MakeFig2Database();
+  TildeClassifier a(SmallDataOptions()), b(SmallDataOptions());
+  ASSERT_TRUE(a.Train(f.db, {0, 1, 2, 3, 4}).ok());
+  ASSERT_TRUE(b.Train(f.db, {0, 1, 2, 3, 4}).ok());
+  EXPECT_EQ(a.tree_size(), b.tree_size());
+  EXPECT_EQ(a.ToString(f.db), b.ToString(f.db));
+}
+
+TEST(TildeTest, ToStringRendersTreeStructure) {
+  Fig2Database f = MakeFig2Database();
+  TildeClassifier model(SmallDataOptions());
+  ASSERT_TRUE(model.Train(f.db, {0, 1, 2, 3, 4}).ok());
+  std::string s = model.ToString(f.db);
+  EXPECT_NE(s.find("test:"), std::string::npos);
+  EXPECT_NE(s.find("-> class"), std::string::npos);
+}
+
+TEST(TildeTest, MulticlassEntropySplits) {
+  Database db;
+  RelationSchema t("T");
+  t.AddPrimaryKey("id");
+  AttrId c = t.AddCategorical("c");
+  db.AddRelation(std::move(t));
+  db.SetTarget(0);
+  Relation& rel = db.mutable_relation(0);
+  std::vector<ClassId> labels;
+  for (int i = 0; i < 30; ++i) {
+    TupleId id = rel.AddTuple();
+    rel.SetInt(id, 0, id);
+    rel.SetInt(id, c, i % 3);
+    labels.push_back(i % 3);
+  }
+  db.SetLabels(labels, 3);
+  ASSERT_TRUE(db.Finalize().ok());
+
+  TildeClassifier model(SmallDataOptions());
+  std::vector<TupleId> ids(30);
+  for (TupleId i = 0; i < 30; ++i) ids[i] = i;
+  ASSERT_TRUE(model.Train(db, ids).ok());
+  EXPECT_EQ(model.Predict(db, ids), labels);
+}
+
+TEST(TildeTest, UnseenTupleGetsRoutedOrDefault) {
+  Fig2Database f = MakeFig2Database();
+  TildeClassifier model(SmallDataOptions());
+  ASSERT_TRUE(model.Train(f.db, {0, 1, 2, 3}).ok());
+  std::vector<ClassId> pred = model.Predict(f.db, {4});
+  ASSERT_EQ(pred.size(), 1u);
+  EXPECT_TRUE(pred[0] == 0 || pred[0] == 1);
+}
+
+}  // namespace
+}  // namespace crossmine::baselines

@@ -1,0 +1,304 @@
+// crossmine — command-line front end for the library.
+//
+//   crossmine generate <kind> <dir> [options]   create a dataset (CSV)
+//   crossmine inspect  <dir>                    show schema & statistics
+//   crossmine evaluate <dir> [options]          k-fold cross validation
+//   crossmine train    <dir> <model>            train and save a model
+//   crossmine predict  <dir> <model>            load a model and classify
+//
+// Datasets are directories in the CSV + schema.txt format of
+// relational/csv.h, so anything the library can load can also be produced
+// by external tools. Run `crossmine help` for the full option list.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "core/classifier.h"
+#include "common/string_util.h"
+#include "core/model_io.h"
+#include "datagen/financial.h"
+#include "datagen/mutagenesis.h"
+#include "datagen/synthetic.h"
+#include "eval/cross_validation.h"
+#include "eval/metrics.h"
+#include "relational/csv.h"
+
+using namespace crossmine;
+
+namespace {
+
+int Usage() {
+  std::printf(
+      "crossmine — multi-relational classification (CrossMine, ICDE'04)\n\n"
+      "usage:\n"
+      "  crossmine generate synthetic <dir> [--seed N] [--relations N]\n"
+      "                                     [--tuples N] [--fkeys N]\n"
+      "  crossmine generate financial <dir> [--seed N] [--loans N]\n"
+      "  crossmine generate mutagenesis <dir> [--seed N] [--molecules N]\n"
+      "  crossmine inspect <dir>\n"
+      "  crossmine evaluate <dir> [--folds K] [--sampling]\n"
+      "                           [--no-lookahead] [--no-aggregations]\n"
+      "  crossmine train <dir> <model-file> [--sampling] [--no-lookahead]\n"
+      "                                     [--no-aggregations]\n"
+      "  crossmine predict <dir> <model-file> [--mode best|vote|list]\n"
+      "  crossmine explain <dir> <model-file> <tuple-id>\n");
+  return 2;
+}
+
+/// Parses trailing --key value / --flag options.
+std::map<std::string, std::string> ParseOptions(int argc, char** argv,
+                                                int first) {
+  std::map<std::string, std::string> opts;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && argv[i + 1][0] != '-') {
+      opts[key] = argv[++i];
+    } else {
+      opts[key] = "1";
+    }
+  }
+  return opts;
+}
+
+int64_t OptInt(const std::map<std::string, std::string>& opts,
+               const std::string& key, int64_t fallback) {
+  auto it = opts.find(key);
+  if (it == opts.end()) return fallback;
+  int64_t v = fallback;
+  crossmine::ParseInt64(it->second, &v);
+  return v;
+}
+
+CrossMineOptions OptionsFromFlags(
+    const std::map<std::string, std::string>& opts) {
+  CrossMineOptions o;
+  o.use_sampling = opts.count("sampling") > 0;
+  o.look_one_ahead = opts.count("no-lookahead") == 0;
+  o.use_aggregation_literals = opts.count("no-aggregations") == 0;
+  o.seed = static_cast<uint64_t>(OptInt(opts, "seed", 1));
+  auto mode = opts.find("mode");
+  if (mode != opts.end()) {
+    if (mode->second == "vote") {
+      o.prediction_mode = PredictionMode::kWeightedVote;
+    } else if (mode->second == "list") {
+      o.prediction_mode = PredictionMode::kDecisionList;
+    }
+  }
+  return o;
+}
+
+int Generate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  std::string kind = argv[2];
+  std::string dir = argv[3];
+  auto opts = ParseOptions(argc, argv, 4);
+  uint64_t seed = static_cast<uint64_t>(OptInt(opts, "seed", 42));
+
+  StatusOr<Database> db = Status::InvalidArgument("unknown kind: " + kind);
+  if (kind == "synthetic") {
+    datagen::SyntheticConfig cfg;
+    cfg.seed = seed;
+    cfg.num_relations = static_cast<int>(OptInt(opts, "relations", 20));
+    cfg.expected_tuples = OptInt(opts, "tuples", 500);
+    cfg.expected_fkeys = static_cast<double>(OptInt(opts, "fkeys", 2));
+    db = datagen::GenerateSyntheticDatabase(cfg);
+  } else if (kind == "financial") {
+    datagen::FinancialConfig cfg;
+    cfg.seed = seed;
+    cfg.num_loans = static_cast<int>(OptInt(opts, "loans", 400));
+    db = datagen::GenerateFinancialDatabase(cfg);
+  } else if (kind == "mutagenesis") {
+    datagen::MutagenesisConfig cfg;
+    cfg.seed = seed;
+    cfg.num_molecules = static_cast<int>(OptInt(opts, "molecules", 188));
+    db = datagen::GenerateMutagenesisDatabase(cfg);
+  }
+  if (!db.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  std::filesystem::create_directories(dir);
+  Status st = SaveDatabaseCsv(*db, dir);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %d relations, %llu tuples\n", dir.c_str(),
+              db->num_relations(),
+              static_cast<unsigned long long>(db->TotalTuples()));
+  return 0;
+}
+
+int Inspect(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  StatusOr<Database> db = LoadDatabaseCsv(argv[2]);
+  if (!db.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %d relations, %llu tuples, %zu join edges, %d classes\n",
+              argv[2], db->num_relations(),
+              static_cast<unsigned long long>(db->TotalTuples()),
+              db->edges().size(), db->num_classes());
+  for (RelId r = 0; r < db->num_relations(); ++r) {
+    const Relation& rel = db->relation(r);
+    std::printf("  %-16s %8u tuples%s\n", rel.name().c_str(),
+                rel.num_tuples(), r == db->target() ? "  [target]" : "");
+    for (AttrId a = 0; a < rel.schema().num_attrs(); ++a) {
+      const Attribute& attr = rel.schema().attr(a);
+      std::printf("    %-20s %s", attr.name.c_str(),
+                  AttrKindName(attr.kind));
+      if (attr.kind == AttrKind::kForeignKey) {
+        std::printf(" -> %s", db->relation(attr.references).name().c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  std::vector<uint32_t> counts(static_cast<size_t>(db->num_classes()), 0);
+  for (ClassId l : db->labels()) ++counts[static_cast<size_t>(l)];
+  std::printf("class distribution:");
+  for (size_t c = 0; c < counts.size(); ++c) {
+    std::printf(" %zu:%u", c, counts[c]);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int Evaluate(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  StatusOr<Database> db = LoadDatabaseCsv(argv[2]);
+  if (!db.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  auto opts = ParseOptions(argc, argv, 3);
+  int folds = static_cast<int>(OptInt(opts, "folds", 10));
+  CrossMineOptions model_opts = OptionsFromFlags(opts);
+  eval::CrossValResult cv = eval::CrossValidate(
+      *db,
+      [&] { return std::make_unique<CrossMineClassifier>(model_opts); },
+      folds, /*seed=*/1);
+  std::printf("%d-fold cross validation: %.1f%% accuracy, %.3fs per fold\n",
+              folds, cv.mean_accuracy * 100, cv.mean_fold_seconds);
+  return 0;
+}
+
+int Train(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  StatusOr<Database> db = LoadDatabaseCsv(argv[2]);
+  if (!db.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  auto opts = ParseOptions(argc, argv, 4);
+  CrossMineClassifier model(OptionsFromFlags(opts));
+  std::vector<TupleId> all;
+  for (TupleId t = 0; t < db->target_relation().num_tuples(); ++t) {
+    all.push_back(t);
+  }
+  Status st = model.Train(*db, all);
+  if (!st.ok()) {
+    std::fprintf(stderr, "train failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", model.ToString(*db).c_str());
+  st = SaveModel(model, *db, argv[3]);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("model written to %s\n", argv[3]);
+  return 0;
+}
+
+int Predict(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  StatusOr<Database> db = LoadDatabaseCsv(argv[2]);
+  if (!db.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<CrossMineClassifier> model = LoadModel(*db, argv[3]);
+  if (!model.ok()) {
+    std::fprintf(stderr, "model load failed: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  model->set_prediction_mode(
+      OptionsFromFlags(ParseOptions(argc, argv, 4)).prediction_mode);
+  std::vector<TupleId> all;
+  for (TupleId t = 0; t < db->target_relation().num_tuples(); ++t) {
+    all.push_back(t);
+  }
+  std::vector<ClassId> pred = model->Predict(*db, all);
+  eval::ConfusionMatrix confusion(db->num_classes());
+  for (TupleId t = 0; t < all.size(); ++t) {
+    std::printf("%u\t%d\n", all[t], pred[t]);
+    confusion.Add(db->labels()[t], pred[t]);
+  }
+  std::fprintf(stderr, "accuracy against stored labels: %.1f%%\n",
+               confusion.Accuracy() * 100);
+  return 0;
+}
+
+int Explain(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  StatusOr<Database> db = LoadDatabaseCsv(argv[2]);
+  if (!db.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<CrossMineClassifier> model = LoadModel(*db, argv[3]);
+  if (!model.ok()) {
+    std::fprintf(stderr, "model load failed: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  int64_t id = -1;
+  if (!crossmine::ParseInt64(argv[4], &id) || id < 0 ||
+      id >= static_cast<int64_t>(db->target_relation().num_tuples())) {
+    std::fprintf(stderr, "bad tuple id: %s\n", argv[4]);
+    return 1;
+  }
+  CrossMineClassifier::Explanation ex =
+      model->Explain(*db, static_cast<TupleId>(id));
+  std::printf("tuple %lld: predicted class %d\n", static_cast<long long>(id),
+              ex.predicted);
+  if (ex.clause_index < 0) {
+    std::printf("  no clause fired; default class applied\n");
+  } else {
+    const Clause& clause =
+        model->clauses()[static_cast<size_t>(ex.clause_index)];
+    std::printf("  deciding clause [acc=%.3f]: %s\n", clause.accuracy,
+                clause.ToString(*db).c_str());
+  }
+  if (!ex.satisfied.empty()) {
+    std::printf("  all satisfied clauses:\n");
+    for (int i : ex.satisfied) {
+      const Clause& clause = model->clauses()[static_cast<size_t>(i)];
+      std::printf("    [acc=%.3f] %s\n", clause.accuracy,
+                  clause.ToString(*db).c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  if (command == "generate") return Generate(argc, argv);
+  if (command == "inspect") return Inspect(argc, argv);
+  if (command == "evaluate") return Evaluate(argc, argv);
+  if (command == "train") return Train(argc, argv);
+  if (command == "predict") return Predict(argc, argv);
+  if (command == "explain") return Explain(argc, argv);
+  return Usage();
+}
