@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tuples.dir/fig10_tuples.cc.o"
+  "CMakeFiles/fig10_tuples.dir/fig10_tuples.cc.o.d"
+  "fig10_tuples"
+  "fig10_tuples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tuples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_large.dir/fig11_large.cc.o"
+  "CMakeFiles/fig11_large.dir/fig11_large.cc.o.d"
+  "fig11_large"
+  "fig11_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_fkeys.dir/fig12_fkeys.cc.o"
+  "CMakeFiles/fig12_fkeys.dir/fig12_fkeys.cc.o.d"
+  "fig12_fkeys"
+  "fig12_fkeys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_fkeys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_relations.dir/fig9_relations.cc.o"
+  "CMakeFiles/fig9_relations.dir/fig9_relations.cc.o.d"
+  "fig9_relations"
+  "fig9_relations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_relations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_literal_search.cc" "bench/CMakeFiles/micro_literal_search.dir/micro_literal_search.cc.o" "gcc" "bench/CMakeFiles/micro_literal_search.dir/micro_literal_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/crossmine_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/crossmine_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/crossmine_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/crossmine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/crossmine_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/crossmine_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

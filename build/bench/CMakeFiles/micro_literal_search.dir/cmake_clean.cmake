@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_literal_search.dir/micro_literal_search.cc.o"
+  "CMakeFiles/micro_literal_search.dir/micro_literal_search.cc.o.d"
+  "micro_literal_search"
+  "micro_literal_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_literal_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

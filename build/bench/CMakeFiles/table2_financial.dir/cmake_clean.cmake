@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_financial.dir/table2_financial.cc.o"
+  "CMakeFiles/table2_financial.dir/table2_financial.cc.o.d"
+  "table2_financial"
+  "table2_financial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_financial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_mutagenesis.dir/table3_mutagenesis.cc.o"
+  "CMakeFiles/table3_mutagenesis.dir/table3_mutagenesis.cc.o.d"
+  "table3_mutagenesis"
+  "table3_mutagenesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_mutagenesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

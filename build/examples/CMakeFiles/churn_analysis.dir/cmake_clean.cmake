@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_analysis.dir/churn_analysis.cpp.o"
+  "CMakeFiles/churn_analysis.dir/churn_analysis.cpp.o.d"
+  "churn_analysis"
+  "churn_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

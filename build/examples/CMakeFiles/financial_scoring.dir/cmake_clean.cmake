@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/financial_scoring.dir/financial_scoring.cpp.o"
+  "CMakeFiles/financial_scoring.dir/financial_scoring.cpp.o.d"
+  "financial_scoring"
+  "financial_scoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/financial_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutagenesis_screening.dir/mutagenesis_screening.cpp.o"
+  "CMakeFiles/mutagenesis_screening.dir/mutagenesis_screening.cpp.o.d"
+  "mutagenesis_screening"
+  "mutagenesis_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutagenesis_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bindings.cc" "src/baselines/CMakeFiles/crossmine_baselines.dir/bindings.cc.o" "gcc" "src/baselines/CMakeFiles/crossmine_baselines.dir/bindings.cc.o.d"
+  "/root/repo/src/baselines/foil.cc" "src/baselines/CMakeFiles/crossmine_baselines.dir/foil.cc.o" "gcc" "src/baselines/CMakeFiles/crossmine_baselines.dir/foil.cc.o.d"
+  "/root/repo/src/baselines/tilde.cc" "src/baselines/CMakeFiles/crossmine_baselines.dir/tilde.cc.o" "gcc" "src/baselines/CMakeFiles/crossmine_baselines.dir/tilde.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/crossmine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/crossmine_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/crossmine_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

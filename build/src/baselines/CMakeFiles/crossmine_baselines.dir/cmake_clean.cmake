@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossmine_baselines.dir/bindings.cc.o"
+  "CMakeFiles/crossmine_baselines.dir/bindings.cc.o.d"
+  "CMakeFiles/crossmine_baselines.dir/foil.cc.o"
+  "CMakeFiles/crossmine_baselines.dir/foil.cc.o.d"
+  "CMakeFiles/crossmine_baselines.dir/tilde.cc.o"
+  "CMakeFiles/crossmine_baselines.dir/tilde.cc.o.d"
+  "libcrossmine_baselines.a"
+  "libcrossmine_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossmine_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

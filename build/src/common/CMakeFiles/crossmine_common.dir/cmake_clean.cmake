@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossmine_common.dir/random.cc.o"
+  "CMakeFiles/crossmine_common.dir/random.cc.o.d"
+  "CMakeFiles/crossmine_common.dir/status.cc.o"
+  "CMakeFiles/crossmine_common.dir/status.cc.o.d"
+  "CMakeFiles/crossmine_common.dir/string_util.cc.o"
+  "CMakeFiles/crossmine_common.dir/string_util.cc.o.d"
+  "libcrossmine_common.a"
+  "libcrossmine_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossmine_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

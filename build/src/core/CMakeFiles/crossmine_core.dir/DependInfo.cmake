@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classifier.cc" "src/core/CMakeFiles/crossmine_core.dir/classifier.cc.o" "gcc" "src/core/CMakeFiles/crossmine_core.dir/classifier.cc.o.d"
+  "/root/repo/src/core/clause_builder.cc" "src/core/CMakeFiles/crossmine_core.dir/clause_builder.cc.o" "gcc" "src/core/CMakeFiles/crossmine_core.dir/clause_builder.cc.o.d"
+  "/root/repo/src/core/clause_eval.cc" "src/core/CMakeFiles/crossmine_core.dir/clause_eval.cc.o" "gcc" "src/core/CMakeFiles/crossmine_core.dir/clause_eval.cc.o.d"
+  "/root/repo/src/core/constraint_eval.cc" "src/core/CMakeFiles/crossmine_core.dir/constraint_eval.cc.o" "gcc" "src/core/CMakeFiles/crossmine_core.dir/constraint_eval.cc.o.d"
+  "/root/repo/src/core/ensemble.cc" "src/core/CMakeFiles/crossmine_core.dir/ensemble.cc.o" "gcc" "src/core/CMakeFiles/crossmine_core.dir/ensemble.cc.o.d"
+  "/root/repo/src/core/idset.cc" "src/core/CMakeFiles/crossmine_core.dir/idset.cc.o" "gcc" "src/core/CMakeFiles/crossmine_core.dir/idset.cc.o.d"
+  "/root/repo/src/core/literal.cc" "src/core/CMakeFiles/crossmine_core.dir/literal.cc.o" "gcc" "src/core/CMakeFiles/crossmine_core.dir/literal.cc.o.d"
+  "/root/repo/src/core/literal_search.cc" "src/core/CMakeFiles/crossmine_core.dir/literal_search.cc.o" "gcc" "src/core/CMakeFiles/crossmine_core.dir/literal_search.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/core/CMakeFiles/crossmine_core.dir/model_io.cc.o" "gcc" "src/core/CMakeFiles/crossmine_core.dir/model_io.cc.o.d"
+  "/root/repo/src/core/propagation.cc" "src/core/CMakeFiles/crossmine_core.dir/propagation.cc.o" "gcc" "src/core/CMakeFiles/crossmine_core.dir/propagation.cc.o.d"
+  "/root/repo/src/core/sampling.cc" "src/core/CMakeFiles/crossmine_core.dir/sampling.cc.o" "gcc" "src/core/CMakeFiles/crossmine_core.dir/sampling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/crossmine_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/crossmine_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossmine_core.dir/classifier.cc.o"
+  "CMakeFiles/crossmine_core.dir/classifier.cc.o.d"
+  "CMakeFiles/crossmine_core.dir/clause_builder.cc.o"
+  "CMakeFiles/crossmine_core.dir/clause_builder.cc.o.d"
+  "CMakeFiles/crossmine_core.dir/clause_eval.cc.o"
+  "CMakeFiles/crossmine_core.dir/clause_eval.cc.o.d"
+  "CMakeFiles/crossmine_core.dir/constraint_eval.cc.o"
+  "CMakeFiles/crossmine_core.dir/constraint_eval.cc.o.d"
+  "CMakeFiles/crossmine_core.dir/ensemble.cc.o"
+  "CMakeFiles/crossmine_core.dir/ensemble.cc.o.d"
+  "CMakeFiles/crossmine_core.dir/idset.cc.o"
+  "CMakeFiles/crossmine_core.dir/idset.cc.o.d"
+  "CMakeFiles/crossmine_core.dir/literal.cc.o"
+  "CMakeFiles/crossmine_core.dir/literal.cc.o.d"
+  "CMakeFiles/crossmine_core.dir/literal_search.cc.o"
+  "CMakeFiles/crossmine_core.dir/literal_search.cc.o.d"
+  "CMakeFiles/crossmine_core.dir/model_io.cc.o"
+  "CMakeFiles/crossmine_core.dir/model_io.cc.o.d"
+  "CMakeFiles/crossmine_core.dir/propagation.cc.o"
+  "CMakeFiles/crossmine_core.dir/propagation.cc.o.d"
+  "CMakeFiles/crossmine_core.dir/sampling.cc.o"
+  "CMakeFiles/crossmine_core.dir/sampling.cc.o.d"
+  "libcrossmine_core.a"
+  "libcrossmine_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossmine_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

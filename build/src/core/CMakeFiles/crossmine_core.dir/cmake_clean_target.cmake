@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrossmine_core.a"
+)

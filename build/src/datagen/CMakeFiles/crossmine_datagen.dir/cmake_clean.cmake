@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossmine_datagen.dir/financial.cc.o"
+  "CMakeFiles/crossmine_datagen.dir/financial.cc.o.d"
+  "CMakeFiles/crossmine_datagen.dir/mutagenesis.cc.o"
+  "CMakeFiles/crossmine_datagen.dir/mutagenesis.cc.o.d"
+  "CMakeFiles/crossmine_datagen.dir/synthetic.cc.o"
+  "CMakeFiles/crossmine_datagen.dir/synthetic.cc.o.d"
+  "libcrossmine_datagen.a"
+  "libcrossmine_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossmine_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

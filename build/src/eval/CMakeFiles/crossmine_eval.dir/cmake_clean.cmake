@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossmine_eval.dir/cross_validation.cc.o"
+  "CMakeFiles/crossmine_eval.dir/cross_validation.cc.o.d"
+  "CMakeFiles/crossmine_eval.dir/metrics.cc.o"
+  "CMakeFiles/crossmine_eval.dir/metrics.cc.o.d"
+  "libcrossmine_eval.a"
+  "libcrossmine_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossmine_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossmine_relational.dir/csv.cc.o"
+  "CMakeFiles/crossmine_relational.dir/csv.cc.o.d"
+  "CMakeFiles/crossmine_relational.dir/database.cc.o"
+  "CMakeFiles/crossmine_relational.dir/database.cc.o.d"
+  "CMakeFiles/crossmine_relational.dir/relation.cc.o"
+  "CMakeFiles/crossmine_relational.dir/relation.cc.o.d"
+  "CMakeFiles/crossmine_relational.dir/schema.cc.o"
+  "CMakeFiles/crossmine_relational.dir/schema.cc.o.d"
+  "libcrossmine_relational.a"
+  "libcrossmine_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossmine_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

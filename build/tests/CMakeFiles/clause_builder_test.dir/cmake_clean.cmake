@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clause_builder_test.dir/clause_builder_test.cc.o"
+  "CMakeFiles/clause_builder_test.dir/clause_builder_test.cc.o.d"
+  "clause_builder_test"
+  "clause_builder_test.pdb"
+  "clause_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clause_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clause_eval_test.dir/clause_eval_test.cc.o"
+  "CMakeFiles/clause_eval_test.dir/clause_eval_test.cc.o.d"
+  "clause_eval_test"
+  "clause_eval_test.pdb"
+  "clause_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clause_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clause_test.dir/clause_test.cc.o"
+  "CMakeFiles/clause_test.dir/clause_test.cc.o.d"
+  "clause_test"
+  "clause_test.pdb"
+  "clause_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clause_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

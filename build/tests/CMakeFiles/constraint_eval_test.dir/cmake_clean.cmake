@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_eval_test.dir/constraint_eval_test.cc.o"
+  "CMakeFiles/constraint_eval_test.dir/constraint_eval_test.cc.o.d"
+  "constraint_eval_test"
+  "constraint_eval_test.pdb"
+  "constraint_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foil_gain_test.dir/foil_gain_test.cc.o"
+  "CMakeFiles/foil_gain_test.dir/foil_gain_test.cc.o.d"
+  "foil_gain_test"
+  "foil_gain_test.pdb"
+  "foil_gain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foil_gain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

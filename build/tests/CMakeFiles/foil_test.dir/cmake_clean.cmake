@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foil_test.dir/foil_test.cc.o"
+  "CMakeFiles/foil_test.dir/foil_test.cc.o.d"
+  "foil_test"
+  "foil_test.pdb"
+  "foil_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idset_test.dir/idset_test.cc.o"
+  "CMakeFiles/idset_test.dir/idset_test.cc.o.d"
+  "idset_test"
+  "idset_test.pdb"
+  "idset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/literal_search_test.dir/literal_search_test.cc.o"
+  "CMakeFiles/literal_search_test.dir/literal_search_test.cc.o.d"
+  "literal_search_test"
+  "literal_search_test.pdb"
+  "literal_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/literal_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tilde_test.dir/tilde_test.cc.o"
+  "CMakeFiles/tilde_test.dir/tilde_test.cc.o.d"
+  "tilde_test"
+  "tilde_test.pdb"
+  "tilde_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tilde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/schema_test[1]_include.cmake")
+include("/root/repo/build/tests/relation_test[1]_include.cmake")
+include("/root/repo/build/tests/database_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_test[1]_include.cmake")
+include("/root/repo/build/tests/idset_test[1]_include.cmake")
+include("/root/repo/build/tests/propagation_test[1]_include.cmake")
+include("/root/repo/build/tests/foil_gain_test[1]_include.cmake")
+include("/root/repo/build/tests/constraint_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/literal_search_test[1]_include.cmake")
+include("/root/repo/build/tests/clause_test[1]_include.cmake")
+include("/root/repo/build/tests/clause_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/sampling_test[1]_include.cmake")
+include("/root/repo/build/tests/classifier_test[1]_include.cmake")
+include("/root/repo/build/tests/bindings_test[1]_include.cmake")
+include("/root/repo/build/tests/foil_test[1]_include.cmake")
+include("/root/repo/build/tests/tilde_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/model_io_test[1]_include.cmake")
+include("/root/repo/build/tests/clause_builder_test[1]_include.cmake")
+include("/root/repo/build/tests/options_test[1]_include.cmake")
+include("/root/repo/build/tests/ensemble_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")

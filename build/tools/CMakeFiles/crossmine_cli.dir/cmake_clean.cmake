@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossmine_cli.dir/crossmine_cli.cc.o"
+  "CMakeFiles/crossmine_cli.dir/crossmine_cli.cc.o.d"
+  "crossmine"
+  "crossmine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossmine_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
