@@ -1,0 +1,54 @@
+#ifndef CROSSMINE_BENCH_BENCH_JSON_H_
+#define CROSSMINE_BENCH_BENCH_JSON_H_
+
+// Machine-readable output for perf-trajectory tracking: each measured
+// configuration emits one JSON object per line, e.g.
+//
+//   {"bench":"clause_search","n":2000,"wall_ms":412.7,"threads":4}
+//
+// so CI can append bench runs to BENCH_*.json files and diff them across
+// commits. The micro benches print these lines in `--json` mode (default
+// mode stays google-benchmark's human output).
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/stopwatch.h"
+
+namespace crossmine::bench {
+
+inline bool JsonMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return true;
+  }
+  return false;
+}
+
+inline void EmitJsonLine(const char* name, long long n, double wall_ms,
+                         int threads) {
+  std::printf("{\"bench\":\"%s\",\"n\":%lld,\"wall_ms\":%.3f,\"threads\":%d}\n",
+              name, n, wall_ms, threads);
+  std::fflush(stdout);
+}
+
+/// Runs `fn` repeatedly for at least `min_ms` of wall clock (and at least
+/// twice, so one warm-up pass never dominates) and returns the best
+/// per-iteration time in milliseconds.
+template <typename Fn>
+double BestWallMs(Fn&& fn, double min_ms = 200.0) {
+  Stopwatch total;
+  double best = -1.0;
+  int iters = 0;
+  while (total.ElapsedSeconds() * 1000.0 < min_ms || iters < 2) {
+    Stopwatch lap;
+    fn();
+    double ms = lap.ElapsedSeconds() * 1000.0;
+    if (best < 0.0 || ms < best) best = ms;
+    ++iters;
+  }
+  return best;
+}
+
+}  // namespace crossmine::bench
+
+#endif  // CROSSMINE_BENCH_BENCH_JSON_H_

@@ -2,10 +2,20 @@
 // counting, numerical sweeps, and aggregation literals — over a relation
 // carrying propagated tuple IDs.
 
+// In `--json` mode the bench instead emits one machine-readable line per
+// configuration (see bench_json.h), including an end-to-end clause-search
+// timing (`clause_search`) at 1 and 4 worker threads over the synthetic
+// generator — the configuration the perf trajectory tracks across commits.
+
 #include <benchmark/benchmark.h>
 
+#include <numeric>
+
+#include "bench_json.h"
 #include "common/random.h"
+#include "core/classifier.h"
 #include "core/literal_search.h"
+#include "datagen/synthetic.h"
 #include "relational/database.h"
 
 namespace crossmine {
@@ -100,7 +110,69 @@ BENCHMARK(BM_CategoricalOnly)->Arg(1000)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_WithNumerical)->Arg(1000)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_WithAggregations)->Arg(1000)->Arg(10000)->Arg(100000);
 
+/// `--json` mode: one line per configuration. The per-family scans measure
+/// `LiteralSearcher::FindBest` in isolation; `clause_search` measures a
+/// full `CrossMineClassifier::Train` over the synthetic generator
+/// (R10.T<n>.F2, sampling on) at 1 and 4 worker threads, which exercises
+/// the parallel literal search plus the propagation cache end to end.
+int RunJson() {
+  for (int64_t n : {1000, 10000}) {
+    for (auto [name, numerical, aggregation] :
+         {std::tuple<const char*, bool, bool>{"literal_categorical", false,
+                                              false},
+          {"literal_numerical", true, false},
+          {"literal_aggregation", true, true}}) {
+      Setup s = MakeSetup(n);
+      LiteralSearcher searcher(&s.db, &s.positive);
+      searcher.SetContext(&s.alive, s.pos, s.neg);
+      CrossMineOptions opts;
+      opts.use_numerical_literals = numerical;
+      opts.use_aggregation_literals = aggregation;
+      double ms = bench::BestWallMs([&] {
+        CandidateLiteral best = searcher.FindBest(1, s.idsets, opts);
+        benchmark::DoNotOptimize(best.gain);
+      });
+      bench::EmitJsonLine(name, n, ms, 1);
+    }
+  }
+
+  for (int64_t n : {500, 2000}) {
+    datagen::SyntheticConfig cfg;
+    cfg.num_relations = 10;
+    cfg.expected_tuples = n;
+    cfg.expected_fkeys = 2;
+    cfg.seed = 29;
+    StatusOr<Database> db = datagen::GenerateSyntheticDatabase(cfg);
+    CM_CHECK_MSG(db.ok(), db.status().ToString().c_str());
+    std::vector<TupleId> all(db->target_relation().num_tuples());
+    std::iota(all.begin(), all.end(), 0);
+    for (int threads : {1, 4}) {
+      CrossMineOptions opts;
+      opts.use_numerical_literals = false;
+      opts.use_aggregation_literals = false;
+      opts.use_sampling = true;
+      opts.num_threads = threads;
+      double ms = bench::BestWallMs(
+          [&] {
+            CrossMineClassifier model(opts);
+            CM_CHECK(model.Train(*db, all).ok());
+            benchmark::DoNotOptimize(model.clauses().size());
+          },
+          /*min_ms=*/500.0);
+      bench::EmitJsonLine("clause_search", n, ms, threads);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace crossmine
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (crossmine::bench::JsonMode(argc, argv)) {
+    return crossmine::RunJson();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

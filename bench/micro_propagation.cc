@@ -2,9 +2,14 @@
 // the core cost asymmetry of the paper (§4.1 vs §4.2). Uses
 // google-benchmark; sweeps target size and join fan-out.
 
+// In `--json` mode the bench instead emits one machine-readable line per
+// configuration (see bench_json.h) for BENCH_*.json perf tracking.
+
 #include <benchmark/benchmark.h>
 
 #include "baselines/bindings.h"
+#include "bench_json.h"
+#include "core/idset.h"
 #include "core/propagation.h"
 #include "relational/database.h"
 
@@ -120,7 +125,43 @@ BENCHMARK(BM_PhysicalJoinNestedLoop)
     ->Args({1000, 8})
     ->Args({10000, 2});
 
+/// `--json` mode: one line per configuration. Reports both a fresh
+/// propagation and the alive-filter refresh that the clause builder's
+/// propagation cache substitutes for it on later search rounds.
+int RunJson() {
+  for (auto [n, fanout] : {std::pair<int64_t, int64_t>{1000, 2},
+                           {1000, 8},
+                           {10000, 2},
+                           {10000, 8}}) {
+    TwoRelationDb setup = MakeDb(n, fanout);
+    const JoinEdge& edge =
+        setup.db.edges()[static_cast<size_t>(setup.to_detail_edge)];
+    std::vector<uint8_t> alive(static_cast<size_t>(n), 1);
+    double fresh_ms = bench::BestWallMs([&] {
+      PropagationResult r = PropagateIds(setup.db, edge, setup.root, &alive);
+      benchmark::DoNotOptimize(r.total_ids);
+    });
+    bench::EmitJsonLine("propagation_fresh", n * fanout, fresh_ms, 1);
+
+    PropagationResult cached = PropagateIds(setup.db, edge, setup.root, &alive);
+    double refresh_ms = bench::BestWallMs([&] {
+      PropagationResult copy = cached;
+      bool ok = RefreshPropagation(&copy, alive, PropagationLimits{});
+      benchmark::DoNotOptimize(ok);
+    });
+    bench::EmitJsonLine("propagation_refresh", n * fanout, refresh_ms, 1);
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace crossmine
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (crossmine::bench::JsonMode(argc, argv)) {
+    return crossmine::RunJson();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

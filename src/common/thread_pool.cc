@@ -1,0 +1,91 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace crossmine {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ThreadPool::HardwareConcurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int ThreadPool::Resolve(int requested) {
+  return requested <= 0 ? HardwareConcurrency() : requested;
+}
+
+void ThreadPool::DrainBatch(int worker,
+                            const std::vector<std::function<void(int)>>* batch,
+                            size_t size) {
+  for (;;) {
+    size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= size) return;
+    (*batch)[i](worker);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::RunTasks(const std::vector<std::function<void(int)>>& tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty()) {
+    // Sequential pool: no handoff, no synchronization — the caller just
+    // runs every task in order as worker 0.
+    for (const auto& task : tasks) task(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &tasks;
+    batch_size_ = tasks.size();
+    pending_ = tasks.size();
+    next_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  DrainBatch(0, &tasks, tasks.size());
+  std::unique_lock<std::mutex> lock(mu_);
+  // Wait for the tasks to finish and for every woken worker to stop
+  // touching `tasks` before letting the caller destroy it.
+  cv_done_.wait(lock, [this] { return pending_ == 0 && workers_in_batch_ == 0; });
+  batch_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::vector<std::function<void(int)>>* batch = nullptr;
+    size_t size = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [this, seen] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      if (pending_ == 0) continue;  // woke after the batch already finished
+      batch = batch_;
+      size = batch_size_;
+      ++workers_in_batch_;
+    }
+    DrainBatch(worker, batch, size);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--workers_in_batch_ == 0 && pending_ == 0) cv_done_.notify_all();
+  }
+}
+
+}  // namespace crossmine

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include <memory>
+
 #include "common/random.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/clause_builder.h"
 #include "core/clause_eval.h"
 #include "core/foil_gain.h"
@@ -41,6 +44,13 @@ Status CrossMineClassifier::Train(const Database& db,
       std::max_element(class_count.begin(), class_count.end()) -
       class_count.begin());
 
+  // One worker pool for the whole training run; the clause-search hot path
+  // shares it across classes and clauses. `num_threads == 1` (or a 1-CPU
+  // host with the `0` auto default) never spawns a thread.
+  int num_threads = ThreadPool::Resolve(options_.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+
   // One-vs-rest: learn clauses for every class (§5.3).
   Rng rng(options_.seed);
   for (ClassId cls = 0; cls < num_classes_; ++cls) {
@@ -49,7 +59,7 @@ Status CrossMineClassifier::Train(const Database& db,
     for (TupleId id : train_ids) {
       if (db.labels()[id] == cls) positive[id] = 1;
     }
-    TrainOneClass(db, cls, positive, in_train, rng.Next());
+    TrainOneClass(db, cls, positive, in_train, rng.Next(), pool.get());
   }
 
   // §5.3: estimate each clause's accuracy by predicting on the training
@@ -78,7 +88,7 @@ Status CrossMineClassifier::Train(const Database& db,
 void CrossMineClassifier::TrainOneClass(const Database& db, ClassId cls,
                                         const std::vector<uint8_t>& positive,
                                         const std::vector<uint8_t>& in_train,
-                                        uint64_t seed) {
+                                        uint64_t seed, ThreadPool* pool) {
   TupleId num_targets = db.target_relation().num_tuples();
   Rng rng(seed);
 
@@ -129,7 +139,7 @@ void CrossMineClassifier::TrainOneClass(const Database& db, ClassId cls,
       sampled_neg = neg_budget;
     }
 
-    ClauseBuilder builder(&db, &positive, &options_);
+    ClauseBuilder builder(&db, &positive, &options_, pool);
     uint32_t build_pos = static_cast<uint32_t>(remaining_pos.size());
     Clause clause = builder.Build(std::move(alive));
     if (clause.empty()) break;

@@ -12,6 +12,8 @@
 
 namespace crossmine {
 
+class ThreadPool;
+
 /// The CrossMine multi-relational classifier (the paper's primary
 /// contribution). Learns a set of clauses from a finalized `Database` via
 /// sequential covering over tuple ID propagation, then classifies target
@@ -94,7 +96,8 @@ class CrossMineClassifier : public RelationalClassifier {
  private:
   void TrainOneClass(const Database& db, ClassId cls,
                      const std::vector<uint8_t>& positive,
-                     const std::vector<uint8_t>& in_train, uint64_t seed);
+                     const std::vector<uint8_t>& in_train, uint64_t seed,
+                     ThreadPool* pool);
 
   CrossMineOptions options_;
   std::vector<Clause> clauses_;

@@ -1,5 +1,6 @@
 #include "core/clause_builder.h"
 
+#include <functional>
 #include <utility>
 
 #include "common/macros.h"
@@ -10,12 +11,12 @@ namespace crossmine {
 
 ClauseBuilder::ClauseBuilder(const Database* db,
                              const std::vector<uint8_t>* positive,
-                             const CrossMineOptions* opts)
+                             const CrossMineOptions* opts, ThreadPool* pool)
     : db_(db),
       positive_(positive),
       opts_(opts),
-      clause_(db->target()),
-      searcher_(db, positive) {
+      pool_(pool),
+      clause_(db->target()) {
   satisfied_.assign(db->target_relation().num_tuples(), 0);
 }
 
@@ -31,10 +32,41 @@ void ClauseBuilder::RecountAlive() {
   }
 }
 
+void ClauseBuilder::WarmIndexes() const {
+  for (RelId r = 0; r < db_->num_relations(); ++r) {
+    const Relation& rel = db_->relation(r);
+    for (AttrId a = 0; a < rel.schema().num_attrs(); ++a) {
+      switch (rel.schema().attr(a).kind) {
+        case AttrKind::kPrimaryKey:
+        case AttrKind::kForeignKey:
+        case AttrKind::kCategorical:
+          rel.GetHashIndex(a);
+          break;
+        case AttrKind::kNumerical:
+          if (opts_->use_numerical_literals) rel.GetSortedIndex(a);
+          break;
+      }
+    }
+  }
+}
+
+void ClauseBuilder::PrepareWorkers() {
+  size_t lanes = static_cast<size_t>(num_lanes());
+  while (searchers_.size() < lanes) searchers_.emplace_back(db_, positive_);
+  for (LiteralSearcher& searcher : searchers_) {
+    searcher.SetContext(&alive_, pos_, neg_);
+  }
+}
+
 Clause ClauseBuilder::Build(std::vector<uint8_t> alive) {
   alive_ = std::move(alive);
   CM_CHECK(alive_.size() == db_->target_relation().num_tuples());
   RecountAlive();
+
+  prop_cache_.clear();
+  cached_slot_count_ = 0;
+  search_epoch_ = 0;
+  if (num_lanes() > 1) WarmIndexes();
 
   // Node 0 = target relation: idset(t) = {t} for every alive target.
   std::vector<IdSet> root(alive_.size());
@@ -65,42 +97,141 @@ void ClauseBuilder::Consider(BestChoice* best, const CandidateLiteral& cand,
   }
 }
 
-ClauseBuilder::BestChoice ClauseBuilder::FindBestLiteral() {
-  searcher_.SetContext(&alive_, pos_, neg_);
-  const std::vector<JoinEdge>& edges = db_->edges();
-  BestChoice best;
+std::shared_ptr<const PropagationResult> ClauseBuilder::GetPropagation(
+    int32_t node, int32_t e, int32_t e2, const std::vector<IdSet>& src,
+    const JoinEdge& edge) {
+  std::array<int32_t, 3> key{node, e, e2};
+  std::shared_ptr<PropagationResult> cached;
+  bool current = false;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = prop_cache_.find(key);
+    if (it != prop_cache_.end()) {
+      current = it->second.epoch == search_epoch_;
+      // Each key is visited by exactly one task per search round, so the
+      // refresh below can safely run outside the lock.
+      it->second.epoch = search_epoch_;
+      cached = it->second.result;
+    }
+  }
+  if (cached != nullptr) {
+    if (current) return cached;
+    // The alive mask only shrank since this result was computed, so an
+    // alive-filter pass reproduces a fresh `PropagateIds` exactly —
+    // including the limit verdicts, which `RefreshPropagation` re-checks.
+    if (RefreshPropagation(cached.get(), alive_, opts_->propagation_limits)) {
+      return cached;
+    }
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = prop_cache_.find(key);
+    if (it != prop_cache_.end()) {
+      cached_slot_count_ -= it->second.slots;
+      prop_cache_.erase(it);
+    }
+    return cached;  // ok == false, matching a fresh failed propagation
+  }
 
+  auto fresh = std::make_shared<PropagationResult>(
+      PropagateIds(*db_, edge, src, &alive_, opts_->propagation_limits));
+  if (fresh->ok && opts_->propagation_cache_slots > 0) {
+    uint64_t slots = fresh->idsets.size();
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (cached_slot_count_ + slots <= opts_->propagation_cache_slots) {
+      cached_slot_count_ += slots;
+      prop_cache_[key] = {fresh, search_epoch_, slots};
+    }
+  }
+  return fresh;
+}
+
+ClauseBuilder::BestChoice ClauseBuilder::FindBestLiteral() {
+  ++search_epoch_;
+  const std::vector<JoinEdge>& edges = db_->edges();
+
+  // Enumerate candidate tasks in the exact order the sequential loops of
+  // Algorithm 3 visit them; the reduction below walks the same order, so
+  // ties break identically at every thread count.
+  std::vector<SearchTask> tasks;
   for (int32_t n = 0; n < static_cast<int32_t>(clause_.nodes().size()); ++n) {
     const ClauseNode& node = clause_.nodes()[static_cast<size_t>(n)];
-    const std::vector<IdSet>& idsets = node_idsets_[static_cast<size_t>(n)];
-
-    // (1) Constraint on the active node itself (empty prop-path).
-    Consider(&best, searcher_.FindBest(node.relation, idsets, *opts_), n, {});
-
-    // (2) One propagation hop along every join edge leaving the node.
+    tasks.push_back({n, -1, -1, -1});
     for (int32_t e : db_->OutEdges(node.relation)) {
       const JoinEdge& edge = edges[static_cast<size_t>(e)];
-      PropagationResult hop1 = PropagateIds(*db_, edge, idsets, &alive_,
-                                            opts_->propagation_limits);
-      if (!hop1.ok) continue;
-      Consider(&best, searcher_.FindBest(edge.to_rel, hop1.idsets, *opts_), n,
-               {e});
-
-      // (3) Look-one-ahead: a second hop through a foreign key of the
-      // reached relation (k' ≠ k, Algorithm 3).
+      int32_t parent = static_cast<int32_t>(tasks.size());
+      tasks.push_back({n, e, -1, -1});
       if (!opts_->look_one_ahead) continue;
+      // Look-one-ahead: a second hop through a foreign key of the reached
+      // relation (k' ≠ k, Algorithm 3).
       for (int32_t e2 : db_->OutEdges(edge.to_rel)) {
         const JoinEdge& edge2 = edges[static_cast<size_t>(e2)];
         if (edge2.kind != JoinKind::kFkToPk) continue;
         if (edge2.from_attr == edge.to_attr) continue;
-        PropagationResult hop2 = PropagateIds(
-            *db_, edge2, hop1.idsets, &alive_, opts_->propagation_limits);
-        if (!hop2.ok) continue;
-        Consider(&best,
-                 searcher_.FindBest(edge2.to_rel, hop2.idsets, *opts_), n,
-                 {e, e2});
+        tasks.push_back({n, e, e2, parent});
       }
     }
+  }
+
+  std::vector<CandidateLiteral> scored(tasks.size());
+  std::vector<std::shared_ptr<const PropagationResult>> hop1(tasks.size());
+  PrepareWorkers();
+
+  auto run_task = [&](size_t i, int worker) {
+    const SearchTask& t = tasks[i];
+    LiteralSearcher& searcher = searchers_[static_cast<size_t>(worker)];
+    if (t.edge < 0) {
+      // Hop 0: constraint on the active node itself (empty prop-path).
+      const ClauseNode& node = clause_.nodes()[static_cast<size_t>(t.node)];
+      scored[i] = searcher.FindBest(
+          node.relation, node_idsets_[static_cast<size_t>(t.node)], *opts_);
+    } else if (t.edge2 < 0) {
+      // Hop 1: one propagation along a join edge leaving the node.
+      const JoinEdge& edge = edges[static_cast<size_t>(t.edge)];
+      std::shared_ptr<const PropagationResult> p = GetPropagation(
+          t.node, t.edge, -1, node_idsets_[static_cast<size_t>(t.node)], edge);
+      hop1[i] = p;
+      if (p->ok) scored[i] = searcher.FindBest(edge.to_rel, p->idsets, *opts_);
+    } else {
+      // Hop 2: look-ahead through the parent task's propagation.
+      const std::shared_ptr<const PropagationResult>& parent =
+          hop1[static_cast<size_t>(t.parent)];
+      if (parent == nullptr || !parent->ok) return;
+      const JoinEdge& edge2 = edges[static_cast<size_t>(t.edge2)];
+      std::shared_ptr<const PropagationResult> p =
+          GetPropagation(t.node, t.edge, t.edge2, parent->idsets, edge2);
+      if (p->ok) {
+        scored[i] = searcher.FindBest(edge2.to_rel, p->idsets, *opts_);
+      }
+    }
+  };
+
+  // Two waves: hop-0/hop-1 tasks first, then the hop-2 tasks that consume
+  // the first wave's propagations. Each wave's tasks are independent.
+  auto run_wave = [&](bool lookahead) {
+    if (num_lanes() == 1) {
+      for (size_t i = 0; i < tasks.size(); ++i) {
+        if ((tasks[i].edge2 >= 0) == lookahead) run_task(i, 0);
+      }
+      return;
+    }
+    std::vector<std::function<void(int)>> fns;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      if ((tasks[i].edge2 >= 0) == lookahead) {
+        fns.push_back([&run_task, i](int worker) { run_task(i, worker); });
+      }
+    }
+    pool_->RunTasks(fns);
+  };
+  run_wave(/*lookahead=*/false);
+  run_wave(/*lookahead=*/true);
+
+  // Deterministic reduction in task-enumeration (= sequential-loop) order.
+  BestChoice best;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const SearchTask& t = tasks[i];
+    std::vector<int32_t> path;
+    if (t.edge >= 0) path.push_back(t.edge);
+    if (t.edge2 >= 0) path.push_back(t.edge2);
+    Consider(&best, scored[i], t.node, std::move(path));
   }
   return best;
 }
@@ -113,16 +244,20 @@ void ClauseBuilder::Append(const BestChoice& choice) {
   lit.gain = choice.cand.gain;
   const ComplexLiteral& added = clause_.Append(*db_, std::move(lit));
 
-  // Materialize idsets for the nodes the prop-path created.
+  // Materialize idsets for the nodes the prop-path created, reusing the
+  // propagations the search just scored (cache hits at the current epoch).
+  CM_CHECK(added.edge_path.size() <= 2);
   const std::vector<IdSet>* cur =
       &node_idsets_[static_cast<size_t>(added.source_node)];
-  for (int32_t edge_id : added.edge_path) {
+  for (size_t h = 0; h < added.edge_path.size(); ++h) {
+    int32_t edge_id = added.edge_path[h];
     const JoinEdge& edge = db_->edges()[static_cast<size_t>(edge_id)];
-    PropagationResult hop =
-        PropagateIds(*db_, edge, *cur, &alive_, opts_->propagation_limits);
+    std::shared_ptr<const PropagationResult> hop =
+        GetPropagation(added.source_node, added.edge_path[0],
+                       h == 0 ? -1 : edge_id, *cur, edge);
     // The same propagation succeeded during the search.
-    CM_CHECK_MSG(hop.ok, "propagation failed while appending literal");
-    node_idsets_.push_back(std::move(hop.idsets));
+    CM_CHECK_MSG(hop->ok, "propagation failed while appending literal");
+    node_idsets_.push_back(hop->idsets);  // copy: the cache keeps its own
     cur = &node_idsets_.back();
   }
 

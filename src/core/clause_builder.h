@@ -1,13 +1,19 @@
 #ifndef CROSSMINE_CORE_CLAUSE_BUILDER_H_
 #define CROSSMINE_CORE_CLAUSE_BUILDER_H_
 
+#include <array>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/idset.h"
 #include "core/literal.h"
 #include "core/literal_search.h"
 #include "core/options.h"
+#include "core/propagation.h"
 #include "relational/database.h"
 
 namespace crossmine {
@@ -25,14 +31,33 @@ namespace crossmine {
 ///      edges (`k' ≠ k`), which lets clauses cross pure relationship
 ///      relations (Fig. 7).
 ///
+/// Every (active-node, edge-path) candidate is an independent task: a
+/// hop-0 constraint scan, a one-hop propagation + scan, or a look-ahead
+/// second hop + scan. When a `ThreadPool` is supplied the tasks run on its
+/// workers, each with its own `LiteralSearcher` scratch state; results land
+/// in task-indexed slots and are reduced sequentially in the exact order
+/// the sequential loops visit candidates, so any thread count produces the
+/// identical clause (ties keep breaking by node index, then edge path,
+/// then attribute/value scan order).
+///
+/// Propagation work is reused across search rounds: each successful
+/// per-(node, edge-path) `PropagationResult` is cached for the duration of
+/// one `Build`. Because the alive mask only shrinks between literals,
+/// later rounds refresh a cached result with a cheap alive-filter pass
+/// (`RefreshPropagation`) instead of re-running the join sweep, and
+/// `Append` reuses the propagation the search just scored instead of
+/// recomputing it.
+///
 /// One instance builds one clause; construct a new instance per clause.
 class ClauseBuilder {
  public:
   /// `positive` flags targets of the class being learned; `alive` is the
   /// initial example mask (uncovered positives plus — possibly sampled —
-  /// negatives). Both are indexed by target TupleId.
+  /// negatives). Both are indexed by target TupleId. `pool` (optional,
+  /// borrowed) parallelizes the literal search; null or a 1-lane pool runs
+  /// the sequential path.
   ClauseBuilder(const Database* db, const std::vector<uint8_t>* positive,
-                const CrossMineOptions* opts);
+                const CrossMineOptions* opts, ThreadPool* pool = nullptr);
 
   /// Runs Find-A-Clause starting from `alive`. The returned clause is empty
   /// if no literal reaches `min_foil_gain`.
@@ -54,15 +79,52 @@ class ClauseBuilder {
     bool valid() const { return source_node >= 0 && cand.valid(); }
   };
 
+  /// One literal-search task: a (node, edge-path) candidate of Algorithm 3.
+  struct SearchTask {
+    int32_t node = -1;
+    int32_t edge = -1;    ///< hop-1 edge id; -1 for the hop-0 constraint scan
+    int32_t edge2 = -1;   ///< look-ahead edge id; -1 otherwise
+    int32_t parent = -1;  ///< index of the hop-1 task feeding a hop-2 task
+  };
+
+  /// A cached propagation, refreshed lazily once per search round.
+  struct CachedPropagation {
+    std::shared_ptr<PropagationResult> result;
+    uint64_t epoch = 0;  ///< search round the result was last filtered for
+    uint64_t slots = 0;  ///< dense destination-tuple count, for the budget
+  };
+
   BestChoice FindBestLiteral();
   void Consider(BestChoice* best, const CandidateLiteral& cand,
                 int32_t source_node, std::vector<int32_t> edge_path) const;
   void Append(const BestChoice& choice);
   void RecountAlive();
 
+  /// Returns the propagation along `edge` for the path keyed by
+  /// (node, e, e2), serving it from the per-build cache when possible:
+  /// a current-round entry is returned as-is, a stale entry is refreshed
+  /// with an alive-filter pass, and a miss recomputes `PropagateIds` from
+  /// `src` (caching the result while the slot budget allows). Safe to call
+  /// from pool tasks: each key is requested by exactly one task per round,
+  /// so only the map itself needs the lock.
+  std::shared_ptr<const PropagationResult> GetPropagation(
+      int32_t node, int32_t e, int32_t e2, const std::vector<IdSet>& src,
+      const JoinEdge& edge);
+
+  /// Ensures one LiteralSearcher per pool lane and points them all at the
+  /// current alive mask / class counts.
+  void PrepareWorkers();
+
+  /// Pre-builds the lazily cached relation indexes the tasks will read, so
+  /// pool workers never race the on-demand construction.
+  void WarmIndexes() const;
+
+  int num_lanes() const { return pool_ == nullptr ? 1 : pool_->num_threads(); }
+
   const Database* db_;
   const std::vector<uint8_t>* positive_;
   const CrossMineOptions* opts_;
+  ThreadPool* pool_;
 
   Clause clause_;
   /// Propagated idsets per clause node, alive-filtered.
@@ -70,8 +132,15 @@ class ClauseBuilder {
   std::vector<uint8_t> alive_;
   uint32_t pos_ = 0, neg_ = 0;
 
-  LiteralSearcher searcher_;
+  /// One scratch searcher per pool lane (lane 0 is the calling thread).
+  std::vector<LiteralSearcher> searchers_;
   std::vector<uint8_t> satisfied_;
+
+  /// Per-build propagation cache, keyed by (node, edge, lookahead edge).
+  std::map<std::array<int32_t, 3>, CachedPropagation> prop_cache_;
+  uint64_t cached_slot_count_ = 0;
+  uint64_t search_epoch_ = 0;
+  std::mutex cache_mu_;
 };
 
 }  // namespace crossmine

@@ -15,6 +15,9 @@ struct BaggedCrossMineOptions {
   /// replacement, stratified per class).
   double subsample_fraction = 0.8;
   /// Configuration of every member; each gets an independent derived seed.
+  /// `base.num_threads` is honoured per member: members train one after
+  /// another (their models must be byte-stable regardless of scheduling),
+  /// each parallelizing its own clause search on a private worker pool.
   CrossMineOptions base;
   uint64_t seed = 1;
 };

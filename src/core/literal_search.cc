@@ -21,6 +21,16 @@ void LiteralSearcher::SetContext(const std::vector<uint8_t>* alive,
   alive_ = alive;
   pos_ = pos;
   neg_ = neg;
+  // The scratch arrays were sized at construction; if the target relation
+  // has grown since (tuples may be appended after Finalize()), a stale
+  // searcher would silently index out of bounds. Resize and restart the
+  // epoch stamps instead.
+  if (alive_->size() > mark_.size()) {
+    mark_.assign(alive_->size(), 0);
+    epoch_ = 0;
+    agg_count_.assign(alive_->size(), 0);
+    agg_sum_.assign(alive_->size(), 0.0);
+  }
 }
 
 uint32_t LiteralSearcher::NewEpoch() {

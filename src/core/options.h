@@ -65,6 +65,21 @@ struct CrossMineOptions {
   PropagationLimits propagation_limits = {/*max_avg_fanout=*/0.0,
                                           /*max_total_ids=*/100000000ULL};
 
+  /// Worker threads for the clause-search hot path. `0` means "use hardware
+  /// concurrency"; `1` runs the plain sequential code path. Any value
+  /// produces bit-identical models: candidate literals are scored in
+  /// independent tasks and reduced in a fixed order (gain, then node index,
+  /// then edge path, then attribute/value scan order).
+  int num_threads = 0;
+
+  /// Budget, in destination-tuple slots, for the per-build propagation
+  /// cache that lets later literal-search rounds refresh earlier join
+  /// sweeps with a cheap alive-filter instead of a full re-join. Once the
+  /// cached results' dense vectors would exceed this many slots, further
+  /// results are recomputed on demand instead of cached. Zero disables
+  /// caching.
+  uint64_t propagation_cache_slots = 4ULL << 20;
+
   /// How clauses combine at prediction time.
   PredictionMode prediction_mode = PredictionMode::kBestClause;
 

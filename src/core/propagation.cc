@@ -72,4 +72,33 @@ PropagationResult PropagateIds(const Database& db, const JoinEdge& edge,
   return result;
 }
 
+bool RefreshPropagation(PropagationResult* result,
+                        const std::vector<uint8_t>& alive,
+                        const PropagationLimits& limits) {
+  CM_CHECK(result->ok);
+  uint64_t total = 0;
+  uint64_t nonempty = 0;
+  for (IdSet& ids : result->idsets) {
+    if (ids.empty()) continue;
+    FilterIdSet(&ids, alive);
+    if (ids.empty()) {
+      IdSet().swap(ids);  // release storage, like FilterIdSets
+      continue;
+    }
+    total += ids.size();
+    ++nonempty;
+  }
+  result->total_ids = total;
+  // Re-apply the guards against the filtered volume; a fresh propagation
+  // under the shrunken mask would see exactly these totals.
+  if ((limits.max_total_ids > 0 && total > limits.max_total_ids) ||
+      (limits.max_avg_fanout > 0 && nonempty > 0 &&
+       static_cast<double>(total) / static_cast<double>(nonempty) >
+           limits.max_avg_fanout)) {
+    result->idsets.clear();
+    result->ok = false;
+  }
+  return result->ok;
+}
+
 }  // namespace crossmine

@@ -44,6 +44,20 @@ PropagationResult PropagateIds(const Database& db, const JoinEdge& edge,
                                const std::vector<uint8_t>* alive,
                                const PropagationLimits& limits = {});
 
+/// Refreshes a previously successful propagation after the alive mask
+/// shrank: filters every idset down to the still-alive IDs, recomputes
+/// `total_ids`, and re-applies the `limits` guards to the filtered volume.
+///
+/// When the alive mask only loses members between two propagation requests
+/// (the Algorithm 2 invariant — appended literals only remove targets),
+/// this produces a result identical to re-running `PropagateIds` with the
+/// new mask, at the cost of one linear filter pass instead of a full
+/// re-join. Returns `result->ok` for convenience; a result that now trips
+/// a limit has its idsets cleared, exactly like a fresh failed propagation.
+bool RefreshPropagation(PropagationResult* result,
+                        const std::vector<uint8_t>& alive,
+                        const PropagationLimits& limits);
+
 }  // namespace crossmine
 
 #endif  // CROSSMINE_CORE_PROPAGATION_H_

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the parallel-search tests under ThreadSanitizer and runs them.
+# A standing race detector for the clause-search worker pool: any data race
+# in ThreadPool, the per-worker LiteralSearcher scratch, or the shared
+# propagation cache fails this script.
+#
+# Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Tsan
+cmake --build "$BUILD_DIR" -j --target parallel_search_test clause_builder_test
+
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+"$BUILD_DIR"/tests/parallel_search_test
+"$BUILD_DIR"/tests/clause_builder_test
+
+echo "check_tsan: OK (no races reported)"

@@ -41,8 +41,9 @@ int Usage() {
       "  crossmine inspect <dir>\n"
       "  crossmine evaluate <dir> [--folds K] [--sampling]\n"
       "                           [--no-lookahead] [--no-aggregations]\n"
+      "                           [--threads N]\n"
       "  crossmine train <dir> <model-file> [--sampling] [--no-lookahead]\n"
-      "                                     [--no-aggregations]\n"
+      "                                     [--no-aggregations] [--threads N]\n"
       "  crossmine predict <dir> <model-file> [--mode best|vote|list]\n"
       "  crossmine explain <dir> <model-file> <tuple-id>\n");
   return 2;
@@ -81,6 +82,9 @@ CrossMineOptions OptionsFromFlags(
   o.look_one_ahead = opts.count("no-lookahead") == 0;
   o.use_aggregation_literals = opts.count("no-aggregations") == 0;
   o.seed = static_cast<uint64_t>(OptInt(opts, "seed", 1));
+  // Clause-search worker threads: 0 (default) = hardware concurrency,
+  // 1 = sequential. Any value trains the byte-identical model.
+  o.num_threads = static_cast<int>(OptInt(opts, "threads", 0));
   auto mode = opts.find("mode");
   if (mode != opts.end()) {
     if (mode->second == "vote") {
