@@ -3,8 +3,11 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
 #include "core/clause_eval.h"
 #include "core/foil_gain.h"
+#include "core/model_io.h"
 
 namespace crossmine::baselines {
 
@@ -27,7 +30,8 @@ struct FoilChoice {
 void ScoreCandidates(const BindingsTable& table, int col,
                      const std::vector<ClassId>& labels, uint32_t pos,
                      uint32_t neg, int32_t edge, int source_col,
-                     const FoilOptions& options, FoilChoice* best) {
+                     const FoilOptions& options, Counter* scored,
+                     FoilChoice* best) {
   const Relation& rel = table.db().relation(table.col_relation(col));
   for (AttrId a = 0; a < rel.schema().num_attrs(); ++a) {
     const Attribute& attr = rel.schema().attr(a);
@@ -39,6 +43,7 @@ void ScoreCandidates(const BindingsTable& table, int col,
     std::vector<BaselineCandidate> cands = EvaluateByConstruction(
         table, col, a, labels, 2, /*count_rows=*/true,
         options.max_numeric_thresholds);
+    if (scored != nullptr) scored->Add(cands.size());
     for (const BaselineCandidate& cand : cands) {
       uint32_t p = cand.counts[1];
       uint32_t n = cand.counts[0];
@@ -67,8 +72,12 @@ Status FoilClassifier::Train(const Database& db,
   }
   clauses_.clear();
   truncated_ = false;
+  trained_fingerprint_ = 0;
   num_classes_ = db.num_classes();
   timer_.Reset();
+
+  ScopedMetricTimer wall(metrics_, "train.wall_seconds");
+  TouchStandardTrainMetrics(metrics_);
 
   std::vector<uint32_t> class_count(static_cast<size_t>(num_classes_), 0);
   for (TupleId id : train_ids) {
@@ -79,6 +88,9 @@ Status FoilClassifier::Train(const Database& db,
       class_count.begin());
 
   for (ClassId cls = 0; cls < num_classes_; ++cls) {
+    if (metrics_ != nullptr) {
+      metrics_->counter(StrFormat("train.clauses_built.class_%d", cls));
+    }
     if (class_count[static_cast<size_t>(cls)] == 0) continue;
     // Binary view: 1 = this class, 0 = rest.
     std::vector<ClassId> binary_labels(db.target_relation().num_tuples(), 0);
@@ -97,6 +109,7 @@ Status FoilClassifier::Train(const Database& db,
       break;
     }
   }
+  trained_fingerprint_ = SchemaFingerprint(db);
   return Status::OK();
 }
 
@@ -139,6 +152,11 @@ void FoilClassifier::TrainOneClass(const Database& db, ClassId cls,
                        [&covered](TupleId t) { return covered[t] != 0; }),
         positives.end());
     clauses_.push_back(std::move(clause));
+    if (metrics_ != nullptr) {
+      metrics_->counter("train.clauses_built")->Add(1);
+      metrics_->counter(StrFormat("train.clauses_built.class_%d", cls))
+          ->Add(1);
+    }
     ++built;
     if (positives.size() == before) break;
   }
@@ -151,6 +169,17 @@ Clause FoilClassifier::BuildClause(const Database& db,
   BindingsTable table(&db, examples);
   Clause clause(db.target());
 
+  Timer* search_time = nullptr;
+  Timer* join_time = nullptr;
+  Counter* scored = nullptr;
+  Counter* joins_run = nullptr;
+  if (metrics_ != nullptr) {
+    search_time = metrics_->timer("train.phase.literal_search_seconds");
+    join_time = metrics_->timer("train.phase.join_seconds");
+    scored = metrics_->counter("train.literals_scored");
+    joins_run = metrics_->counter("train.joins_run");
+  }
+
   while (clause.length() < options_.max_clause_length) {
     if (OverBudget()) break;
     std::vector<uint32_t> counts = table.RowClassCounts(binary_labels, 2);
@@ -160,16 +189,28 @@ Clause FoilClassifier::BuildClause(const Database& db,
     FoilChoice best;
     for (int col = 0; col < table.num_cols(); ++col) {
       // Constraints on an already-bound column.
-      ScoreCandidates(table, col, binary_labels, pos, neg, /*edge=*/-1, col,
-                      options_, &best);
+      {
+        Stopwatch watch;
+        ScoreCandidates(table, col, binary_labels, pos, neg, /*edge=*/-1, col,
+                        options_, scored, &best);
+        if (search_time != nullptr) {
+          search_time->AddSeconds(watch.ElapsedSeconds());
+        }
+      }
       // Literals behind a join: every candidate re-executes the physical
       // join (the §2 cost model of plain FOIL).
       for (int32_t e : db.OutEdges(table.col_relation(col))) {
         const JoinEdge& edge = db.edges()[static_cast<size_t>(e)];
+        Stopwatch join_watch;
         std::vector<BaselineCandidate> cands = EvaluateJoinCandidates(
             table, col, edge, binary_labels, 2, /*count_rows=*/true,
             options_.use_numerical_literals, options_.max_numeric_thresholds,
             options_.max_join_rows, nullptr, options_.indexed_joins);
+        if (join_time != nullptr) {
+          join_time->AddSeconds(join_watch.ElapsedSeconds());
+        }
+        if (joins_run != nullptr) joins_run->Add(1);
+        if (scored != nullptr) scored->Add(cands.size());
         for (const BaselineCandidate& cand : cands) {
           uint32_t p = cand.counts[1];
           uint32_t n = cand.counts[0];
@@ -196,11 +237,16 @@ Clause FoilClassifier::BuildClause(const Database& db,
     lit.gain = best.gain;
     if (best.edge >= 0) {
       const JoinEdge& edge = db.edges()[static_cast<size_t>(best.edge)];
+      Stopwatch join_watch;
       BindingsTable joined(&db, std::vector<TupleId>{});
       bool ok = table.Join(edge, best.source_col, options_.max_join_rows,
                            &joined, options_.indexed_joins);
       CM_CHECK_MSG(ok, "join succeeded during search but failed on apply");
       table = std::move(joined);
+      if (join_time != nullptr) {
+        join_time->AddSeconds(join_watch.ElapsedSeconds());
+      }
+      if (joins_run != nullptr) joins_run->Add(1);
       table.Filter(best.constraint, table.num_cols() - 1);
     } else {
       table.Filter(best.constraint, best.source_col);
@@ -214,6 +260,8 @@ Clause FoilClassifier::BuildClause(const Database& db,
 
 std::vector<ClassId> FoilClassifier::Predict(
     const Database& db, const std::vector<TupleId>& ids) const {
+  ScopedMetricTimer wall(metrics_, "predict.wall_seconds");
+  TouchStandardPredictMetrics(metrics_);
   TupleId num_targets = db.target_relation().num_tuples();
   std::vector<uint8_t> query(num_targets, 0);
   for (TupleId id : ids) query[id] = 1;
@@ -232,6 +280,16 @@ std::vector<ClassId> FoilClassifier::Predict(
   std::vector<ClassId> out;
   out.reserve(ids.size());
   for (TupleId id : ids) out.push_back(best_class[id]);
+  if (metrics_ != nullptr) {
+    metrics_->counter("predict.tuples")->Add(ids.size());
+    metrics_->counter("predict.clauses_evaluated")
+        ->Add(clauses_.size() * ids.size());
+    uint64_t fallbacks = 0;
+    for (TupleId id : ids) {
+      if (best_accuracy[id] < 0.0) ++fallbacks;
+    }
+    metrics_->counter("predict.default_fallbacks")->Add(fallbacks);
+  }
   return out;
 }
 

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "core/model_io.h"
 
 namespace crossmine::baselines {
 
@@ -47,8 +50,12 @@ Status TildeClassifier::Train(const Database& db,
   }
   num_classes_ = db.num_classes();
   truncated_ = false;
+  trained_fingerprint_ = 0;
   timer_.Reset();
   labels_ = &db.labels();
+
+  ScopedMetricTimer wall(metrics_, "train.wall_seconds");
+  TouchStandardTrainMetrics(metrics_);
 
   std::vector<uint32_t> class_count(static_cast<size_t>(num_classes_), 0);
   for (TupleId id : train_ids) {
@@ -60,6 +67,33 @@ Status TildeClassifier::Train(const Database& db,
   std::sort(sorted_ids.begin(), sorted_ids.end());
   root_ = BuildNode(db, std::move(sorted_ids), {}, 0);
   labels_ = nullptr;
+
+  if (metrics_ != nullptr) {
+    // A TILDE leaf plays the role of a clause: report leaves per predicted
+    // class under the same keys the rule learners use so fold aggregation
+    // lines up across classifiers.
+    std::vector<uint64_t> leaves(static_cast<size_t>(num_classes_), 0);
+    uint64_t nodes = 0;
+    std::function<void(const Node&)> walk = [&](const Node& node) {
+      ++nodes;
+      if (node.is_leaf) {
+        ++leaves[static_cast<size_t>(node.label)];
+        return;
+      }
+      walk(*node.yes);
+      walk(*node.no);
+    };
+    if (root_ != nullptr) walk(*root_);
+    metrics_->counter("train.tree_nodes")->Add(nodes);
+    for (ClassId cls = 0; cls < num_classes_; ++cls) {
+      Counter* per_class =
+          metrics_->counter(StrFormat("train.clauses_built.class_%d", cls));
+      per_class->Add(leaves[static_cast<size_t>(cls)]);
+      metrics_->counter("train.clauses_built")
+          ->Add(leaves[static_cast<size_t>(cls)]);
+    }
+  }
+  trained_fingerprint_ = SchemaFingerprint(db);
   return Status::OK();
 }
 
@@ -67,6 +101,15 @@ bool TildeClassifier::Replay(const Database& db,
                              const std::vector<TupleId>& examples,
                              const std::vector<Step>& path, const Step* extra,
                              BindingsTable* out) const {
+  // Re-proving from the root is TILDE's dominant cost; report it as the
+  // join phase (the §2 dataset-construction work CrossMine avoids).
+  ScopedMetricTimer replay_time(metrics_, "train.phase.join_seconds");
+  if (metrics_ != nullptr) {
+    uint64_t joins = 0;
+    for (const Step& step : path) joins += step.edge >= 0 ? 1 : 0;
+    if (extra != nullptr && extra->edge >= 0) ++joins;
+    if (joins > 0) metrics_->counter("train.joins_run")->Add(joins);
+  }
   BindingsTable table(&db, examples);
   auto apply = [&](const Step& step) -> bool {
     int tested_col = step.source_col;
@@ -121,6 +164,12 @@ std::unique_ptr<TildeClassifier::Node> TildeClassifier::BuildNode(
   // the plain-ILP cost model (§2) — and measuring the class split.
   double best_gain = -1.0;
   Step best_step;
+  Timer* search_time = nullptr;
+  Counter* scored = nullptr;
+  if (metrics_ != nullptr) {
+    search_time = metrics_->timer("train.phase.literal_search_seconds");
+    scored = metrics_->counter("train.literals_scored");
+  }
   auto score = [&](const Step& step) {
     if (OverBudget()) return;
     BindingsTable proved(&db, std::vector<TupleId>{});
@@ -156,9 +205,15 @@ std::unique_ptr<TildeClassifier::Node> TildeClassifier::BuildNode(
               options_.use_numerical_literals)) {
           continue;
         }
-        for (const BaselineCandidate& cand : EvaluateByConstruction(
-                 table, col, a, *labels_, num_classes_, /*count_rows=*/false,
-                 options_.max_numeric_thresholds)) {
+        Stopwatch watch;
+        std::vector<BaselineCandidate> cands = EvaluateByConstruction(
+            table, col, a, *labels_, num_classes_, /*count_rows=*/false,
+            options_.max_numeric_thresholds);
+        if (search_time != nullptr) {
+          search_time->AddSeconds(watch.ElapsedSeconds());
+        }
+        if (scored != nullptr) scored->Add(cands.size());
+        for (const BaselineCandidate& cand : cands) {
           score(Step{col, -1, cand.constraint});
         }
       }
@@ -168,10 +223,15 @@ std::unique_ptr<TildeClassifier::Node> TildeClassifier::BuildNode(
     for (int32_t e : db.OutEdges(table.col_relation(col))) {
       const JoinEdge& edge = db.edges()[static_cast<size_t>(e)];
       BindingsTable probe(&db, std::vector<TupleId>{});
-      if (!table.Join(edge, col, options_.max_join_rows, &probe,
-                      options_.indexed_joins)) {
-        continue;
+      Stopwatch probe_watch;
+      bool probe_ok = table.Join(edge, col, options_.max_join_rows, &probe,
+                                 options_.indexed_joins);
+      if (metrics_ != nullptr) {
+        metrics_->timer("train.phase.join_seconds")
+            ->AddSeconds(probe_watch.ElapsedSeconds());
+        metrics_->counter("train.joins_run")->Add(1);
       }
+      if (!probe_ok) continue;
       int new_col = probe.num_cols() - 1;
       const Relation& rel = db.relation(edge.to_rel);
       for (AttrId a = 0; a < rel.schema().num_attrs(); ++a) {
@@ -181,9 +241,15 @@ std::unique_ptr<TildeClassifier::Node> TildeClassifier::BuildNode(
               options_.use_numerical_literals)) {
           continue;
         }
-        for (const BaselineCandidate& cand : EvaluateByConstruction(
-                 probe, new_col, a, *labels_, num_classes_,
-                 /*count_rows=*/false, options_.max_numeric_thresholds)) {
+        Stopwatch watch;
+        std::vector<BaselineCandidate> cands = EvaluateByConstruction(
+            probe, new_col, a, *labels_, num_classes_,
+            /*count_rows=*/false, options_.max_numeric_thresholds);
+        if (search_time != nullptr) {
+          search_time->AddSeconds(watch.ElapsedSeconds());
+        }
+        if (scored != nullptr) scored->Add(cands.size());
+        for (const BaselineCandidate& cand : cands) {
           score(Step{col, e, cand.constraint});
         }
       }
@@ -217,6 +283,11 @@ std::unique_ptr<TildeClassifier::Node> TildeClassifier::BuildNode(
 
 std::vector<ClassId> TildeClassifier::Predict(
     const Database& db, const std::vector<TupleId>& ids) const {
+  ScopedMetricTimer wall(metrics_, "predict.wall_seconds");
+  TouchStandardPredictMetrics(metrics_);
+  if (metrics_ != nullptr) {
+    metrics_->counter("predict.tuples")->Add(ids.size());
+  }
   TupleId num_targets = db.target_relation().num_tuples();
   std::vector<ClassId> per_target(num_targets, default_class_);
   if (root_ != nullptr && !ids.empty()) {

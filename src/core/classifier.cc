@@ -1,15 +1,17 @@
 #include "core/classifier.h"
 
 #include <algorithm>
-
+#include <array>
 #include <memory>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "core/clause_builder.h"
 #include "core/clause_eval.h"
 #include "core/foil_gain.h"
+#include "core/model_io.h"
 #include "core/sampling.h"
 
 namespace crossmine {
@@ -29,8 +31,17 @@ Status CrossMineClassifier::Train(const Database& db,
     }
   }
 
+  trained_fingerprint_ = 0;
   clauses_.clear();
   num_classes_ = db.num_classes();
+
+  ScopedMetricTimer wall(metrics_, "train.wall_seconds");
+  TouchStandardTrainMetrics(metrics_);
+  if (metrics_ != nullptr) {
+    for (ClassId cls = 0; cls < num_classes_; ++cls) {
+      metrics_->counter(StrFormat("train.clauses_built.class_%d", cls));
+    }
+  }
 
   std::vector<uint8_t> in_train(num_targets, 0);
   for (TupleId id : train_ids) in_train[id] = 1;
@@ -66,6 +77,7 @@ Status CrossMineClassifier::Train(const Database& db,
   // set — the clause's support over *all* training tuples, not just the
   // population it was built from.
   if (options_.reestimate_accuracy_on_training_set) {
+    ScopedMetricTimer reestimate(metrics_, "train.phase.reestimation_seconds");
     for (Clause& clause : clauses_) {
       std::vector<uint8_t> mask = ClauseSatisfiedMask(db, clause, in_train);
       uint32_t sup_pos = 0, sup_neg = 0;
@@ -82,6 +94,7 @@ Status CrossMineClassifier::Train(const Database& db,
       clause.accuracy = LaplaceAccuracy(sup_pos, sup_neg, num_classes_);
     }
   }
+  trained_fingerprint_ = SchemaFingerprint(db);
   return Status::OK();
 }
 
@@ -114,32 +127,45 @@ void CrossMineClassifier::TrainOneClass(const Database& db, ClassId cls,
          built < options_.max_clauses_per_class) {
     // Negative tuple sampling (§6): cap negatives at
     // NEG_POS_RATIO · |pos| and at MAX_NUM_NEGATIVE.
-    uint64_t neg_budget = negatives.size();
-    if (options_.use_sampling) {
-      uint64_t ratio_cap = static_cast<uint64_t>(
-          options_.neg_pos_ratio * static_cast<double>(remaining_pos.size()));
-      neg_budget = std::min<uint64_t>(neg_budget, ratio_cap);
-      neg_budget = std::min<uint64_t>(neg_budget, options_.max_num_negative);
-      // Keep a handful of negatives so clause quality remains measurable.
-      neg_budget = std::max<uint64_t>(
-          neg_budget, std::min<uint64_t>(negatives.size(), 10));
-    }
-
     std::vector<uint8_t> alive(num_targets, 0);
-    for (TupleId t : remaining_pos) alive[t] = 1;
     uint64_t sampled_neg = 0;
-    if (neg_budget >= negatives.size()) {
-      for (TupleId t : negatives) alive[t] = 1;
-      sampled_neg = negatives.size();
-    } else {
-      std::vector<uint32_t> pick = rng.SampleWithoutReplacement(
-          static_cast<uint32_t>(negatives.size()),
-          static_cast<uint32_t>(neg_budget));
-      for (uint32_t i : pick) alive[negatives[i]] = 1;
-      sampled_neg = neg_budget;
+    {
+      ScopedMetricTimer sampling(metrics_, "train.phase.sampling_seconds");
+      uint64_t neg_budget = negatives.size();
+      if (options_.use_sampling) {
+        uint64_t ratio_cap = static_cast<uint64_t>(
+            options_.neg_pos_ratio *
+            static_cast<double>(remaining_pos.size()));
+        neg_budget = std::min<uint64_t>(neg_budget, ratio_cap);
+        neg_budget = std::min<uint64_t>(neg_budget, options_.max_num_negative);
+        // Keep a handful of negatives so clause quality remains measurable.
+        neg_budget = std::max<uint64_t>(
+            neg_budget, std::min<uint64_t>(negatives.size(), 10));
+      }
+
+      for (TupleId t : remaining_pos) alive[t] = 1;
+      if (neg_budget >= negatives.size()) {
+        for (TupleId t : negatives) alive[t] = 1;
+        sampled_neg = negatives.size();
+      } else {
+        std::vector<uint32_t> pick = rng.SampleWithoutReplacement(
+            static_cast<uint32_t>(negatives.size()),
+            static_cast<uint32_t>(neg_budget));
+        for (uint32_t i : pick) alive[negatives[i]] = 1;
+        sampled_neg = neg_budget;
+      }
+      if (metrics_ != nullptr) {
+        metrics_->counter("train.sampling.rounds")->Add();
+        metrics_->counter("train.sampling.negatives_considered")
+            ->Add(negatives.size());
+        metrics_->counter("train.sampling.negatives_kept")->Add(sampled_neg);
+        if (sampled_neg < negatives.size()) {
+          metrics_->counter("train.sampling.rounds_subsampled")->Add();
+        }
+      }
     }
 
-    ClauseBuilder builder(&db, &positive, &options_, pool);
+    ClauseBuilder builder(&db, &positive, &options_, pool, metrics_);
     uint32_t build_pos = static_cast<uint32_t>(remaining_pos.size());
     Clause clause = builder.Build(std::move(alive));
     if (clause.empty()) break;
@@ -164,18 +190,37 @@ void CrossMineClassifier::TrainOneClass(const Database& db, ClassId cls,
         remaining_pos.end());
     clauses_.push_back(std::move(clause));
     ++built;
+    if (metrics_ != nullptr) {
+      metrics_->counter("train.clauses_built")->Add();
+      metrics_->counter(StrFormat("train.clauses_built.class_%d", cls))
+          ->Add();
+    }
     if (remaining_pos.size() == before) break;  // no progress, stop
   }
 }
 
 std::vector<ClassId> CrossMineClassifier::Predict(
     const Database& db, const std::vector<TupleId>& ids) const {
+  ScopedMetricTimer wall(metrics_, "predict.wall_seconds");
+  TouchStandardPredictMetrics(metrics_);
   TupleId num_targets = db.target_relation().num_tuples();
   std::vector<uint8_t> query(num_targets, 0);
   for (TupleId id : ids) {
     CM_CHECK(id < num_targets);
     query[id] = 1;
   }
+
+  // Per-target satisfied-clause counts, tracked only when a metrics
+  // registry is attached (for the satisfied-clause histogram and the
+  // default-class fallback count). Never feeds back into `winner`.
+  std::vector<uint32_t> sat_count;
+  if (metrics_ != nullptr) sat_count.assign(num_targets, 0);
+  auto track = [&sat_count](const std::vector<uint8_t>& mask) {
+    if (sat_count.empty()) return;
+    for (TupleId t = 0; t < mask.size(); ++t) {
+      if (mask[t]) ++sat_count[t];
+    }
+  };
 
   std::vector<ClassId> winner(num_targets, default_class_);
   switch (options_.prediction_mode) {
@@ -184,6 +229,7 @@ std::vector<ClassId> CrossMineClassifier::Predict(
       std::vector<double> best_accuracy(num_targets, -1.0);
       for (const Clause& clause : clauses_) {
         std::vector<uint8_t> mask = ClauseSatisfiedMask(db, clause, query);
+        track(mask);
         for (TupleId t = 0; t < num_targets; ++t) {
           if (mask[t] && clause.accuracy > best_accuracy[t]) {
             best_accuracy[t] = clause.accuracy;
@@ -203,6 +249,7 @@ std::vector<ClassId> CrossMineClassifier::Predict(
       std::vector<uint8_t> any(num_targets, 0);
       for (const Clause& clause : clauses_) {
         std::vector<uint8_t> mask = ClauseSatisfiedMask(db, clause, query);
+        track(mask);
         double weight = std::max(0.0, clause.accuracy - chance);
         for (TupleId t = 0; t < num_targets; ++t) {
           if (!mask[t]) continue;
@@ -222,11 +269,13 @@ std::vector<ClassId> CrossMineClassifier::Predict(
       break;
     }
     case PredictionMode::kDecisionList: {
-      // First satisfied clause in learning order wins.
+      // First satisfied clause in learning order wins. (The tracked count
+      // is 0/1 here: later clauses only see still-undecided tuples.)
       std::vector<uint8_t> undecided = query;
       for (const Clause& clause : clauses_) {
         std::vector<uint8_t> mask =
             ClauseSatisfiedMask(db, clause, undecided);
+        track(mask);
         for (TupleId t = 0; t < num_targets; ++t) {
           if (mask[t]) {
             winner[t] = clause.predicted_class;
@@ -235,6 +284,27 @@ std::vector<ClassId> CrossMineClassifier::Predict(
         }
       }
       break;
+    }
+  }
+
+  if (metrics_ != nullptr) {
+    metrics_->counter("predict.tuples")->Add(ids.size());
+    metrics_->counter("predict.clauses_evaluated")
+        ->Add(clauses_.size() * ids.size());
+    uint64_t fallbacks = 0;
+    std::array<uint64_t, 9> hist{};  // 0..7 satisfied clauses, then 8+
+    for (TupleId id : ids) {
+      uint32_t satisfied = sat_count[id];
+      if (satisfied == 0) ++fallbacks;
+      ++hist[std::min<uint32_t>(satisfied, 8)];
+    }
+    metrics_->counter("predict.default_fallbacks")->Add(fallbacks);
+    for (size_t b = 0; b < hist.size(); ++b) {
+      if (hist[b] == 0) continue;
+      metrics_
+          ->counter(b < 8 ? StrFormat("predict.satisfied.%zu", b)
+                          : std::string("predict.satisfied.8plus"))
+          ->Add(hist[b]);
     }
   }
 

@@ -83,17 +83,22 @@ class CrossMineClassifier : public RelationalClassifier {
   /// Multi-line human-readable dump of the model.
   std::string ToString(const Database& db) const;
 
-  /// Replaces the learned state wholesale — the deserialization hook used
-  /// by `LoadModel` (core/model_io.h). Clauses must reference valid ids of
-  /// the database the model will predict against.
+ private:
+  /// Replaces the learned state wholesale — the deserialization hook for
+  /// `LoadModel` (core/model_io.h), which is the only restore path and
+  /// validates every clause's relation / attribute / edge id against the
+  /// database before calling this. `fingerprint` is the schema fingerprint
+  /// of that database, enforced again by `PredictChecked`.
   void RestoreModel(std::vector<Clause> clauses, ClassId default_class,
-                    int num_classes) {
+                    int num_classes, uint64_t fingerprint) {
     clauses_ = std::move(clauses);
     default_class_ = default_class;
     num_classes_ = num_classes;
+    trained_fingerprint_ = fingerprint;
   }
+  friend StatusOr<CrossMineClassifier> LoadModel(const Database& db,
+                                                 const std::string& path);
 
- private:
   void TrainOneClass(const Database& db, ClassId cls,
                      const std::vector<uint8_t>& positive,
                      const std::vector<uint8_t>& in_train, uint64_t seed,

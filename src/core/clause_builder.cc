@@ -9,15 +9,40 @@
 
 namespace crossmine {
 
+namespace {
+
+inline void Bump(Counter* counter, uint64_t n = 1) {
+  if (counter != nullptr) counter->Add(n);
+}
+
+}  // namespace
+
 ClauseBuilder::ClauseBuilder(const Database* db,
                              const std::vector<uint8_t>* positive,
-                             const CrossMineOptions* opts, ThreadPool* pool)
+                             const CrossMineOptions* opts, ThreadPool* pool,
+                             MetricsRegistry* metrics)
     : db_(db),
       positive_(positive),
       opts_(opts),
       pool_(pool),
+      metrics_(metrics),
       clause_(db->target()) {
   satisfied_.assign(db->target_relation().num_tuples(), 0);
+  if (metrics_ != nullptr) {
+    prop_cache_hits_ = metrics_->counter("train.propagation.cache_hits");
+    prop_cache_refreshes_ =
+        metrics_->counter("train.propagation.cache_refreshes");
+    prop_cache_misses_ = metrics_->counter("train.propagation.cache_misses");
+    prop_cache_evictions_ =
+        metrics_->counter("train.propagation.cache_evictions");
+    prop_rejected_ = metrics_->counter("train.propagation.rejected");
+    search_rounds_ = metrics_->counter("train.search.rounds");
+    search_tasks_ = metrics_->counter("train.search.tasks");
+    pool_tasks_ = metrics_->counter("train.pool.tasks");
+    literals_accepted_ = metrics_->counter("train.literals_accepted");
+    prop_time_ = metrics_->timer("train.phase.propagation_seconds");
+    lookahead_time_ = metrics_->timer("train.phase.lookahead_seconds");
+  }
 }
 
 void ClauseBuilder::RecountAlive() {
@@ -52,7 +77,10 @@ void ClauseBuilder::WarmIndexes() const {
 
 void ClauseBuilder::PrepareWorkers() {
   size_t lanes = static_cast<size_t>(num_lanes());
-  while (searchers_.size() < lanes) searchers_.emplace_back(db_, positive_);
+  while (searchers_.size() < lanes) {
+    searchers_.emplace_back(db_, positive_);
+    searchers_.back().set_metrics(metrics_);
+  }
   for (LiteralSearcher& searcher : searchers_) {
     searcher.SetContext(&alive_, pos_, neg_);
   }
@@ -115,13 +143,22 @@ std::shared_ptr<const PropagationResult> ClauseBuilder::GetPropagation(
     }
   }
   if (cached != nullptr) {
-    if (current) return cached;
+    if (current) {
+      Bump(prop_cache_hits_);
+      return cached;
+    }
     // The alive mask only shrank since this result was computed, so an
     // alive-filter pass reproduces a fresh `PropagateIds` exactly —
     // including the limit verdicts, which `RefreshPropagation` re-checks.
-    if (RefreshPropagation(cached.get(), alive_, opts_->propagation_limits)) {
-      return cached;
+    Stopwatch refresh_watch;
+    bool refreshed =
+        RefreshPropagation(cached.get(), alive_, opts_->propagation_limits);
+    if (prop_time_ != nullptr) {
+      prop_time_->AddSeconds(refresh_watch.ElapsedSeconds());
     }
+    Bump(prop_cache_refreshes_);
+    if (refreshed) return cached;
+    Bump(prop_cache_evictions_);
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = prop_cache_.find(key);
     if (it != prop_cache_.end()) {
@@ -131,8 +168,14 @@ std::shared_ptr<const PropagationResult> ClauseBuilder::GetPropagation(
     return cached;  // ok == false, matching a fresh failed propagation
   }
 
+  Stopwatch prop_watch;
   auto fresh = std::make_shared<PropagationResult>(
       PropagateIds(*db_, edge, src, &alive_, opts_->propagation_limits));
+  if (prop_time_ != nullptr) {
+    prop_time_->AddSeconds(prop_watch.ElapsedSeconds());
+  }
+  Bump(prop_cache_misses_);
+  if (!fresh->ok) Bump(prop_rejected_);
   if (fresh->ok && opts_->propagation_cache_slots > 0) {
     uint64_t slots = fresh->idsets.size();
     std::lock_guard<std::mutex> lock(cache_mu_);
@@ -170,6 +213,9 @@ ClauseBuilder::BestChoice ClauseBuilder::FindBestLiteral() {
       }
     }
   }
+
+  Bump(search_rounds_);
+  Bump(search_tasks_, tasks.size());
 
   std::vector<CandidateLiteral> scored(tasks.size());
   std::vector<std::shared_ptr<const PropagationResult>> hop1(tasks.size());
@@ -219,10 +265,21 @@ ClauseBuilder::BestChoice ClauseBuilder::FindBestLiteral() {
         fns.push_back([&run_task, i](int worker) { run_task(i, worker); });
       }
     }
+    Bump(pool_tasks_, fns.size());
     pool_->RunTasks(fns);
   };
   run_wave(/*lookahead=*/false);
-  run_wave(/*lookahead=*/true);
+  {
+    // Look-ahead cost, as wall time of the hop-2 wave. Its propagation and
+    // scan time is *also* accumulated into the propagation / literal-search
+    // phase timers; this key answers "what does §5.2 look-one-ahead cost"
+    // on its own.
+    Stopwatch lookahead_watch;
+    run_wave(/*lookahead=*/true);
+    if (lookahead_time_ != nullptr) {
+      lookahead_time_->AddSeconds(lookahead_watch.ElapsedSeconds());
+    }
+  }
 
   // Deterministic reduction in task-enumeration (= sequential-loop) order.
   BestChoice best;
@@ -237,6 +294,7 @@ ClauseBuilder::BestChoice ClauseBuilder::FindBestLiteral() {
 }
 
 void ClauseBuilder::Append(const BestChoice& choice) {
+  Bump(literals_accepted_);
   ComplexLiteral lit;
   lit.source_node = choice.source_node;
   lit.edge_path = choice.edge_path;

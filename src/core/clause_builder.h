@@ -8,6 +8,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/idset.h"
 #include "core/literal.h"
@@ -55,9 +56,11 @@ class ClauseBuilder {
   /// initial example mask (uncovered positives plus — possibly sampled —
   /// negatives). Both are indexed by target TupleId. `pool` (optional,
   /// borrowed) parallelizes the literal search; null or a 1-lane pool runs
-  /// the sequential path.
+  /// the sequential path. `metrics` (optional, borrowed) records `train.*`
+  /// search / propagation-cache metrics; counting never alters the search.
   ClauseBuilder(const Database* db, const std::vector<uint8_t>* positive,
-                const CrossMineOptions* opts, ThreadPool* pool = nullptr);
+                const CrossMineOptions* opts, ThreadPool* pool = nullptr,
+                MetricsRegistry* metrics = nullptr);
 
   /// Runs Find-A-Clause starting from `alive`. The returned clause is empty
   /// if no literal reaches `min_foil_gain`.
@@ -125,6 +128,21 @@ class ClauseBuilder {
   const std::vector<uint8_t>* positive_;
   const CrossMineOptions* opts_;
   ThreadPool* pool_;
+  MetricsRegistry* metrics_;
+
+  /// Cached metric handles (null when `metrics_` is null) so pool tasks pay
+  /// one relaxed atomic add per event, never a key lookup.
+  Counter* prop_cache_hits_ = nullptr;
+  Counter* prop_cache_refreshes_ = nullptr;
+  Counter* prop_cache_misses_ = nullptr;
+  Counter* prop_cache_evictions_ = nullptr;
+  Counter* prop_rejected_ = nullptr;
+  Counter* search_rounds_ = nullptr;
+  Counter* search_tasks_ = nullptr;
+  Counter* pool_tasks_ = nullptr;
+  Counter* literals_accepted_ = nullptr;
+  Timer* prop_time_ = nullptr;
+  Timer* lookahead_time_ = nullptr;
 
   Clause clause_;
   /// Propagated idsets per clause node, alive-filtered.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/random.h"
+#include "core/model_io.h"
 
 namespace crossmine {
 
@@ -19,7 +21,15 @@ Status BaggedCrossMineClassifier::Train(const Database& db,
     return Status::InvalidArgument("empty training set");
   }
   models_.clear();
+  trained_fingerprint_ = 0;
   num_classes_ = db.num_classes();
+
+  ScopedMetricTimer wall(metrics_, "train.wall_seconds");
+  TouchStandardTrainMetrics(metrics_);
+  if (metrics_ != nullptr) {
+    metrics_->counter("train.ensemble.members")
+        ->Add(static_cast<uint64_t>(options_.num_models));
+  }
 
   // Stratified pools for subsampling, and the global majority default.
   std::vector<std::vector<TupleId>> by_class(
@@ -49,13 +59,27 @@ Status BaggedCrossMineClassifier::Train(const Database& db,
     CrossMineOptions member = options_.base;
     member.seed = rng.Next();
     models_.emplace_back(member);
-    CM_RETURN_IF_ERROR(models_.back().Train(db, subset));
+    // Members count into the ensemble's registry while they train, then
+    // detach: `models_` may outlive the registry, and Predict must not
+    // reach a dangling pointer through a copied member.
+    models_.back().set_metrics(metrics_);
+    Status trained = models_.back().Train(db, subset);
+    models_.back().set_metrics(nullptr);
+    CM_RETURN_IF_ERROR(trained);
   }
+  trained_fingerprint_ = SchemaFingerprint(db);
   return Status::OK();
 }
 
 std::vector<ClassId> BaggedCrossMineClassifier::Predict(
     const Database& db, const std::vector<TupleId>& ids) const {
+  ScopedMetricTimer wall(metrics_, "predict.wall_seconds");
+  TouchStandardPredictMetrics(metrics_);
+  if (metrics_ != nullptr) {
+    metrics_->counter("predict.tuples")->Add(ids.size());
+    metrics_->counter("predict.ensemble.member_predictions")
+        ->Add(ids.size() * models_.size());
+  }
   if (models_.empty()) {
     return std::vector<ClassId>(ids.size(), default_class_);
   }

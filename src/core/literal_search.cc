@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "common/stopwatch.h"
 #include "core/foil_gain.h"
 
 namespace crossmine {
@@ -33,6 +34,16 @@ void LiteralSearcher::SetContext(const std::vector<uint8_t>* alive,
   }
 }
 
+void LiteralSearcher::set_metrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    literals_scored_ = nullptr;
+    search_time_ = nullptr;
+    return;
+  }
+  literals_scored_ = metrics->counter("train.literals_scored");
+  search_time_ = metrics->timer("train.phase.literal_search_seconds");
+}
+
 uint32_t LiteralSearcher::NewEpoch() {
   if (++epoch_ == 0) {
     // Wrapped around: clear stamps and restart.
@@ -44,6 +55,7 @@ uint32_t LiteralSearcher::NewEpoch() {
 
 void LiteralSearcher::Offer(CandidateLiteral* best, const Constraint& c,
                             uint32_t pos_cov, uint32_t neg_cov) const {
+  ++offered_;
   if (pos_cov == 0) return;
   // A literal satisfied by every alive target discriminates nothing.
   if (pos_cov == pos_ && neg_cov == neg_) return;
@@ -63,6 +75,8 @@ CandidateLiteral LiteralSearcher::FindBest(RelId rel_id,
   const Relation& rel = db_->relation(rel_id);
   CM_CHECK(idsets.size() == rel.num_tuples());
 
+  Stopwatch watch;
+  offered_ = 0;
   CandidateLiteral best;
   for (AttrId a = 0; a < rel.schema().num_attrs(); ++a) {
     switch (rel.schema().attr(a).kind) {
@@ -82,6 +96,8 @@ CandidateLiteral LiteralSearcher::FindBest(RelId rel_id,
   if (opts.use_aggregation_literals) {
     SearchAggregations(rel, idsets, opts, &best);
   }
+  if (literals_scored_ != nullptr) literals_scored_->Add(offered_);
+  if (search_time_ != nullptr) search_time_->AddSeconds(watch.ElapsedSeconds());
   return best;
 }
 

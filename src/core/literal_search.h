@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/idset.h"
 #include "core/literal.h"
 #include "core/options.h"
@@ -47,6 +48,12 @@ class LiteralSearcher {
   void SetContext(const std::vector<uint8_t>* alive, uint32_t pos,
                   uint32_t neg);
 
+  /// Attaches a metrics registry (borrowed; null detaches). `FindBest`
+  /// then accumulates scan wall time into `train.phase.literal_search_seconds`
+  /// and one `train.literals_scored` tick per candidate offered to the
+  /// gain comparison. Counting never alters which literal wins.
+  void set_metrics(MetricsRegistry* metrics);
+
   /// Best constraint on `rel` given `idsets` (parallel to rel's tuples).
   CandidateLiteral FindBest(RelId rel, const std::vector<IdSet>& idsets,
                             const CrossMineOptions& opts);
@@ -82,6 +89,13 @@ class LiteralSearcher {
   uint32_t epoch_ = 0;
   std::vector<uint32_t> agg_count_;
   std::vector<double> agg_sum_;
+
+  /// Cached metric handles (null when detached). `offered_` batches the
+  /// per-candidate count locally during one `FindBest` so the hot `Offer`
+  /// path never touches an atomic; it is flushed once per call.
+  Counter* literals_scored_ = nullptr;
+  Timer* search_time_ = nullptr;
+  mutable uint64_t offered_ = 0;
 };
 
 }  // namespace crossmine

@@ -174,6 +174,10 @@ StatusOr<CrossMineClassifier> LoadModel(const Database& db,
           default_class >= num_classes) {
         return fail("malformed classes line");
       }
+      if (num_classes != db.num_classes()) {
+        return fail(StrFormat("model has %d classes, database has %d",
+                              num_classes, db.num_classes()));
+      }
     } else if (tok == "clause") {
       Clause clause(db.target());
       ls >> clause.predicted_class >> clause.accuracy >> clause.sup_pos >>
@@ -236,6 +240,23 @@ StatusOr<CrossMineClassifier> LoadModel(const Database& db,
       } else if (lit.constraint.attr < 0 ||
                  lit.constraint.attr >= schema.num_attrs()) {
         return fail("constraint attribute out of range");
+      } else {
+        // The attribute must be usable by the literal's operator: equality
+        // literals read categories, comparisons and aggregations read
+        // doubles — a mismatch would make clause evaluation read a column
+        // that does not exist for that attribute.
+        AttrKind kind = schema.attr(lit.constraint.attr).kind;
+        if (lit.constraint.agg != AggOp::kNone) {
+          if (kind != AttrKind::kNumerical) {
+            return fail("aggregation literal on non-numerical attribute");
+          }
+        } else if (lit.constraint.cmp == CmpOp::kEq) {
+          if (kind != AttrKind::kCategorical) {
+            return fail("equality literal on non-categorical attribute");
+          }
+        } else if (kind != AttrKind::kNumerical) {
+          return fail("comparison literal on non-numerical attribute");
+        }
       }
       current->Append(db, std::move(lit));
     } else if (tok == "end") {
@@ -247,7 +268,8 @@ StatusOr<CrossMineClassifier> LoadModel(const Database& db,
   if (num_classes == 0) return fail("missing classes line");
 
   CrossMineClassifier model;
-  model.RestoreModel(std::move(clauses), default_class, num_classes);
+  model.RestoreModel(std::move(clauses), default_class, num_classes,
+                     SchemaFingerprint(db));
   return model;
 }
 

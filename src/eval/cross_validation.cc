@@ -48,7 +48,8 @@ std::vector<Fold> StratifiedKFold(const Database& db, int k, uint64_t seed) {
 CrossValResult CrossValidate(const Database& db,
                              const ClassifierFactory& factory, int k,
                              uint64_t seed,
-                             double fold_time_limit_seconds) {
+                             double fold_time_limit_seconds,
+                             bool collect_reports) {
   std::vector<Fold> folds = StratifiedKFold(db, k, seed);
   CrossValResult result;
   for (const Fold& fold : folds) {
@@ -56,14 +57,31 @@ CrossValResult CrossValidate(const Database& db,
     FoldResult fr;
     fr.test_size = static_cast<uint32_t>(fold.test.size());
 
+    // One registry per phase so `train.*` and `predict.*` keys are
+    // snapshotted separately without string filtering.
+    MetricsRegistry train_metrics, predict_metrics;
+
+    if (collect_reports) model->set_metrics(&train_metrics);
     Stopwatch train_watch;
     Status st = model->Train(db, fold.train);
     fr.train_seconds = train_watch.ElapsedSeconds();
     CM_CHECK_MSG(st.ok(), st.ToString().c_str());
 
+    if (collect_reports) model->set_metrics(&predict_metrics);
     Stopwatch predict_watch;
-    std::vector<ClassId> pred = model->Predict(db, fold.test);
+    StatusOr<std::vector<ClassId>> checked =
+        model->PredictChecked(db, fold.test);
     fr.predict_seconds = predict_watch.ElapsedSeconds();
+    CM_CHECK_MSG(checked.ok(), checked.status().ToString().c_str());
+    std::vector<ClassId> pred = std::move(checked).value();
+    model->set_metrics(nullptr);
+
+    if (collect_reports) {
+      fr.train_report.metrics = train_metrics.Snapshot();
+      fr.predict_report.metrics = predict_metrics.Snapshot();
+      MergeSnapshot(fr.train_report.metrics, &result.train_totals);
+      MergeSnapshot(fr.predict_report.metrics, &result.predict_totals);
+    }
 
     std::vector<ClassId> truth;
     truth.reserve(fold.test.size());

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/relational_classifier.h"
 #include "relational/database.h"
 
@@ -27,6 +28,11 @@ struct FoldResult {
   double train_seconds = 0.0;
   double predict_seconds = 0.0;
   uint32_t test_size = 0;
+  /// Per-fold observability reports (populated when `collect_reports` is
+  /// passed to `CrossValidate`; empty otherwise). Training metrics carry
+  /// `train.*` keys, prediction metrics `predict.*` keys.
+  TrainReport train_report;
+  PredictReport predict_report;
 };
 
 /// Aggregate cross-validation result.
@@ -41,6 +47,11 @@ struct CrossValResult {
   /// (the paper stops experiments whose runtime is far beyond 10 hours and
   /// reports first-fold numbers).
   bool truncated = false;
+  /// Key-wise sums of the per-fold reports over completed folds (empty
+  /// unless `collect_reports` was set). Counters add; timers accumulate
+  /// total seconds across folds.
+  MetricsSnapshot train_totals;
+  MetricsSnapshot predict_totals;
 };
 
 using ClassifierFactory =
@@ -50,10 +61,17 @@ using ClassifierFactory =
 /// If `fold_time_limit_seconds > 0` and a fold's wall-clock exceeds it, the
 /// remaining folds are skipped and `truncated` is set — mirroring the
 /// paper's handling of unscalable baselines.
+///
+/// With `collect_reports` set, each fold's model trains and predicts with a
+/// fresh `MetricsRegistry` attached; the snapshots land in the fold's
+/// `train_report` / `predict_report` and are summed into the result's
+/// `train_totals` / `predict_totals`. Instrumentation never changes what a
+/// model learns, so accuracies match a report-free run exactly.
 CrossValResult CrossValidate(const Database& db,
                              const ClassifierFactory& factory, int k,
                              uint64_t seed,
-                             double fold_time_limit_seconds = 0.0);
+                             double fold_time_limit_seconds = 0.0,
+                             bool collect_reports = false);
 
 }  // namespace crossmine::eval
 

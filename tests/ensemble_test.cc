@@ -64,13 +64,15 @@ TEST(PredictionModeTest, UnsatisfiedTupleGetsDefaultInEveryMode) {
        {PredictionMode::kBestClause, PredictionMode::kWeightedVote,
         PredictionMode::kDecisionList}) {
     CrossMineOptions opts;
-    opts.min_foil_gain = 0.5;
+    // An unreachable gain threshold trains a clause-free model, forcing the
+    // "no clause satisfied" path; the default class is the training
+    // majority (class 1: labels are {1,1,0,0,1}).
+    opts.min_foil_gain = 1e9;
     opts.prediction_mode = mode;
     CrossMineClassifier model(opts);
-    // Train on loans 0..3 only; loan 4's account is shared with loan 3 so
-    // predictions stay meaningful, but force the "no clause" path via an
-    // empty model instead:
-    model.RestoreModel({}, /*default_class=*/1, /*num_classes=*/2);
+    ASSERT_TRUE(model.Train(f.db, AllIds(f.db)).ok());
+    ASSERT_TRUE(model.clauses().empty());
+    ASSERT_EQ(model.default_class(), 1);
     EXPECT_EQ(model.Predict(f.db, {0, 2, 4}),
               (std::vector<ClassId>{1, 1, 1}));
   }
@@ -100,8 +102,13 @@ TEST(ExplainTest, ReportsDecidingClause) {
 
 TEST(ExplainTest, DefaultPredictionHasNoClause) {
   Fig2Database f = MakeFig2Database();
-  CrossMineClassifier model;
-  model.RestoreModel({}, /*default_class=*/0, /*num_classes=*/2);
+  CrossMineOptions opts;
+  opts.min_foil_gain = 1e9;  // clause-free model (see above)
+  CrossMineClassifier model(opts);
+  // Training on class-0 loans only makes 0 the majority default.
+  ASSERT_TRUE(model.Train(f.db, {2, 3}).ok());
+  ASSERT_TRUE(model.clauses().empty());
+  ASSERT_EQ(model.default_class(), 0);
   CrossMineClassifier::Explanation ex = model.Explain(f.db, 3);
   EXPECT_EQ(ex.predicted, 0);
   EXPECT_EQ(ex.clause_index, -1);

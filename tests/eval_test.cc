@@ -4,6 +4,8 @@
 #include <set>
 
 #include "common/stopwatch.h"
+#include "core/classifier.h"
+#include "core/model_io.h"
 #include "eval/cross_validation.h"
 #include "eval/metrics.h"
 #include "test_util.h"
@@ -126,8 +128,11 @@ class ConstantClassifier : public RelationalClassifier {
  public:
   explicit ConstantClassifier(ClassId cls, int* train_calls = nullptr)
       : cls_(cls), train_calls_(train_calls) {}
-  Status Train(const Database&, const std::vector<TupleId>&) override {
+  Status Train(const Database& db, const std::vector<TupleId>&) override {
     if (train_calls_ != nullptr) ++*train_calls_;
+    // Part of the Train contract: record the schema so PredictChecked
+    // accepts this (db, model) pair.
+    trained_fingerprint_ = SchemaFingerprint(db);
     return Status::OK();
   }
   std::vector<ClassId> Predict(
@@ -174,6 +179,37 @@ TEST(CrossValidateTest, FoldTimeLimitTruncates) {
       /*fold_time_limit_seconds=*/0.01);
   EXPECT_EQ(result.folds.size(), 1u);
   EXPECT_TRUE(result.truncated);
+}
+
+TEST(CrossValidateTest, CollectReportsAggregatesPerFoldMetrics) {
+  Fig2Database f = MakeFig2Database();
+  CrossMineOptions opts;
+  opts.min_foil_gain = 0.5;
+  auto factory = [&] { return std::make_unique<CrossMineClassifier>(opts); };
+  CrossValResult result = CrossValidate(f.db, factory, 5, 1,
+                                        /*fold_time_limit_seconds=*/0.0,
+                                        /*collect_reports=*/true);
+  ASSERT_EQ(result.folds.size(), 5u);
+  double wall_sum = 0.0;
+  for (const FoldResult& fr : result.folds) {
+    ASSERT_FALSE(fr.train_report.empty());
+    ASSERT_FALSE(fr.predict_report.empty());
+    EXPECT_EQ(fr.train_report.metrics.count("train.phase.propagation_seconds"),
+              1u);
+    EXPECT_EQ(fr.train_report.metrics.count("train.clauses_built"), 1u);
+    EXPECT_EQ(fr.predict_report.metrics.count("predict.tuples"), 1u);
+    wall_sum += fr.train_report.metrics.at("train.wall_seconds");
+  }
+  EXPECT_NEAR(result.train_totals.at("train.wall_seconds"), wall_sum, 1e-9);
+  // Every fold predicts its one test tuple.
+  EXPECT_DOUBLE_EQ(result.predict_totals.at("predict.tuples"), 5.0);
+
+  // Off by default, and attaching the instrumentation never changes what
+  // the folds learn.
+  CrossValResult plain = CrossValidate(f.db, factory, 5, 1);
+  EXPECT_TRUE(plain.folds[0].train_report.empty());
+  EXPECT_TRUE(plain.train_totals.empty());
+  EXPECT_DOUBLE_EQ(plain.mean_accuracy, result.mean_accuracy);
 }
 
 TEST(CrossValidateTest, RecordsTimings) {

@@ -13,6 +13,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/classifier.h"
 #include "core/model_io.h"
@@ -114,6 +115,68 @@ TEST(ParallelSearchTest, CacheDisabledModelsAreByteIdentical) {
             TrainedModelBytes(*db, uncached, 1, "cache_off"));
   EXPECT_EQ(TrainedModelBytes(*db, cached, 4, "cache_on4"),
             TrainedModelBytes(*db, uncached, 4, "cache_off4"));
+}
+
+/// Trains with a registry attached and returns the `train.*` counter totals
+/// (timers and pool-scheduling counts excluded: those legitimately vary
+/// with the thread count; everything else must not).
+MetricsSnapshot TrainCounterTotals(const Database& db, CrossMineOptions opts,
+                                   int num_threads) {
+  opts.num_threads = num_threads;
+  CrossMineClassifier model(opts);
+  MetricsRegistry reg;
+  model.set_metrics(&reg);
+  std::vector<TupleId> all(db.target_relation().num_tuples());
+  std::iota(all.begin(), all.end(), 0);
+  EXPECT_TRUE(model.Train(db, all).ok());
+  MetricsSnapshot counters;
+  for (const auto& [key, value] : reg.Snapshot()) {
+    if (key.size() >= 8 && key.compare(key.size() - 8, 8, "_seconds") == 0) {
+      continue;
+    }
+    if (key.rfind("train.pool.", 0) == 0) continue;
+    counters[key] = value;
+  }
+  return counters;
+}
+
+TEST(ParallelSearchTest, ReportCountersAreThreadCountInvariant) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_relations = 8;
+  cfg.expected_tuples = 150;
+  cfg.seed = 17;
+  StatusOr<Database> db = datagen::GenerateSyntheticDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  CrossMineOptions opts;
+  opts.use_aggregation_literals = false;
+  MetricsSnapshot sequential = TrainCounterTotals(*db, opts, 1);
+  MetricsSnapshot parallel = TrainCounterTotals(*db, opts, 4);
+  EXPECT_EQ(sequential, parallel)
+      << "1-thread and 4-thread runs reported different counter totals";
+  EXPECT_GT(sequential.at("train.literals_scored"), 0.0);
+  EXPECT_GT(sequential.at("train.search.tasks"), 0.0);
+}
+
+TEST(ParallelSearchTest, AttachedMetricsDoNotPerturbTheModel) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_relations = 8;
+  cfg.expected_tuples = 120;
+  cfg.seed = 31;
+  StatusOr<Database> db = datagen::GenerateSyntheticDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+
+  std::string detached = TrainedModelBytes(*db, CrossMineOptions{}, 4, "plain");
+  CrossMineClassifier model{CrossMineOptions{}};
+  MetricsRegistry reg;
+  model.set_metrics(&reg);
+  std::vector<TupleId> all(db->target_relation().num_tuples());
+  std::iota(all.begin(), all.end(), 0);
+  ASSERT_TRUE(model.Train(*db, all).ok());
+  std::string path = ::testing::TempDir() + "/par_metrics_t4.cmm";
+  std::filesystem::remove(path);
+  ASSERT_TRUE(SaveModel(model, *db, path).ok());
+  EXPECT_EQ(ReadFile(path), detached)
+      << "attaching a MetricsRegistry changed the trained model";
 }
 
 TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {

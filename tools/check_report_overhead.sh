@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Guards the "near-zero overhead when unused" contract of the metrics layer:
+# an `evaluate` run without --report (registry detached, every probe is one
+# null-pointer test) must not be measurably slower than the pre-metrics
+# binary was, and even with --report json the cost must stay small.
+#
+# Compares min-of-3 wall times of `evaluate` with and without --report json
+# on a mid-size synthetic database. The budget is generous (35% + 150 ms) so
+# the check only trips on a real regression — e.g. someone snapshotting or
+# formatting inside the training loop — not on scheduler noise.
+#
+# Usage: tools/check_report_overhead.sh [crossmine-binary]
+#        (default: build/tools/crossmine)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN="${1:-build/tools/crossmine}"
+[ -x "$BIN" ] || { echo "check_report_overhead: binary not found: $BIN" >&2; exit 1; }
+
+if ! command -v python3 > /dev/null; then
+  echo "check_report_overhead: SKIP (python3 not found, no portable timer)"
+  exit 0
+fi
+
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$BIN" generate synthetic "$DIR/data" --seed 11 --relations 10 --tuples 400 \
+  > /dev/null
+
+python3 - "$BIN" "$DIR/data" <<'EOF'
+import subprocess
+import sys
+import time
+
+binary, dataset = sys.argv[1], sys.argv[2]
+base_args = [binary, "evaluate", dataset, "--folds", "3", "--threads", "1"]
+
+
+def best_of(args, runs=3):
+    best = float("inf")
+    for _ in range(runs):
+        start = time.monotonic()
+        subprocess.run(args, check=True, stdout=subprocess.DEVNULL,
+                       stderr=subprocess.DEVNULL)
+        best = min(best, time.monotonic() - start)
+    return best
+
+
+plain = best_of(base_args)
+reported = best_of(base_args + ["--report", "json"])
+overhead = reported - plain
+budget = 0.35 * plain + 0.15
+print(f"check_report_overhead: plain {plain:.3f}s, --report json "
+      f"{reported:.3f}s, overhead {overhead:+.3f}s (budget {budget:.3f}s)")
+if overhead > budget:
+    print("check_report_overhead: FAIL — report instrumentation is too "
+          "expensive", file=sys.stderr)
+    sys.exit(1)
+print("check_report_overhead: OK")
+EOF

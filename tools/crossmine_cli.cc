@@ -5,19 +5,29 @@
 //   crossmine evaluate <dir> [options]          k-fold cross validation
 //   crossmine train    <dir> <model>            train and save a model
 //   crossmine predict  <dir> <model>            load a model and classify
+//   crossmine explain  <dir> <model> <tuple>    explain one prediction
 //
 // Datasets are directories in the CSV + schema.txt format of
 // relational/csv.h, so anything the library can load can also be produced
 // by external tools. Run `crossmine help` for the full option list.
+//
+// `--report text|json` on evaluate / train / predict surfaces the
+// observability reports (phase timings, propagation-cache traffic, clause
+// counts); JSON output is one object per line in the bench/bench_json.h
+// convention.
 
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <string>
 
-#include "core/classifier.h"
+#include "baselines/foil.h"
+#include "baselines/tilde.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "core/classifier.h"
 #include "core/model_io.h"
 #include "datagen/financial.h"
 #include "datagen/mutagenesis.h"
@@ -39,13 +49,24 @@ int Usage() {
       "  crossmine generate financial <dir> [--seed N] [--loans N]\n"
       "  crossmine generate mutagenesis <dir> [--seed N] [--molecules N]\n"
       "  crossmine inspect <dir>\n"
-      "  crossmine evaluate <dir> [--folds K] [--sampling]\n"
-      "                           [--no-lookahead] [--no-aggregations]\n"
-      "                           [--threads N]\n"
-      "  crossmine train <dir> <model-file> [--sampling] [--no-lookahead]\n"
-      "                                     [--no-aggregations] [--threads N]\n"
+      "  crossmine evaluate <dir> [--folds K] [--classifier crossmine|foil|tilde]\n"
+      "                           [--report text|json] [model options]\n"
+      "  crossmine train <dir> <model-file> [--report text|json]\n"
+      "                                     [model options]\n"
       "  crossmine predict <dir> <model-file> [--mode best|vote|list]\n"
-      "  crossmine explain <dir> <model-file> <tuple-id>\n");
+      "                                       [--report text|json]\n"
+      "  crossmine explain <dir> <model-file> <tuple-id>\n"
+      "\n"
+      "model options (evaluate / train):\n"
+      "  --sampling             enable negative sampling (off by default)\n"
+      "  --neg-pos-ratio R      negatives kept per positive when sampling\n"
+      "  --max-negative N       hard cap on sampled negatives\n"
+      "  --min-gain G           minimum FOIL gain to append a literal\n"
+      "  --no-lookahead         disable the look-one-ahead second hop\n"
+      "  --no-aggregations      disable aggregation literals\n"
+      "  --threads N            clause-search worker threads (0 = auto)\n"
+      "  --seed N               sampling seed\n"
+      "  --mode best|vote|list  prediction mode\n");
   return 2;
 }
 
@@ -75,13 +96,28 @@ int64_t OptInt(const std::map<std::string, std::string>& opts,
   return v;
 }
 
-CrossMineOptions OptionsFromFlags(
+double OptDouble(const std::map<std::string, std::string>& opts,
+                 const std::string& key, double fallback) {
+  auto it = opts.find(key);
+  if (it == opts.end()) return fallback;
+  double v = fallback;
+  crossmine::ParseDouble(it->second, &v);
+  return v;
+}
+
+/// The one flag→CrossMineOptions mapping, shared by every subcommand that
+/// configures a model (evaluate, train, predict).
+CrossMineOptions ParseCrossMineOptions(
     const std::map<std::string, std::string>& opts) {
   CrossMineOptions o;
   o.use_sampling = opts.count("sampling") > 0;
   o.look_one_ahead = opts.count("no-lookahead") == 0;
   o.use_aggregation_literals = opts.count("no-aggregations") == 0;
   o.seed = static_cast<uint64_t>(OptInt(opts, "seed", 1));
+  o.neg_pos_ratio = OptDouble(opts, "neg-pos-ratio", o.neg_pos_ratio);
+  o.max_num_negative = static_cast<uint32_t>(
+      OptInt(opts, "max-negative", o.max_num_negative));
+  o.min_foil_gain = OptDouble(opts, "min-gain", o.min_foil_gain);
   // Clause-search worker threads: 0 (default) = hardware concurrency,
   // 1 = sequential. Any value trains the byte-identical model.
   o.num_threads = static_cast<int>(OptInt(opts, "threads", 0));
@@ -94,6 +130,27 @@ CrossMineOptions OptionsFromFlags(
     }
   }
   return o;
+}
+
+enum class ReportMode { kNone, kText, kJson };
+
+/// Parses `--report text|json`; returns false (after printing to stderr) on
+/// an unknown value.
+bool ParseReportMode(const std::map<std::string, std::string>& opts,
+                     ReportMode* out) {
+  *out = ReportMode::kNone;
+  auto it = opts.find("report");
+  if (it == opts.end()) return true;
+  if (it->second == "text") {
+    *out = ReportMode::kText;
+  } else if (it->second == "json") {
+    *out = ReportMode::kJson;
+  } else {
+    std::fprintf(stderr, "bad --report value '%s' (want text or json)\n",
+                 it->second.c_str());
+    return false;
+  }
+  return true;
 }
 
 int Generate(int argc, char** argv) {
@@ -174,6 +231,24 @@ int Inspect(int argc, char** argv) {
   return 0;
 }
 
+/// One `{"report":"fold",...}` JSON line: fold header fields plus every
+/// train/predict metric of that fold.
+void PrintFoldJson(const char* classifier, int fold,
+                   const eval::FoldResult& fr) {
+  std::string line =
+      StrFormat("\"report\":\"fold\",\"classifier\":\"%s\",\"fold\":%d"
+                ",\"test_size\":%u",
+                classifier, fold, fr.test_size);
+  line += ",\"accuracy\":" + JsonNumber(fr.accuracy);
+  line += ",\"train_seconds\":" + JsonNumber(fr.train_seconds);
+  line += ",\"predict_seconds\":" + JsonNumber(fr.predict_seconds);
+  std::string fields = SnapshotJsonFields(fr.train_report.metrics);
+  if (!fields.empty()) line += "," + fields;
+  fields = SnapshotJsonFields(fr.predict_report.metrics);
+  if (!fields.empty()) line += "," + fields;
+  std::printf("{%s}\n", line.c_str());
+}
+
 int Evaluate(int argc, char** argv) {
   if (argc < 3) return Usage();
   StatusOr<Database> db = LoadDatabaseCsv(argv[2]);
@@ -183,13 +258,68 @@ int Evaluate(int argc, char** argv) {
   }
   auto opts = ParseOptions(argc, argv, 3);
   int folds = static_cast<int>(OptInt(opts, "folds", 10));
-  CrossMineOptions model_opts = OptionsFromFlags(opts);
-  eval::CrossValResult cv = eval::CrossValidate(
-      *db,
-      [&] { return std::make_unique<CrossMineClassifier>(model_opts); },
-      folds, /*seed=*/1);
-  std::printf("%d-fold cross validation: %.1f%% accuracy, %.3fs per fold\n",
-              folds, cv.mean_accuracy * 100, cv.mean_fold_seconds);
+  ReportMode report;
+  if (!ParseReportMode(opts, &report)) return 2;
+
+  std::string classifier = "crossmine";
+  if (auto it = opts.find("classifier"); it != opts.end()) {
+    classifier = it->second;
+  }
+  CrossMineOptions model_opts = ParseCrossMineOptions(opts);
+  eval::ClassifierFactory factory;
+  const char* display = "CrossMine";
+  if (classifier == "crossmine") {
+    factory = [&] { return std::make_unique<CrossMineClassifier>(model_opts); };
+  } else if (classifier == "foil") {
+    display = "FOIL";
+    factory = [] { return std::make_unique<baselines::FoilClassifier>(); };
+  } else if (classifier == "tilde") {
+    display = "TILDE";
+    factory = [] { return std::make_unique<baselines::TildeClassifier>(); };
+  } else {
+    std::fprintf(stderr,
+                 "unknown --classifier '%s' (want crossmine, foil or tilde)\n",
+                 classifier.c_str());
+    return 2;
+  }
+
+  eval::CrossValResult cv =
+      eval::CrossValidate(*db, factory, folds, /*seed=*/1,
+                          /*fold_time_limit_seconds=*/0.0,
+                          /*collect_reports=*/report != ReportMode::kNone);
+
+  if (report == ReportMode::kJson) {
+    for (size_t i = 0; i < cv.folds.size(); ++i) {
+      PrintFoldJson(display, static_cast<int>(i), cv.folds[i]);
+    }
+    std::string line =
+        StrFormat("\"report\":\"cv_totals\",\"classifier\":\"%s\""
+                  ",\"folds\":%zu,\"truncated\":%d",
+                  display, cv.folds.size(), cv.truncated ? 1 : 0);
+    line += ",\"mean_accuracy\":" + JsonNumber(cv.mean_accuracy);
+    line += ",\"mean_fold_seconds\":" + JsonNumber(cv.mean_fold_seconds);
+    std::string fields = SnapshotJsonFields(cv.train_totals);
+    if (!fields.empty()) line += "," + fields;
+    fields = SnapshotJsonFields(cv.predict_totals);
+    if (!fields.empty()) line += "," + fields;
+    std::printf("{%s}\n", line.c_str());
+    return 0;
+  }
+  if (report == ReportMode::kText) {
+    for (size_t i = 0; i < cv.folds.size(); ++i) {
+      const eval::FoldResult& fr = cv.folds[i];
+      std::printf("fold %zu: %.1f%% accuracy, %.3fs train, %.3fs predict\n",
+                  i, fr.accuracy * 100, fr.train_seconds, fr.predict_seconds);
+      std::printf("%s%s", SnapshotText(fr.train_report.metrics).c_str(),
+                  SnapshotText(fr.predict_report.metrics).c_str());
+    }
+    std::printf("totals over %zu folds:\n%s%s", cv.folds.size(),
+                SnapshotText(cv.train_totals).c_str(),
+                SnapshotText(cv.predict_totals).c_str());
+  }
+  std::printf("%d-fold cross validation (%s): %.1f%% accuracy, %.3fs per "
+              "fold\n",
+              folds, display, cv.mean_accuracy * 100, cv.mean_fold_seconds);
   return 0;
 }
 
@@ -201,15 +331,27 @@ int Train(int argc, char** argv) {
     return 1;
   }
   auto opts = ParseOptions(argc, argv, 4);
-  CrossMineClassifier model(OptionsFromFlags(opts));
+  ReportMode report;
+  if (!ParseReportMode(opts, &report)) return 2;
+  CrossMineClassifier model(ParseCrossMineOptions(opts));
   std::vector<TupleId> all;
   for (TupleId t = 0; t < db->target_relation().num_tuples(); ++t) {
     all.push_back(t);
   }
+  MetricsRegistry train_metrics;
+  if (report != ReportMode::kNone) model.set_metrics(&train_metrics);
   Status st = model.Train(*db, all);
+  model.set_metrics(nullptr);
   if (!st.ok()) {
     std::fprintf(stderr, "train failed: %s\n", st.ToString().c_str());
     return 1;
+  }
+  if (report == ReportMode::kJson) {
+    std::printf("{\"report\":\"train\",\"classifier\":\"CrossMine\",%s}\n",
+                SnapshotJsonFields(train_metrics.Snapshot()).c_str());
+  } else if (report == ReportMode::kText) {
+    std::printf("training report:\n%s",
+                SnapshotText(train_metrics.Snapshot()).c_str());
   }
   std::printf("%s", model.ToString(*db).c_str());
   st = SaveModel(model, *db, argv[3]);
@@ -234,17 +376,34 @@ int Predict(int argc, char** argv) {
                  model.status().ToString().c_str());
     return 1;
   }
-  model->set_prediction_mode(
-      OptionsFromFlags(ParseOptions(argc, argv, 4)).prediction_mode);
+  auto opts = ParseOptions(argc, argv, 4);
+  ReportMode report;
+  if (!ParseReportMode(opts, &report)) return 2;
+  model->set_prediction_mode(ParseCrossMineOptions(opts).prediction_mode);
   std::vector<TupleId> all;
   for (TupleId t = 0; t < db->target_relation().num_tuples(); ++t) {
     all.push_back(t);
   }
-  std::vector<ClassId> pred = model->Predict(*db, all);
+  MetricsRegistry predict_metrics;
+  if (report != ReportMode::kNone) model->set_metrics(&predict_metrics);
+  StatusOr<std::vector<ClassId>> pred = model->PredictChecked(*db, all);
+  model->set_metrics(nullptr);
+  if (!pred.ok()) {
+    std::fprintf(stderr, "predict failed: %s\n",
+                 pred.status().ToString().c_str());
+    return 1;
+  }
+  if (report == ReportMode::kJson) {
+    std::printf("{\"report\":\"predict\",\"classifier\":\"CrossMine\",%s}\n",
+                SnapshotJsonFields(predict_metrics.Snapshot()).c_str());
+  } else if (report == ReportMode::kText) {
+    std::printf("prediction report:\n%s",
+                SnapshotText(predict_metrics.Snapshot()).c_str());
+  }
   eval::ConfusionMatrix confusion(db->num_classes());
   for (TupleId t = 0; t < all.size(); ++t) {
-    std::printf("%u\t%d\n", all[t], pred[t]);
-    confusion.Add(db->labels()[t], pred[t]);
+    std::printf("%u\t%d\n", all[t], (*pred)[t]);
+    confusion.Add(db->labels()[t], (*pred)[t]);
   }
   std::fprintf(stderr, "accuracy against stored labels: %.1f%%\n",
                confusion.Accuracy() * 100);
