@@ -1,0 +1,188 @@
+// Serving-path throughput/latency bench: drives an in-process
+// PredictionServer closed-loop (each client thread keeps one request in
+// flight) over the scaled financial database and sweeps the batching knobs.
+// The offline PredictBatchChecked loop is measured first as the no-server
+// baseline, so the JSON record shows what the queue + dispatcher cost per
+// request and what micro-batching buys back.
+//
+// Usage: serve_throughput [--json] [--requests N] [--clients C]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/macros.h"
+#include "core/classifier.h"
+#include "datagen/financial.h"
+#include "serve/server.h"
+
+using namespace crossmine;
+
+namespace {
+
+double PercentileMs(std::vector<double>* sorted_ms, double q) {
+  if (sorted_ms->empty()) return 0.0;
+  std::sort(sorted_ms->begin(), sorted_ms->end());
+  size_t rank = static_cast<size_t>(q * static_cast<double>(sorted_ms->size()));
+  if (rank >= sorted_ms->size()) rank = sorted_ms->size() - 1;
+  return (*sorted_ms)[rank];
+}
+
+struct LoadResult {
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Closed loop: `clients` threads, one in-flight request each, mixed
+/// 4:1 predict / predict_batch(8), until `total` requests have answered.
+LoadResult RunClosedLoop(serve::PredictionServer* server, int clients,
+                         int total, TupleId num_ids) {
+  std::atomic<int> next{0};
+  std::vector<std::vector<double>> lat(static_cast<size_t>(clients));
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      uint64_t state = 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(c);
+      for (int i = next.fetch_add(1); i < total; i = next.fetch_add(1)) {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        TupleId id = static_cast<TupleId>((state * 0x2545F4914F6CDD1DULL) %
+                                          num_ids);
+        std::string req;
+        if (i % 5 == 4) {
+          req = "{\"verb\":\"predict_batch\",\"ids\":[";
+          for (int k = 0; k < 8; ++k) {
+            if (k > 0) req += ',';
+            req += std::to_string((id + static_cast<TupleId>(k)) % num_ids);
+          }
+          req += "]}";
+        } else {
+          req = "{\"verb\":\"predict\",\"id\":" + std::to_string(id) + "}";
+        }
+        auto t0 = std::chrono::steady_clock::now();
+        std::string resp = server->Submit(req);
+        auto t1 = std::chrono::steady_clock::now();
+        CM_CHECK_MSG(resp.rfind("{\"ok\":true", 0) == 0, resp.c_str());
+        lat[static_cast<size_t>(c)].push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  auto end = std::chrono::steady_clock::now();
+
+  LoadResult r;
+  r.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  r.qps = static_cast<double>(total) / (r.wall_ms / 1000.0);
+  std::vector<double> all;
+  for (const std::vector<double>& v : lat) all.insert(all.end(), v.begin(), v.end());
+  r.p50_ms = PercentileMs(&all, 0.50);
+  r.p99_ms = PercentileMs(&all, 0.99);
+  return r;
+}
+
+int64_t FlagInt(int argc, char** argv, const char* name, int64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return std::atoll(argv[i + 1]);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = bench::JsonMode(argc, argv);
+  const int total = static_cast<int>(FlagInt(argc, argv, "--requests", 2000));
+  const int clients = static_cast<int>(FlagInt(argc, argv, "--clients", 8));
+
+  datagen::FinancialConfig cfg;
+  cfg.num_accounts = 1500;
+  cfg.num_clients = 1700;
+  cfg.trans_per_account = 6;
+  StatusOr<Database> db = datagen::GenerateFinancialDatabase(cfg);
+  CM_CHECK_MSG(db.ok(), db.status().ToString().c_str());
+  const TupleId num_ids = db->target_relation().num_tuples();
+
+  auto model = std::make_unique<CrossMineClassifier>();
+  std::vector<TupleId> all_ids;
+  for (TupleId t = 0; t < num_ids; ++t) all_ids.push_back(t);
+  CM_CHECK(model->Train(*db, all_ids).ok());
+
+  if (!json) {
+    std::printf("== serve_throughput: %d requests, %d closed-loop clients ==\n",
+                total, clients);
+    std::printf("%-28s %10s %10s %10s\n", "config", "qps", "p50_ms", "p99_ms");
+  }
+
+  // Baseline: the same prediction volume through PredictBatchChecked
+  // directly — no queue, no dispatcher, no encoding.
+  {
+    double wall_ms = bench::BestWallMs([&] {
+      for (int i = 0; i < total; ++i) {
+        TupleId id = static_cast<TupleId>(i) % num_ids;
+        CM_CHECK(model->PredictBatchChecked(*db, {id}).ok());
+      }
+    });
+    double qps = static_cast<double>(total) / (wall_ms / 1000.0);
+    if (json) {
+      std::printf("{\"bench\":\"serve_offline_baseline\",\"n\":%d,"
+                  "\"wall_ms\":%.3f,\"threads\":1,\"qps\":%.0f}\n",
+                  total, wall_ms, qps);
+    } else {
+      std::printf("%-28s %10.0f %10s %10s\n", "offline PredictBatchChecked",
+                  qps, "-", "-");
+    }
+    std::fflush(stdout);
+  }
+
+  struct Config {
+    int threads;
+    int batch;
+  };
+  const Config configs[] = {{1, 1}, {1, 8}, {1, 32}, {2, 8}, {4, 32}};
+  for (const Config& c : configs) {
+    serve::ServerOptions options;
+    options.threads = c.threads;
+    options.batch_size = c.batch;
+    options.max_queue = 4096;
+    serve::PredictionServer server(&*db, options);
+    auto copy = std::make_unique<CrossMineClassifier>(*model);
+    CM_CHECK(server.AddModel("financial", std::move(copy)).ok());
+    CM_CHECK(server.Start().ok());
+
+    // Warm-up pass, then the measured run.
+    (void)RunClosedLoop(&server, clients, total / 10 + 1, num_ids);
+    LoadResult r = RunClosedLoop(&server, clients, total, num_ids);
+    server.Drain();
+
+    if (json) {
+      std::printf(
+          "{\"bench\":\"serve_throughput\",\"n\":%d,\"wall_ms\":%.3f,"
+          "\"threads\":%d,\"batch\":%d,\"clients\":%d,\"qps\":%.0f,"
+          "\"p50_ms\":%.3f,\"p99_ms\":%.3f}\n",
+          total, r.wall_ms, c.threads, c.batch, clients, r.qps, r.p50_ms,
+          r.p99_ms);
+    } else {
+      char label[64];
+      std::snprintf(label, sizeof(label), "server threads=%d batch=%d",
+                    c.threads, c.batch);
+      std::printf("%-28s %10.0f %10.3f %10.3f\n", label, r.qps, r.p50_ms,
+                  r.p99_ms);
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

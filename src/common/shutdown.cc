@@ -1,0 +1,65 @@
+#include "common/shutdown.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include "common/macros.h"
+
+namespace crossmine {
+
+namespace {
+
+ShutdownNotifier* g_notifier = nullptr;
+
+void HandleSignal(int /*signo*/) {
+  // Only async-signal-safe calls allowed here: an atomic store and write(2).
+  if (g_notifier != nullptr) g_notifier->RequestShutdown();
+}
+
+}  // namespace
+
+ShutdownNotifier::ShutdownNotifier() {
+  CM_CHECK(::pipe(pipe_fds_) == 0);
+  // Writes must never block inside a signal handler (a full pipe becomes a
+  // silent no-op: a wake byte is already pending), and reads in
+  // ResetForTesting must not block on an empty pipe — so both ends are
+  // non-blocking. poll(2) on the read end is unaffected.
+  for (int fd : pipe_fds_) {
+    int flags = ::fcntl(fd, F_GETFL);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
+ShutdownNotifier* ShutdownNotifier::Install() {
+  if (g_notifier != nullptr) return g_notifier;
+  g_notifier = new ShutdownNotifier();
+  struct sigaction sa = {};
+  sa.sa_handler = HandleSignal;
+  ::sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: blocking accept/read in the serving loop should return
+  // EINTR so the loop re-checks `requested()` promptly.
+  sa.sa_flags = 0;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  // A peer closing its connection mid-write must surface as a write error,
+  // not kill the server.
+  ::signal(SIGPIPE, SIG_IGN);
+  return g_notifier;
+}
+
+void ShutdownNotifier::RequestShutdown() {
+  requested_.store(true, std::memory_order_release);
+  char byte = 1;
+  // Best effort: if the pipe is full a wake byte is already pending.
+  [[maybe_unused]] ssize_t n = ::write(pipe_fds_[1], &byte, 1);
+}
+
+void ShutdownNotifier::ResetForTesting() {
+  requested_.store(false, std::memory_order_release);
+  char buf[64];
+  while (::read(pipe_fds_[0], buf, sizeof(buf)) > 0) {
+  }
+}
+
+}  // namespace crossmine

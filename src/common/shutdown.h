@@ -1,0 +1,50 @@
+#ifndef CROSSMINE_COMMON_SHUTDOWN_H_
+#define CROSSMINE_COMMON_SHUTDOWN_H_
+
+#include <atomic>
+
+namespace crossmine {
+
+/// Async-signal-safe shutdown notifier for long-lived processes (the
+/// prediction server). `Install` registers SIGINT/SIGTERM handlers that set
+/// an atomic flag and write one byte to a self-pipe, so shutdown is
+/// observable both by polling (`requested()`) and by `poll(2)`-style waits
+/// on `wake_fd()` alongside other file descriptors — the standard trick for
+/// breaking an accept loop out of a blocking wait without races.
+///
+/// The process has one notifier (signal dispositions are process-global);
+/// `Install` is idempotent and returns the singleton. `RequestShutdown()`
+/// triggers the same path programmatically, which is how tests and the
+/// in-process drain exercise the signal flow without raising signals.
+class ShutdownNotifier {
+ public:
+  /// Installs the SIGINT/SIGTERM handlers on first call; later calls return
+  /// the same notifier without touching the dispositions again.
+  static ShutdownNotifier* Install();
+
+  /// True once a shutdown signal (or `RequestShutdown`) arrived.
+  bool requested() const { return requested_.load(std::memory_order_acquire); }
+
+  /// Read end of the self-pipe: becomes readable when shutdown is
+  /// requested. Never read from it directly — level-triggered readability
+  /// is the signal; draining it would race a second notification.
+  int wake_fd() const { return pipe_fds_[0]; }
+
+  /// Programmatic trigger, equivalent to receiving SIGINT. Async-signal-safe.
+  void RequestShutdown();
+
+  /// Re-arms the notifier (clears the flag and drains the pipe) so a test
+  /// can exercise several shutdown cycles in one process. Not signal-safe;
+  /// call only between serving sessions.
+  void ResetForTesting();
+
+ private:
+  ShutdownNotifier();
+
+  std::atomic<bool> requested_{false};
+  int pipe_fds_[2] = {-1, -1};
+};
+
+}  // namespace crossmine
+
+#endif  // CROSSMINE_COMMON_SHUTDOWN_H_

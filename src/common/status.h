@@ -19,6 +19,9 @@ enum class StatusCode {
   kOutOfRange,
   kIoError,
   kInternal,
+  kResourceExhausted,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Lightweight status object in the style of RocksDB / Abseil. Cheap to copy
@@ -52,6 +55,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -12,13 +12,20 @@ ThreadPool::ThreadPool(int num_threads)
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
   cv_start_.notify_all();
-  for (std::thread& t : workers_) t.join();
+  // Workers finish any batch in flight (its tasks were already claimed or
+  // remain drainable by the RunTasks caller) before observing `stop_`, so
+  // shutdown never strands a task — it only rejects batches not yet begun.
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
 }
 
 int ThreadPool::HardwareConcurrency() {
@@ -42,16 +49,21 @@ void ThreadPool::DrainBatch(int worker,
   }
 }
 
-void ThreadPool::RunTasks(const std::vector<std::function<void(int)>>& tasks) {
-  if (tasks.empty()) return;
+bool ThreadPool::RunTasks(const std::vector<std::function<void(int)>>& tasks) {
+  if (tasks.empty()) return true;
   if (workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return false;
+    }
     // Sequential pool: no handoff, no synchronization — the caller just
     // runs every task in order as worker 0.
     for (const auto& task : tasks) task(0);
-    return;
+    return true;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return false;
     batch_ = &tasks;
     batch_size_ = tasks.size();
     pending_ = tasks.size();
@@ -65,6 +77,7 @@ void ThreadPool::RunTasks(const std::vector<std::function<void(int)>>& tasks) {
   // touching `tasks` before letting the caller destroy it.
   cv_done_.wait(lock, [this] { return pending_ == 0 && workers_in_batch_ == 0; });
   batch_ = nullptr;
+  return true;
 }
 
 void ThreadPool::WorkerLoop(int worker) {

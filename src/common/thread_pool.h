@@ -43,8 +43,18 @@ class ThreadPool {
 
   /// Runs `tasks[i](worker)` for every i and blocks until all complete.
   /// Must not be called concurrently from multiple threads, and tasks must
-  /// not call back into `RunTasks` on the same pool.
-  void RunTasks(const std::vector<std::function<void(int)>>& tasks);
+  /// not call back into `RunTasks` on the same pool. Returns true when the
+  /// batch ran; returns false — without running any task — when the pool
+  /// has been `Shutdown()`, so callers racing a drain can tell "rejected"
+  /// apart from "completed" instead of losing work silently.
+  bool RunTasks(const std::vector<std::function<void(int)>>& tasks);
+
+  /// Begins shutdown: a batch already in flight runs to completion, every
+  /// later `RunTasks` is rejected (returns false), and all worker threads
+  /// are joined before `Shutdown` returns. Idempotent; the destructor calls
+  /// it. Safe to call from a thread other than the one inside `RunTasks` —
+  /// this is the server-drain ordering (drain dispatcher, then pool).
+  void Shutdown();
 
   /// Number of hardware threads (at least 1).
   static int HardwareConcurrency();

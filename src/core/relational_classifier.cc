@@ -5,8 +5,7 @@
 
 namespace crossmine {
 
-StatusOr<std::vector<ClassId>> RelationalClassifier::PredictChecked(
-    const Database& db, const std::vector<TupleId>& ids) const {
+Status RelationalClassifier::ValidateForPredict(const Database& db) const {
   if (!db.finalized()) {
     return Status::FailedPrecondition("database not finalized");
   }
@@ -24,6 +23,12 @@ StatusOr<std::vector<ClassId>> RelationalClassifier::PredictChecked(
         name(), static_cast<unsigned long long>(trained_fingerprint_),
         static_cast<unsigned long long>(fingerprint)));
   }
+  return Status::OK();
+}
+
+StatusOr<std::vector<ClassId>> RelationalClassifier::PredictBatchChecked(
+    const Database& db, const std::vector<TupleId>& ids) const {
+  CM_RETURN_IF_ERROR(ValidateForPredict(db));
   TupleId num_targets = db.target_relation().num_tuples();
   for (TupleId id : ids) {
     if (id >= num_targets) {
@@ -33,6 +38,11 @@ StatusOr<std::vector<ClassId>> RelationalClassifier::PredictChecked(
     }
   }
   return Predict(db, ids);
+}
+
+StatusOr<std::vector<ClassId>> RelationalClassifier::PredictChecked(
+    const Database& db, const std::vector<TupleId>& ids) const {
+  return PredictBatchChecked(db, ids);
 }
 
 }  // namespace crossmine

@@ -34,8 +34,26 @@ class RelationalClassifier {
   /// indexing out of range — when the model was never trained or loaded,
   /// when `db`'s schema fingerprint differs from the training database's
   /// (a model predicted against the wrong database), or when an id is
-  /// beyond the target relation.
+  /// beyond the target relation. Equivalent to `PredictBatchChecked`;
+  /// kept as the familiar name for single-shot callers.
   StatusOr<std::vector<ClassId>> PredictChecked(
+      const Database& db, const std::vector<TupleId>& ids) const;
+
+  /// Checks that this model can predict against `db` at all: the database
+  /// is finalized, the model is trained (or loaded), and `db`'s schema
+  /// fingerprint matches the training database's. This is the per-pairing
+  /// half of `PredictBatchChecked`'s validation — long-lived callers (the
+  /// prediction server) run it once at model-registration time and then
+  /// only pay the cheap per-id bounds check per request.
+  Status ValidateForPredict(const Database& db) const;
+
+  /// Batch validating predict: performs the model/database validation
+  /// (`ValidateForPredict`, including the schema-fingerprint hash) once for
+  /// the whole batch and a single bounds pass over `ids`, then predicts all
+  /// ids in one `Predict` call — instead of paying the validation per tuple
+  /// or per request. The serving path and `CrossValidate` both batch
+  /// through this.
+  StatusOr<std::vector<ClassId>> PredictBatchChecked(
       const Database& db, const std::vector<TupleId>& ids) const;
 
   /// Attaches a borrowed metrics registry; training and prediction record

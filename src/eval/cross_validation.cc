@@ -70,7 +70,7 @@ CrossValResult CrossValidate(const Database& db,
     if (collect_reports) model->set_metrics(&predict_metrics);
     Stopwatch predict_watch;
     StatusOr<std::vector<ClassId>> checked =
-        model->PredictChecked(db, fold.test);
+        model->PredictBatchChecked(db, fold.test);
     fr.predict_seconds = predict_watch.ElapsedSeconds();
     CM_CHECK_MSG(checked.ok(), checked.status().ToString().c_str());
     std::vector<ClassId> pred = std::move(checked).value();

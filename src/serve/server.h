@@ -1,0 +1,195 @@
+#ifndef CROSSMINE_SERVE_SERVER_H_
+#define CROSSMINE_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "core/relational_classifier.h"
+#include "relational/database.h"
+#include "serve/protocol.h"
+
+namespace crossmine::serve {
+
+/// Fixed log2-bucketed latency histogram (microsecond granularity, lock-free
+/// recording). Percentiles are estimated as the geometric midpoint of the
+/// bucket containing the requested quantile — coarse (≤ √2 relative error)
+/// but allocation-free and safe to read while requests are in flight.
+class LatencyHistogram {
+ public:
+  void Record(double seconds);
+  /// Estimated latency at quantile `q` in [0,1], in seconds; 0 when empty.
+  double Quantile(double q) const;
+  uint64_t count() const;
+  void Reset();
+
+ private:
+  static constexpr int kBuckets = 40;  // 2^40 µs ≈ 12.7 days: plenty
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+};
+
+/// Configuration of a `PredictionServer`.
+struct ServerOptions {
+  /// Worker lanes for prediction micro-batches (ThreadPool::Resolve
+  /// semantics: <= 0 means hardware concurrency).
+  int threads = 1;
+  /// Admission-queue capacity in requests. A full queue sheds new work
+  /// with RESOURCE_EXHAUSTED instead of building unbounded backlog.
+  int max_queue = 256;
+  /// Max requests dispatched as one micro-batch across the pool.
+  int batch_size = 32;
+  /// Default per-request deadline in ms from admission; 0 = no deadline.
+  /// A request's own `deadline_ms` field overrides this.
+  int64_t default_deadline_ms = 0;
+  /// Decode-time limits (batch size, line length).
+  ProtocolLimits limits;
+};
+
+/// Long-lived prediction server: owns a roster of trained models, keeps a
+/// borrowed finalized `Database` warm, and answers protocol requests
+/// (serve/protocol.h) through a bounded admission queue with micro-batching,
+/// per-request deadlines and graceful drain.
+///
+/// Life cycle:
+/// ```
+///   PredictionServer server(&db, options);
+///   CM_CHECK(server.AddModel("crossmine", std::move(model)).ok());
+///   CM_CHECK(server.Start().ok());
+///   std::string response = server.Submit("{\"verb\":\"predict\",\"id\":3}");
+///   server.Drain();   // stop admitting, finish everything in flight
+/// ```
+///
+/// `Submit` is the in-process API the TCP layer (serve/tcp.h) is a thin
+/// shell over; tests drive the full queue/batch/deadline machinery through
+/// it without sockets. Thread-safe: any number of threads may call `Submit`
+/// concurrently. Responses are deterministic functions of (model, database,
+/// request) — batching, thread count and arrival order never change what a
+/// given request answers.
+///
+/// Queued verbs (`predict`, `predict_batch`, `explain`) go through the
+/// admission queue and are executed by micro-batch on the worker pool via
+/// `PredictBatchChecked`. `stats` and `health` answer inline from atomic
+/// state so they stay responsive while the queue is deep.
+class PredictionServer {
+ public:
+  /// `db` is borrowed and must stay alive and unmodified for the server's
+  /// lifetime (tuple-ID propagation pins relation ids and join edges).
+  PredictionServer(const Database* db, ServerOptions options);
+  ~PredictionServer();  // drains
+
+  PredictionServer(const PredictionServer&) = delete;
+  PredictionServer& operator=(const PredictionServer&) = delete;
+
+  /// Registers a trained model under `name`. The first model added is the
+  /// default for requests that don't name one. Fails with
+  /// FAILED_PRECONDITION if the model cannot predict against the server's
+  /// database (ValidateForPredict — this is the validate-once half of the
+  /// serving contract: per-request work is only a bounds check) and with
+  /// ALREADY_EXISTS on duplicate names.
+  Status AddModel(std::string name,
+                  std::unique_ptr<RelationalClassifier> model);
+
+  /// Starts the dispatcher. Requires at least one model. Idempotent-hostile
+  /// by design: a second Start fails with FAILED_PRECONDITION.
+  Status Start();
+
+  /// Submits one request line and blocks for its response line.
+  std::string Submit(const std::string& line);
+
+  /// Asynchronous submit: admission (parse, shed, drain-reject and the
+  /// inline verbs) happens before this returns; queued verbs resolve the
+  /// future when their micro-batch completes. Valid before `Start` — the
+  /// requests simply wait in the queue, which is how tests pin queue
+  /// contents deterministically.
+  std::future<std::string> SubmitAsync(const std::string& line);
+
+  /// Stops admitting (later Submits get UNAVAILABLE) but returns
+  /// immediately; already-admitted requests still execute.
+  void BeginDrain();
+
+  /// BeginDrain + waits until every admitted request has been answered and
+  /// the dispatcher has exited. Idempotent.
+  void Drain();
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+  size_t queue_depth() const;
+
+  /// Roster names, in registration order (index 0 is the default).
+  std::vector<std::string> model_names() const;
+
+  /// Serving counters (serve.*), the models' predict.* metrics, and
+  /// computed latency gauges (serve.latency_p50_ms / _p90_ / _p99_,
+  /// serve.queue_depth, serve.queue_highwater). This is the `stats` verb's
+  /// payload and the final snapshot flushed on drain.
+  MetricsSnapshot StatsSnapshot() const;
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    Request req;
+    std::chrono::steady_clock::time_point admitted;
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;
+    std::promise<std::string> promise;
+  };
+
+  /// Executes one already-admitted request (called from pool workers).
+  std::string Execute(const Request& req) const;
+  std::string ExecutePredict(const Request& req) const;
+  std::string ExecuteExplain(const Request& req) const;
+  const RelationalClassifier* FindModel(const std::string& name) const;
+
+  void DispatcherLoop();
+  void FinishResponse(Pending* p, std::string response);
+
+  const Database* const db_;
+  const ServerOptions options_;
+
+  std::vector<std::pair<std::string, std::unique_ptr<RelationalClassifier>>>
+      models_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;          // guarded by mu_
+  bool started_ = false;               // guarded by mu_
+  std::atomic<bool> draining_{false};
+  std::atomic<uint64_t> queue_highwater_{0};
+  std::mutex drain_mu_;                // serializes concurrent Drain calls
+  std::thread dispatcher_;
+
+  std::unique_ptr<ThreadPool> pool_;
+  mutable MetricsRegistry metrics_;
+  LatencyHistogram latency_;
+
+  // Hot-path counter handles, resolved once at construction.
+  Counter* c_requests_;
+  Counter* c_invalid_;
+  Counter* c_verb_[5];
+  Counter* c_ok_;
+  Counter* c_errors_;
+  Counter* c_sheds_;
+  Counter* c_deadline_exceeded_;
+  Counter* c_unavailable_;
+  Counter* c_batches_;
+  Counter* c_batched_requests_;
+  Counter* c_predicted_ids_;
+};
+
+/// Pre-registers every serve.* counter so `stats` responses have a stable
+/// schema from the first request. Null-safe.
+void TouchServeMetrics(MetricsRegistry* registry);
+
+}  // namespace crossmine::serve
+
+#endif  // CROSSMINE_SERVE_SERVER_H_

@@ -1,0 +1,165 @@
+#include "serve/tcp.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace crossmine::serve {
+
+namespace {
+
+/// Writes all of `data` to `fd`, riding out EINTR and partial writes.
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpServer::~TcpServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+Status TcpServer::Listen(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(StrFormat("socket: %s", ::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IoError(
+        StrFormat("bind to port %d: %s", port, ::strerror(errno)));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return Status::IoError(StrFormat("listen: %s", ::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Status::IoError(StrFormat("getsockname: %s", ::strerror(errno)));
+  }
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+Status TcpServer::ServeUntilShutdown(ShutdownNotifier* shutdown) {
+  if (listen_fd_ < 0) {
+    return Status::FailedPrecondition("Listen first");
+  }
+  while (!shutdown->requested()) {
+    pollfd fds[2] = {
+        {listen_fd_, POLLIN, 0},
+        {shutdown->wake_fd(), POLLIN, 0},
+    };
+    int r = ::poll(fds, 2, -1);
+    if (r < 0) {
+      if (errno == EINTR) continue;  // signal: loop re-checks requested()
+      return Status::IoError(StrFormat("poll: %s", ::strerror(errno)));
+    }
+    if (fds[1].revents != 0 || shutdown->requested()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return Status::IoError(StrFormat("accept: %s", ::strerror(errno)));
+    }
+    int one = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_fds_.push_back(conn);
+      ++active_conns_;
+    }
+    // Detached reader: exit is observed through `active_conns_`, and the
+    // drain below force-unblocks it via shutdown(2) on its socket — so the
+    // thread can never outlive ServeUntilShutdown.
+    std::thread([this, conn] { ConnectionLoop(conn); }).detach();
+  }
+
+  // Graceful drain: stop accepting (nothing new can connect), answer every
+  // admitted request, then unblock the readers so their clients see EOF.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  server_->Drain();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  conn_cv_.wait(lock, [this] { return active_conns_ == 0; });
+  return Status::OK();
+}
+
+void TcpServer::ConnectionLoop(int fd) {
+  const size_t max_line = server_->options().limits.max_line_bytes;
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      std::string response = server_->Submit(line);
+      response.push_back('\n');
+      if (!WriteAll(fd, response)) {
+        open = false;
+        break;
+      }
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > max_line) {
+      // A line that long can never parse; the stream cannot be resynced.
+      WriteAll(fd,
+               EncodeError(Status::InvalidArgument(StrFormat(
+                               "request line exceeds %zu bytes", max_line)),
+                           "") +
+                   "\n");
+      break;
+    }
+  }
+  {
+    // Deregister before close so the drain path can never shutdown(2) a
+    // closed-and-reused descriptor.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.erase(std::find(conn_fds_.begin(), conn_fds_.end(), fd));
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  if (--active_conns_ == 0) conn_cv_.notify_all();
+}
+
+}  // namespace crossmine::serve

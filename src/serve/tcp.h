@@ -1,0 +1,61 @@
+#ifndef CROSSMINE_SERVE_TCP_H_
+#define CROSSMINE_SERVE_TCP_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/shutdown.h"
+#include "common/status.h"
+#include "serve/server.h"
+
+namespace crossmine::serve {
+
+/// Thin TCP shell over `PredictionServer::Submit`: accepts connections on a
+/// listening socket, reads newline-delimited request lines, and writes one
+/// response line per request, in order. All protocol behavior — parsing,
+/// admission, batching, deadlines, shedding — lives in `PredictionServer`;
+/// this layer only moves bytes, so everything it serves is testable
+/// in-process without sockets.
+///
+/// One thread per connection: the expected client population is a handful
+/// of batching load generators / application frontends, not millions of
+/// idle sockets, and a blocked `Submit` already parks the thread cheaply.
+class TcpServer {
+ public:
+  explicit TcpServer(PredictionServer* server) : server_(server) {}
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port` (0 = kernel-assigned ephemeral
+  /// port, see `port()` after success).
+  Status Listen(int port);
+
+  /// The bound port (after `Listen`).
+  int port() const { return port_; }
+
+  /// Accept loop. Blocks until `shutdown` fires, then performs the
+  /// graceful-drain sequence: stop accepting, drain the prediction server
+  /// (every admitted request answers), unblock and join every connection,
+  /// and return. The caller flushes the final metrics snapshot.
+  Status ServeUntilShutdown(ShutdownNotifier* shutdown);
+
+ private:
+  void ConnectionLoop(int fd);
+
+  PredictionServer* const server_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  std::vector<int> conn_fds_;  // open connections, guarded by conn_mu_
+  int active_conns_ = 0;       // guarded by conn_mu_
+};
+
+}  // namespace crossmine::serve
+
+#endif  // CROSSMINE_SERVE_TCP_H_

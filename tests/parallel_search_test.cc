@@ -7,11 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <numeric>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
@@ -226,6 +228,60 @@ TEST(ThreadPoolTest, SingleLanePoolRunsInline) {
   }
   pool.RunTasks(tasks);
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+// Server-drain ordering contract: batches submitted after Shutdown are
+// rejected outright — not run, not lost in a queue, not deadlocked.
+TEST(ThreadPoolTest, ShutdownRejectsLaterBatches) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void(int)>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back([&ran](int) { ran.fetch_add(1); });
+  }
+  EXPECT_TRUE(pool.RunTasks(tasks));
+  EXPECT_EQ(ran.load(), 16);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.RunTasks(tasks)) << "batch after Shutdown must be rejected";
+  EXPECT_EQ(ran.load(), 16) << "rejected batch must not run any task";
+  pool.Shutdown();  // idempotent
+  EXPECT_FALSE(pool.RunTasks(tasks));
+}
+
+TEST(ThreadPoolTest, ShutdownRejectsOnSequentialPoolToo) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  bool ran = false;
+  EXPECT_FALSE(pool.RunTasks({[&ran](int) { ran = true; }}));
+  EXPECT_FALSE(ran);
+}
+
+// Shutdown racing an in-flight batch (from another thread, as the server
+// drain path does) lets the batch run to completion: every task executes
+// exactly once and RunTasks still reports success.
+TEST(ThreadPoolTest, ShutdownDuringBatchCompletesInFlightTasks) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 64;
+  std::atomic<int> started{0};
+  std::vector<std::atomic<int>> hits(kTasks);
+  std::vector<std::function<void(int)>> tasks;
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.push_back([&, i](int) {
+      started.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    });
+  }
+  bool accepted = false;
+  std::thread runner([&] { accepted = pool.RunTasks(tasks); });
+  while (started.load() == 0) std::this_thread::yield();
+  pool.Shutdown();  // must not strand the batch or deadlock the runner
+  runner.join();
+  EXPECT_TRUE(accepted);
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "task " << i;
+  }
+  EXPECT_FALSE(pool.RunTasks(tasks));
 }
 
 TEST(ThreadPoolTest, ResolveMapsZeroToHardwareConcurrency) {

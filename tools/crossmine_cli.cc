@@ -6,6 +6,7 @@
 //   crossmine train    <dir> <model>            train and save a model
 //   crossmine predict  <dir> <model>            load a model and classify
 //   crossmine explain  <dir> <model> <tuple>    explain one prediction
+//   crossmine serve    <dir> <model>...         long-lived prediction server
 //
 // Datasets are directories in the CSV + schema.txt format of
 // relational/csv.h, so anything the library can load can also be produced
@@ -32,9 +33,12 @@
 #include "datagen/financial.h"
 #include "datagen/mutagenesis.h"
 #include "datagen/synthetic.h"
+#include "common/shutdown.h"
 #include "eval/cross_validation.h"
 #include "eval/metrics.h"
 #include "relational/csv.h"
+#include "serve/server.h"
+#include "serve/tcp.h"
 
 using namespace crossmine;
 
@@ -56,6 +60,16 @@ int Usage() {
       "  crossmine predict <dir> <model-file> [--mode best|vote|list]\n"
       "                                       [--report text|json]\n"
       "  crossmine explain <dir> <model-file> <tuple-id>\n"
+      "  crossmine serve <dir> <model-file>... [--port N] [--threads N]\n"
+      "                  [--max-queue N] [--batch-size N] [--deadline-ms N]\n"
+      "                  [--report text|json]\n"
+      "\n"
+      "serve: answers newline-delimited JSON requests (predict,\n"
+      "  predict_batch, explain, stats, health) on 127.0.0.1:<port>\n"
+      "  (default: ephemeral; the bound port is printed on startup).\n"
+      "  Models are registered under their file stem; the first is the\n"
+      "  default. SIGINT/SIGTERM drains in-flight requests and prints a\n"
+      "  final metrics snapshot.\n"
       "\n"
       "model options (evaluate / train):\n"
       "  --sampling             enable negative sampling (off by default)\n"
@@ -386,7 +400,7 @@ int Predict(int argc, char** argv) {
   }
   MetricsRegistry predict_metrics;
   if (report != ReportMode::kNone) model->set_metrics(&predict_metrics);
-  StatusOr<std::vector<ClassId>> pred = model->PredictChecked(*db, all);
+  StatusOr<std::vector<ClassId>> pred = model->PredictBatchChecked(*db, all);
   model->set_metrics(nullptr);
   if (!pred.ok()) {
     std::fprintf(stderr, "predict failed: %s\n",
@@ -452,6 +466,85 @@ int Explain(int argc, char** argv) {
   return 0;
 }
 
+int Serve(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  StatusOr<Database> db = LoadDatabaseCsv(argv[2]);
+  if (!db.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  // Positional model files run until the first --flag.
+  int first_opt = 3;
+  while (first_opt < argc && std::strncmp(argv[first_opt], "--", 2) != 0) {
+    ++first_opt;
+  }
+  auto opts = ParseOptions(argc, argv, first_opt);
+  ReportMode report;
+  if (!ParseReportMode(opts, &report)) return 2;
+
+  serve::ServerOptions server_opts;
+  server_opts.threads = static_cast<int>(OptInt(opts, "threads", 1));
+  server_opts.max_queue = static_cast<int>(OptInt(opts, "max-queue", 256));
+  server_opts.batch_size = static_cast<int>(OptInt(opts, "batch-size", 32));
+  server_opts.default_deadline_ms = OptInt(opts, "deadline-ms", 0);
+  serve::PredictionServer server(&*db, server_opts);
+
+  for (int i = 3; i < first_opt; ++i) {
+    StatusOr<CrossMineClassifier> model = LoadModel(*db, argv[i]);
+    if (!model.ok()) {
+      std::fprintf(stderr, "model load failed (%s): %s\n", argv[i],
+                   model.status().ToString().c_str());
+      return 1;
+    }
+    std::string name = std::filesystem::path(argv[i]).stem().string();
+    Status st = server.AddModel(
+        name, std::make_unique<CrossMineClassifier>(std::move(*model)));
+    if (!st.ok()) {
+      std::fprintf(stderr, "model registration failed (%s): %s\n",
+                   name.c_str(), st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Install the signal path before the socket goes live, so an early
+  // SIGINT still drains instead of killing the process mid-request.
+  ShutdownNotifier* shutdown = ShutdownNotifier::Install();
+
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  serve::TcpServer tcp(&server);
+  st = tcp.Listen(static_cast<int>(OptInt(opts, "port", 0)));
+  if (!st.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  // Parsed by tools/check_serve_smoke.sh and serve_client wrappers; keep
+  // the format stable.
+  std::printf("serving on 127.0.0.1:%d\n", tcp.port());
+  std::fflush(stdout);
+
+  st = tcp.ServeUntilShutdown(shutdown);
+  if (!st.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  MetricsSnapshot final_snapshot = server.StatsSnapshot();
+  if (report == ReportMode::kJson) {
+    std::printf("{\"report\":\"serve\",%s}\n",
+                SnapshotJsonFields(final_snapshot).c_str());
+  } else {
+    std::printf("final serving snapshot:\n%s",
+                SnapshotText(final_snapshot).c_str());
+  }
+  std::fflush(stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -463,5 +556,6 @@ int main(int argc, char** argv) {
   if (command == "train") return Train(argc, argv);
   if (command == "predict") return Predict(argc, argv);
   if (command == "explain") return Explain(argc, argv);
+  if (command == "serve") return Serve(argc, argv);
   return Usage();
 }
