@@ -23,7 +23,7 @@ namespace {
 
 struct Setup {
   Database db;
-  std::vector<IdSet> idsets;
+  IdSetStore idsets;
   std::vector<uint8_t> positive;
   std::vector<uint8_t> alive;
   uint32_t pos = 0, neg = 0;
@@ -48,6 +48,7 @@ Setup MakeSetup(int64_t n) {
   Rng rng(7);
   Relation& t = s.db.mutable_relation(0);
   Relation& d = s.db.mutable_relation(1);
+  s.idsets.Reset(static_cast<uint32_t>(n * 2), static_cast<TupleId>(n));
   std::vector<ClassId> labels;
   for (int64_t i = 0; i < n; ++i) {
     TupleId id = t.AddTuple();
@@ -60,7 +61,7 @@ Setup MakeSetup(int64_t n) {
       d.SetInt(u, 2, static_cast<int64_t>(rng.Uniform(10)));
       d.SetDouble(u, 3, rng.UniformDouble(0, 100));
       d.SetDouble(u, 4, rng.UniformDouble(-1, 1));
-      s.idsets.push_back({id});
+      s.idsets.AssignSingle(u, id);
     }
   }
   s.db.SetLabels(labels, 2);
@@ -93,7 +94,7 @@ void RunFamily(benchmark::State& state, bool numerical, bool aggregation) {
     CandidateLiteral best = searcher.FindBest(1, s.idsets, opts);
     benchmark::DoNotOptimize(best.gain);
   }
-  state.SetItemsProcessed(state.iterations() * s.idsets.size());
+  state.SetItemsProcessed(state.iterations() * s.idsets.num_sets());
 }
 
 void BM_CategoricalOnly(benchmark::State& state) {

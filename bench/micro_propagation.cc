@@ -9,7 +9,7 @@
 
 #include "baselines/bindings.h"
 #include "bench_json.h"
-#include "core/idset.h"
+#include "core/idset_store.h"
 #include "core/propagation.h"
 #include "relational/database.h"
 
@@ -20,7 +20,7 @@ namespace {
 struct TwoRelationDb {
   Database db;
   int32_t to_detail_edge = -1;
-  std::vector<IdSet> root;
+  IdSetStore root;
   std::vector<TupleId> all;
 };
 
@@ -58,9 +58,8 @@ TwoRelationDb MakeDb(int64_t n, int64_t fanout) {
       out.to_detail_edge = static_cast<int32_t>(e);
     }
   }
-  out.root.resize(static_cast<size_t>(n));
+  out.root.InitIdentity(std::vector<uint8_t>(static_cast<size_t>(n), 1));
   for (TupleId i = 0; i < n; ++i) {
-    out.root[i] = {i};
     out.all.push_back(i);
   }
   // Warm the index caches so both competitors measure steady state.

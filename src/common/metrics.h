@@ -30,6 +30,14 @@ namespace crossmine {
 class Counter {
  public:
   void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  /// Raises the value to `n` if it is currently lower — for high-water-mark
+  /// counters such as `train.propagation.peak_id_bytes`.
+  void MaxWith(uint64_t n) {
+    uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < n && !value_.compare_exchange_weak(
+                          cur, n, std::memory_order_relaxed)) {
+    }
+  }
   uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 

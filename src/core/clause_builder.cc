@@ -40,6 +40,8 @@ ClauseBuilder::ClauseBuilder(const Database* db,
     search_tasks_ = metrics_->counter("train.search.tasks");
     pool_tasks_ = metrics_->counter("train.pool.tasks");
     literals_accepted_ = metrics_->counter("train.literals_accepted");
+    peak_id_bytes_ = metrics_->counter("train.propagation.peak_id_bytes");
+    arena_reuse_ = metrics_->counter("train.propagation.arena_reuse");
     prop_time_ = metrics_->timer("train.phase.propagation_seconds");
     lookahead_time_ = metrics_->timer("train.phase.lookahead_seconds");
   }
@@ -81,6 +83,7 @@ void ClauseBuilder::PrepareWorkers() {
     searchers_.emplace_back(db_, positive_);
     searchers_.back().set_metrics(metrics_);
   }
+  if (prop_scratch_.size() < lanes) prop_scratch_.resize(lanes);
   for (LiteralSearcher& searcher : searchers_) {
     searcher.SetContext(&alive_, pos_, neg_);
   }
@@ -97,12 +100,8 @@ Clause ClauseBuilder::Build(std::vector<uint8_t> alive) {
   if (num_lanes() > 1) WarmIndexes();
 
   // Node 0 = target relation: idset(t) = {t} for every alive target.
-  std::vector<IdSet> root(alive_.size());
-  for (TupleId t = 0; t < alive_.size(); ++t) {
-    if (alive_[t]) root[t] = {t};
-  }
   node_idsets_.clear();
-  node_idsets_.push_back(std::move(root));
+  node_idsets_.emplace_back().InitIdentity(alive_);
 
   while (clause_.length() < opts_->max_clause_length) {
     if (pos_ == 0) break;
@@ -125,9 +124,19 @@ void ClauseBuilder::Consider(BestChoice* best, const CandidateLiteral& cand,
   }
 }
 
+uint64_t ClauseBuilder::CurrentIdBytes() {
+  uint64_t bytes = 0;
+  for (const IdSetStore& store : node_idsets_) bytes += store.arena_bytes();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  for (const auto& [key, entry] : prop_cache_) {
+    bytes += entry.result->idsets.arena_bytes();
+  }
+  return bytes;
+}
+
 std::shared_ptr<const PropagationResult> ClauseBuilder::GetPropagation(
-    int32_t node, int32_t e, int32_t e2, const std::vector<IdSet>& src,
-    const JoinEdge& edge) {
+    int32_t node, int32_t e, int32_t e2, const IdSetStore& src,
+    const JoinEdge& edge, PropagationScratch* scratch) {
   std::array<int32_t, 3> key{node, e, e2};
   std::shared_ptr<PropagationResult> cached;
   bool current = false;
@@ -148,7 +157,7 @@ std::shared_ptr<const PropagationResult> ClauseBuilder::GetPropagation(
       return cached;
     }
     // The alive mask only shrank since this result was computed, so an
-    // alive-filter pass reproduces a fresh `PropagateIds` exactly —
+    // in-place arena compaction reproduces a fresh `PropagateIds` exactly —
     // including the limit verdicts, which `RefreshPropagation` re-checks.
     Stopwatch refresh_watch;
     bool refreshed =
@@ -157,6 +166,7 @@ std::shared_ptr<const PropagationResult> ClauseBuilder::GetPropagation(
       prop_time_->AddSeconds(refresh_watch.ElapsedSeconds());
     }
     Bump(prop_cache_refreshes_);
+    Bump(arena_reuse_);  // the compaction reclaimed storage in place
     if (refreshed) return cached;
     Bump(prop_cache_evictions_);
     std::lock_guard<std::mutex> lock(cache_mu_);
@@ -169,15 +179,15 @@ std::shared_ptr<const PropagationResult> ClauseBuilder::GetPropagation(
   }
 
   Stopwatch prop_watch;
-  auto fresh = std::make_shared<PropagationResult>(
-      PropagateIds(*db_, edge, src, &alive_, opts_->propagation_limits));
+  auto fresh = std::make_shared<PropagationResult>(PropagateIds(
+      *db_, edge, src, &alive_, opts_->propagation_limits, scratch));
   if (prop_time_ != nullptr) {
     prop_time_->AddSeconds(prop_watch.ElapsedSeconds());
   }
   Bump(prop_cache_misses_);
   if (!fresh->ok) Bump(prop_rejected_);
   if (fresh->ok && opts_->propagation_cache_slots > 0) {
-    uint64_t slots = fresh->idsets.size();
+    uint64_t slots = fresh->idsets.num_sets();
     std::lock_guard<std::mutex> lock(cache_mu_);
     if (cached_slot_count_ + slots <= opts_->propagation_cache_slots) {
       cached_slot_count_ += slots;
@@ -233,7 +243,8 @@ ClauseBuilder::BestChoice ClauseBuilder::FindBestLiteral() {
       // Hop 1: one propagation along a join edge leaving the node.
       const JoinEdge& edge = edges[static_cast<size_t>(t.edge)];
       std::shared_ptr<const PropagationResult> p = GetPropagation(
-          t.node, t.edge, -1, node_idsets_[static_cast<size_t>(t.node)], edge);
+          t.node, t.edge, -1, node_idsets_[static_cast<size_t>(t.node)], edge,
+          &prop_scratch_[static_cast<size_t>(worker)]);
       hop1[i] = p;
       if (p->ok) scored[i] = searcher.FindBest(edge.to_rel, p->idsets, *opts_);
     } else {
@@ -243,7 +254,8 @@ ClauseBuilder::BestChoice ClauseBuilder::FindBestLiteral() {
       if (parent == nullptr || !parent->ok) return;
       const JoinEdge& edge2 = edges[static_cast<size_t>(t.edge2)];
       std::shared_ptr<const PropagationResult> p =
-          GetPropagation(t.node, t.edge, t.edge2, parent->idsets, edge2);
+          GetPropagation(t.node, t.edge, t.edge2, parent->idsets, edge2,
+                         &prop_scratch_[static_cast<size_t>(worker)]);
       if (p->ok) {
         scored[i] = searcher.FindBest(edge2.to_rel, p->idsets, *opts_);
       }
@@ -290,6 +302,10 @@ ClauseBuilder::BestChoice ClauseBuilder::FindBestLiteral() {
     if (t.edge2 >= 0) path.push_back(t.edge2);
     Consider(&best, scored[i], t.node, std::move(path));
   }
+  // All tasks have joined: sample the arena footprint at this quiescent
+  // point. The state here is identical at any thread count, so the peak is
+  // thread-count invariant like every other counter.
+  if (peak_id_bytes_ != nullptr) peak_id_bytes_->MaxWith(CurrentIdBytes());
   return best;
 }
 
@@ -302,17 +318,17 @@ void ClauseBuilder::Append(const BestChoice& choice) {
   lit.gain = choice.cand.gain;
   const ComplexLiteral& added = clause_.Append(*db_, std::move(lit));
 
-  // Materialize idsets for the nodes the prop-path created, reusing the
-  // propagations the search just scored (cache hits at the current epoch).
+  // Materialize idset stores for the nodes the prop-path created, reusing
+  // the propagations the search just scored (cache hits at the current
+  // epoch).
   CM_CHECK(added.edge_path.size() <= 2);
-  const std::vector<IdSet>* cur =
-      &node_idsets_[static_cast<size_t>(added.source_node)];
+  const IdSetStore* cur = &node_idsets_[static_cast<size_t>(added.source_node)];
   for (size_t h = 0; h < added.edge_path.size(); ++h) {
     int32_t edge_id = added.edge_path[h];
     const JoinEdge& edge = db_->edges()[static_cast<size_t>(edge_id)];
-    std::shared_ptr<const PropagationResult> hop =
-        GetPropagation(added.source_node, added.edge_path[0],
-                       h == 0 ? -1 : edge_id, *cur, edge);
+    std::shared_ptr<const PropagationResult> hop = GetPropagation(
+        added.source_node, added.edge_path[0], h == 0 ? -1 : edge_id, *cur,
+        edge, prop_scratch_.empty() ? nullptr : &prop_scratch_[0]);
     // The same propagation succeeded during the search.
     CM_CHECK_MSG(hop->ok, "propagation failed while appending literal");
     node_idsets_.push_back(hop->idsets);  // copy: the cache keeps its own
@@ -320,7 +336,8 @@ void ClauseBuilder::Append(const BestChoice& choice) {
   }
 
   // Apply the constraint at the node it targets; shrink the alive set and
-  // refresh every node's idsets ("update IDs on every active relation").
+  // refresh every node's idsets ("update IDs on every active relation") —
+  // one in-place compaction per node store.
   int32_t cnode = added.ConstraintNode();
   const Relation& rel =
       db_->relation(clause_.nodes()[static_cast<size_t>(cnode)].relation);
@@ -330,9 +347,11 @@ void ClauseBuilder::Append(const BestChoice& choice) {
     alive_[id] = alive_[id] && satisfied_[id];
   }
   RecountAlive();
-  for (std::vector<IdSet>& idsets : node_idsets_) {
-    FilterIdSets(&idsets, alive_);
+  for (IdSetStore& store : node_idsets_) {
+    store.FilterAndCompact(alive_);
+    Bump(arena_reuse_);
   }
+  if (peak_id_bytes_ != nullptr) peak_id_bytes_->MaxWith(CurrentIdBytes());
 }
 
 }  // namespace crossmine

@@ -10,7 +10,7 @@
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
-#include "core/idset.h"
+#include "core/idset_store.h"
 #include "core/literal.h"
 #include "core/literal_search.h"
 #include "core/options.h"
@@ -42,12 +42,12 @@ namespace crossmine {
 /// then attribute/value scan order).
 ///
 /// Propagation work is reused across search rounds: each successful
-/// per-(node, edge-path) `PropagationResult` is cached for the duration of
-/// one `Build`. Because the alive mask only shrinks between literals,
-/// later rounds refresh a cached result with a cheap alive-filter pass
-/// (`RefreshPropagation`) instead of re-running the join sweep, and
-/// `Append` reuses the propagation the search just scored instead of
-/// recomputing it.
+/// per-(node, edge-path) `PropagationResult` — its idsets arena-backed in
+/// an `IdSetStore` — is cached for the duration of one `Build`. Because
+/// the alive mask only shrinks between literals, later rounds refresh a
+/// cached result with one in-place arena compaction (`RefreshPropagation`)
+/// instead of re-running the join sweep, and `Append` reuses the
+/// propagation the search just scored instead of recomputing it.
 ///
 /// One instance builds one clause; construct a new instance per clause.
 class ClauseBuilder {
@@ -106,13 +106,19 @@ class ClauseBuilder {
   /// Returns the propagation along `edge` for the path keyed by
   /// (node, e, e2), serving it from the per-build cache when possible:
   /// a current-round entry is returned as-is, a stale entry is refreshed
-  /// with an alive-filter pass, and a miss recomputes `PropagateIds` from
-  /// `src` (caching the result while the slot budget allows). Safe to call
-  /// from pool tasks: each key is requested by exactly one task per round,
-  /// so only the map itself needs the lock.
+  /// with an in-place arena compaction, and a miss recomputes
+  /// `PropagateIds` from `src` (caching the result while the slot budget
+  /// allows). `scratch` reuses that lane's propagation merge buffers. Safe
+  /// to call from pool tasks: each key is requested by exactly one task per
+  /// round, so only the map itself needs the lock.
   std::shared_ptr<const PropagationResult> GetPropagation(
-      int32_t node, int32_t e, int32_t e2, const std::vector<IdSet>& src,
-      const JoinEdge& edge);
+      int32_t node, int32_t e, int32_t e2, const IdSetStore& src,
+      const JoinEdge& edge, PropagationScratch* scratch);
+
+  /// Bytes currently held by idset arenas (clause-node stores + propagation
+  /// cache); sampled into `train.propagation.peak_id_bytes` at the
+  /// quiescent points of the build loop (no tasks in flight).
+  uint64_t CurrentIdBytes();
 
   /// Ensures one LiteralSearcher per pool lane and points them all at the
   /// current alive mask / class counts.
@@ -141,17 +147,22 @@ class ClauseBuilder {
   Counter* search_tasks_ = nullptr;
   Counter* pool_tasks_ = nullptr;
   Counter* literals_accepted_ = nullptr;
+  Counter* peak_id_bytes_ = nullptr;
+  Counter* arena_reuse_ = nullptr;
   Timer* prop_time_ = nullptr;
   Timer* lookahead_time_ = nullptr;
 
   Clause clause_;
-  /// Propagated idsets per clause node, alive-filtered.
-  std::vector<std::vector<IdSet>> node_idsets_;
+  /// Propagated idsets per clause node, alive-filtered, arena-backed.
+  std::vector<IdSetStore> node_idsets_;
   std::vector<uint8_t> alive_;
   uint32_t pos_ = 0, neg_ = 0;
 
   /// One scratch searcher per pool lane (lane 0 is the calling thread).
   std::vector<LiteralSearcher> searchers_;
+  /// One propagation scratch per pool lane, reused across every
+  /// `PropagateIds` that lane runs.
+  std::vector<PropagationScratch> prop_scratch_;
   std::vector<uint8_t> satisfied_;
 
   /// Per-build propagation cache, keyed by (node, edge, lookahead edge).

@@ -2,7 +2,7 @@
 
 #include "common/macros.h"
 #include "core/constraint_eval.h"
-#include "core/idset.h"
+#include "core/idset_store.h"
 #include "core/propagation.h"
 
 namespace crossmine {
@@ -14,28 +14,22 @@ std::vector<uint8_t> ClauseSatisfiedMask(
   CM_CHECK(query_mask.size() == num_targets);
 
   std::vector<uint8_t> alive = query_mask;
-  std::vector<std::vector<IdSet>> node_idsets;
+  std::vector<IdSetStore> node_idsets;
   node_idsets.reserve(clause.nodes().size());
-  {
-    std::vector<IdSet> root(num_targets);
-    for (TupleId t = 0; t < num_targets; ++t) {
-      if (alive[t]) root[t] = {t};
-    }
-    node_idsets.push_back(std::move(root));
-  }
+  node_idsets.emplace_back().InitIdentity(alive);
 
   std::vector<uint8_t> satisfied(num_targets, 0);
+  PropagationScratch scratch;  // merge buffers shared by every hop below
   for (const ComplexLiteral& lit : clause.literals()) {
     // Materialize the literal's path nodes. Nodes are created in literal
     // order, so the source node is always materialized already.
     CM_CHECK(static_cast<size_t>(lit.source_node) < node_idsets.size());
-    const std::vector<IdSet>* cur =
-        &node_idsets[static_cast<size_t>(lit.source_node)];
+    const IdSetStore* cur = &node_idsets[static_cast<size_t>(lit.source_node)];
     for (size_t i = 0; i < lit.edge_path.size(); ++i) {
       const JoinEdge& edge =
           db.edges()[static_cast<size_t>(lit.edge_path[i])];
       // Prediction must be exact: no fan-out limits here.
-      PropagationResult hop = PropagateIds(db, edge, *cur, &alive);
+      PropagationResult hop = PropagateIds(db, edge, *cur, &alive, {}, &scratch);
       CM_CHECK(hop.ok);
       CM_CHECK(node_idsets.size() ==
                static_cast<size_t>(lit.path_nodes[i]));
@@ -54,8 +48,8 @@ std::vector<uint8_t> ClauseSatisfiedMask(
       any = any || alive[t];
     }
     if (!any) break;
-    for (std::vector<IdSet>& idsets : node_idsets) {
-      FilterIdSets(&idsets, alive);
+    for (IdSetStore& store : node_idsets) {
+      store.FilterAndCompact(alive);
     }
   }
   return alive;

@@ -28,22 +28,20 @@ bool AggSatisfies(const Constraint& c, double value) {
 }  // namespace
 
 void ApplyConstraint(const Relation& rel, const Constraint& c,
-                     const std::vector<uint8_t>& alive,
-                     std::vector<IdSet>* idsets,
+                     const std::vector<uint8_t>& alive, IdSetStore* idsets,
                      std::vector<uint8_t>* satisfied) {
-  CM_CHECK(idsets->size() == rel.num_tuples());
+  CM_CHECK(idsets->num_sets() == rel.num_tuples());
   std::fill(satisfied->begin(), satisfied->end(), 0);
 
   if (c.agg == AggOp::kNone) {
     for (TupleId t = 0; t < rel.num_tuples(); ++t) {
-      IdSet& ids = (*idsets)[t];
-      if (ids.empty()) continue;
+      if (idsets->empty(t)) continue;
       if (TupleSatisfies(rel, t, c)) {
-        for (TupleId id : ids) {
+        idsets->ForEach(t, [&](TupleId id) {
           if (alive[id]) (*satisfied)[id] = 1;
-        }
+        });
       } else {
-        IdSet().swap(ids);
+        idsets->Clear(t);
       }
     }
     return;
@@ -56,14 +54,13 @@ void ApplyConstraint(const Relation& rel, const Constraint& c,
   std::vector<double> sum;
   if (c.agg != AggOp::kCount) sum.assign(num_targets, 0.0);
   for (TupleId t = 0; t < rel.num_tuples(); ++t) {
-    const IdSet& ids = (*idsets)[t];
-    if (ids.empty()) continue;
+    if (idsets->empty(t)) continue;
     double v = (c.agg == AggOp::kCount) ? 0.0 : rel.Double(t, c.attr);
-    for (TupleId id : ids) {
-      if (!alive[id]) continue;
+    idsets->ForEach(t, [&](TupleId id) {
+      if (!alive[id]) return;
       ++count[id];
       if (c.agg != AggOp::kCount) sum[id] += v;
-    }
+    });
   }
   for (size_t id = 0; id < num_targets; ++id) {
     if (count[id] == 0) continue;

@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/idset.h"
+#include "core/idset_store.h"
 #include "core/literal.h"
 #include "relational/relation.h"
 
@@ -30,8 +30,7 @@ bool TupleSatisfies(const Relation& rel, TupleId t, const Constraint& c);
 /// (which must be pre-sized to the number of target tuples and is
 /// overwritten with 0/1 flags).
 void ApplyConstraint(const Relation& rel, const Constraint& c,
-                     const std::vector<uint8_t>& alive,
-                     std::vector<IdSet>* idsets,
+                     const std::vector<uint8_t>& alive, IdSetStore* idsets,
                      std::vector<uint8_t>* satisfied);
 
 }  // namespace crossmine

@@ -42,4 +42,22 @@ uint64_t TotalIds(const std::vector<IdSet>& idsets) {
   return total;
 }
 
+IdSetStore StoreFromIdSets(const std::vector<IdSet>& sets, TupleId universe) {
+  IdSetStore store;
+  store.Reset(static_cast<uint32_t>(sets.size()), universe);
+  for (uint32_t s = 0; s < sets.size(); ++s) {
+    store.AssignSorted(s, sets[s].data(),
+                       static_cast<uint32_t>(sets[s].size()));
+  }
+  return store;
+}
+
+std::vector<IdSet> IdSetsFromStore(const IdSetStore& store) {
+  std::vector<IdSet> sets(store.num_sets());
+  for (uint32_t s = 0; s < store.num_sets(); ++s) {
+    sets[s] = store.ToVector(s);
+  }
+  return sets;
+}
+
 }  // namespace crossmine

@@ -4,12 +4,19 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/idset_store.h"
 #include "relational/types.h"
 
 namespace crossmine {
 
 /// A set of target-tuple IDs attached to one tuple of some relation — the
 /// `idset(t)` of Definition 2. Always sorted and duplicate-free.
+///
+/// The hot paths (propagation, literal search, clause building/eval) no
+/// longer carry `std::vector<IdSet>`; they run on the arena-backed
+/// `IdSetStore` (see idset_store.h). The free functions below survive as
+/// compat shims for tests and reference oracles, together with the
+/// store<->vector bridges at the bottom.
 using IdSet = std::vector<TupleId>;
 
 /// Sorts and deduplicates `ids` in place, establishing the IdSet invariant.
@@ -26,6 +33,13 @@ void FilterIdSets(std::vector<IdSet>* idsets, const std::vector<uint8_t>& alive)
 
 /// Total number of ids across all sets.
 uint64_t TotalIds(const std::vector<IdSet>& idsets);
+
+/// Builds a store holding a copy of `sets` over target ids `[0, universe)`.
+/// Every set must already be sorted-unique. Test/compat bridge.
+IdSetStore StoreFromIdSets(const std::vector<IdSet>& sets, TupleId universe);
+
+/// Materializes every set of `store` as a plain vector. Test/compat bridge.
+std::vector<IdSet> IdSetsFromStore(const IdSetStore& store);
 
 }  // namespace crossmine
 

@@ -1,0 +1,183 @@
+#include "core/idset_store.h"
+
+#include <algorithm>
+
+namespace crossmine {
+
+void IdSetStore::Reset(uint32_t num_sets, TupleId universe) {
+  entries_.assign(num_sets, Entry{});
+  pool_.clear();
+  words_.clear();
+  universe_ = universe;
+  words_per_set_ = (universe + 63) / 64;
+  bitmap_threshold_ = std::max(16u, 2 * words_per_set_);
+}
+
+void IdSetStore::InitIdentity(const std::vector<uint8_t>& alive) {
+  Reset(static_cast<uint32_t>(alive.size()),
+        static_cast<TupleId>(alive.size()));
+  for (uint32_t t = 0; t < alive.size(); ++t) {
+    if (alive[t]) AssignSingle(t, static_cast<TupleId>(t));
+  }
+}
+
+void IdSetStore::Free() {
+  std::vector<Entry>().swap(entries_);
+  std::vector<TupleId>().swap(pool_);
+  std::vector<uint64_t>().swap(words_);
+}
+
+uint64_t IdSetStore::total_ids() const {
+  uint64_t total = 0;
+  for (const Entry& e : entries_) total += e.count;
+  return total;
+}
+
+uint32_t IdSetStore::AppendBitmap(const TupleId* ids, uint32_t n) {
+  uint32_t off = static_cast<uint32_t>(words_.size());
+  words_.resize(words_.size() + words_per_set_, 0);
+  uint64_t* w = words_.data() + off;
+  for (uint32_t i = 0; i < n; ++i) {
+    w[ids[i] >> 6] |= uint64_t{1} << (ids[i] & 63);
+  }
+  return off;
+}
+
+void IdSetStore::AssignSorted(uint32_t s, const TupleId* ids, uint32_t n) {
+  Entry& e = entries_[s];
+  if (n == 0) {
+    e = Entry{};
+    return;
+  }
+  e.count = n;
+  if (n >= bitmap_threshold_) {
+    e.kind = Entry::kBitmap;
+    e.offset = AppendBitmap(ids, n);
+    return;
+  }
+  e.kind = Entry::kSparse;
+  e.offset = static_cast<uint32_t>(pool_.size());
+  pool_.insert(pool_.end(), ids, ids + n);
+}
+
+void IdSetStore::AssignSingle(uint32_t s, TupleId id) {
+  Entry& e = entries_[s];
+  e.kind = Entry::kSparse;
+  e.offset = static_cast<uint32_t>(pool_.size());
+  e.count = 1;
+  pool_.push_back(id);
+}
+
+void IdSetStore::AssignUnion(uint32_t s, std::vector<TupleId>* buf) {
+  // Single-contributor buckets arrive already sorted-unique; detect that
+  // with one cheap pass instead of always sorting.
+  bool sorted_unique = true;
+  for (size_t i = 1; i < buf->size(); ++i) {
+    if ((*buf)[i - 1] >= (*buf)[i]) {
+      sorted_unique = false;
+      break;
+    }
+  }
+  if (!sorted_unique) {
+    std::sort(buf->begin(), buf->end());
+    buf->erase(std::unique(buf->begin(), buf->end()), buf->end());
+  }
+  AssignSorted(s, buf->data(), static_cast<uint32_t>(buf->size()));
+}
+
+void IdSetStore::AppendSet(uint32_t s, const std::vector<uint8_t>* alive,
+                           std::vector<TupleId>* out) const {
+  if (alive == nullptr) {
+    ForEach(s, [out](TupleId id) { out->push_back(id); });
+    return;
+  }
+  ForEach(s, [alive, out](TupleId id) {
+    if ((*alive)[id]) out->push_back(id);
+  });
+}
+
+std::vector<TupleId> IdSetStore::ToVector(uint32_t s) const {
+  std::vector<TupleId> out;
+  out.reserve(Cardinality(s));
+  AppendSet(s, nullptr, &out);
+  return out;
+}
+
+void IdSetStore::FilterAndCompact(const std::vector<uint8_t>& alive) {
+  CM_CHECK(alive.size() == universe_);
+
+  // Non-empty descriptors in ascending arena order, sparse spans first.
+  // Distinct live spans never overlap (bump allocation, and compaction
+  // itself preserves ascending disjoint layout), so each can be filtered
+  // into its packed position in place: the write cursor never passes the
+  // span being read. Aliases share an offset and are remapped together.
+  std::vector<uint32_t> order;
+  order.reserve(entries_.size());
+  for (uint32_t s = 0; s < entries_.size(); ++s) {
+    if (entries_[s].count != 0) order.push_back(s);
+  }
+  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    const Entry& ea = entries_[a];
+    const Entry& eb = entries_[b];
+    if (ea.kind != eb.kind) return ea.kind < eb.kind;
+    if (ea.offset != eb.offset) return ea.offset < eb.offset;
+    return a < b;
+  });
+
+  uint32_t pool_write = 0;
+  uint32_t word_write = 0;
+  constexpr uint32_t kNone = UINT32_MAX;
+  uint32_t last_sparse_off = kNone, last_word_off = kNone;
+  Entry last_sparse{}, last_bitmap{};
+  for (uint32_t s : order) {
+    Entry& e = entries_[s];
+    if (e.kind == Entry::kSparse) {
+      if (e.offset == last_sparse_off) {
+        e = last_sparse;  // alias of the span just filtered
+        continue;
+      }
+      last_sparse_off = e.offset;
+      uint32_t new_off = pool_write;
+      for (uint32_t i = e.offset; i < e.offset + e.count; ++i) {
+        TupleId id = pool_[i];
+        if (alive[id]) pool_[pool_write++] = id;
+      }
+      e.count = pool_write - new_off;
+      e.offset = e.count == 0 ? 0 : new_off;
+      last_sparse = e;
+    } else {
+      if (e.offset == last_word_off) {
+        e = last_bitmap;
+        continue;
+      }
+      last_word_off = e.offset;
+      uint32_t cnt = 0;
+      for (uint32_t wi = 0; wi < words_per_set_; ++wi) {
+        uint64_t word = words_[e.offset + wi];
+        uint64_t bits = word;
+        TupleId base = static_cast<TupleId>(wi) * 64;
+        while (bits != 0) {
+          TupleId id = base + static_cast<TupleId>(__builtin_ctzll(bits));
+          bits &= bits - 1;
+          if (!alive[id]) word &= ~(uint64_t{1} << (id & 63));
+        }
+        words_[word_write + wi] = word;
+        cnt += static_cast<uint32_t>(__builtin_popcountll(word));
+      }
+      if (cnt == 0) {
+        e = Entry{};
+      } else {
+        // Stay a bitmap even below the promotion threshold: demoting into
+        // the pool could grow it, and the representation is unobservable.
+        e.offset = word_write;
+        e.count = cnt;
+        word_write += words_per_set_;
+      }
+      last_bitmap = e;
+    }
+  }
+  pool_.resize(pool_write);
+  words_.resize(word_write);
+}
+
+}  // namespace crossmine

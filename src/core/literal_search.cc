@@ -69,11 +69,11 @@ void LiteralSearcher::Offer(CandidateLiteral* best, const Constraint& c,
 }
 
 CandidateLiteral LiteralSearcher::FindBest(RelId rel_id,
-                                           const std::vector<IdSet>& idsets,
+                                           const IdSetStore& idsets,
                                            const CrossMineOptions& opts) {
   CM_CHECK(alive_ != nullptr);
   const Relation& rel = db_->relation(rel_id);
-  CM_CHECK(idsets.size() == rel.num_tuples());
+  CM_CHECK(idsets.num_sets() == rel.num_tuples());
 
   Stopwatch watch;
   offered_ = 0;
@@ -102,7 +102,7 @@ CandidateLiteral LiteralSearcher::FindBest(RelId rel_id,
 }
 
 void LiteralSearcher::SearchCategorical(const Relation& rel, AttrId attr,
-                                        const std::vector<IdSet>& idsets,
+                                        const IdSetStore& idsets,
                                         CandidateLiteral* best) {
   const HashIndex& index = rel.GetHashIndex(attr);
   // Iterate categories in sorted order for deterministic tie-breaking.
@@ -117,15 +117,15 @@ void LiteralSearcher::SearchCategorical(const Relation& rel, AttrId attr,
     uint32_t epoch = NewEpoch();
     uint32_t pos_cov = 0, neg_cov = 0;
     for (TupleId t : index.at(v)) {
-      for (TupleId id : idsets[t]) {
-        if (!alive[id] || mark_[id] == epoch) continue;
+      idsets.ForEach(t, [&](TupleId id) {
+        if (!alive[id] || mark_[id] == epoch) return;
         mark_[id] = epoch;
         if (positive[id]) {
           ++pos_cov;
         } else {
           ++neg_cov;
         }
-      }
+      });
     }
     Constraint c;
     c.attr = attr;
@@ -136,7 +136,7 @@ void LiteralSearcher::SearchCategorical(const Relation& rel, AttrId attr,
 }
 
 void LiteralSearcher::SearchNumerical(const Relation& rel, AttrId attr,
-                                      const std::vector<IdSet>& idsets,
+                                      const IdSetStore& idsets,
                                       CandidateLiteral* best) {
   const std::vector<TupleId>& order = rel.GetSortedIndex(attr);
   const std::vector<double>& col = rel.DoubleColumn(attr);
@@ -149,15 +149,15 @@ void LiteralSearcher::SearchNumerical(const Relation& rel, AttrId attr,
     uint32_t pos_cov = 0, neg_cov = 0;
     for (size_t i = 0; i < order.size(); ++i) {
       TupleId t = order[i];
-      for (TupleId id : idsets[t]) {
-        if (!alive[id] || mark_[id] == epoch) continue;
+      idsets.ForEach(t, [&](TupleId id) {
+        if (!alive[id] || mark_[id] == epoch) return;
         mark_[id] = epoch;
         if (positive[id]) {
           ++pos_cov;
         } else {
           ++neg_cov;
         }
-      }
+      });
       // Offer at distinct-value boundaries only.
       if (i + 1 < order.size() && col[order[i + 1]] == col[t]) continue;
       Constraint c;
@@ -173,15 +173,15 @@ void LiteralSearcher::SearchNumerical(const Relation& rel, AttrId attr,
     uint32_t pos_cov = 0, neg_cov = 0;
     for (size_t i = order.size(); i-- > 0;) {
       TupleId t = order[i];
-      for (TupleId id : idsets[t]) {
-        if (!alive[id] || mark_[id] == epoch) continue;
+      idsets.ForEach(t, [&](TupleId id) {
+        if (!alive[id] || mark_[id] == epoch) return;
         mark_[id] = epoch;
         if (positive[id]) {
           ++pos_cov;
         } else {
           ++neg_cov;
         }
-      }
+      });
       if (i > 0 && col[order[i - 1]] == col[t]) continue;
       Constraint c;
       c.attr = attr;
@@ -237,7 +237,7 @@ void LiteralSearcher::SweepSortedTargets(
 }
 
 void LiteralSearcher::SearchAggregations(const Relation& rel,
-                                         const std::vector<IdSet>& idsets,
+                                         const IdSetStore& idsets,
                                          const CrossMineOptions& opts,
                                          CandidateLiteral* best) {
   (void)opts;
@@ -246,12 +246,12 @@ void LiteralSearcher::SearchAggregations(const Relation& rel,
   // Per-target join count (shared by count(*) and as the divisor for avg).
   // `touched` lists targets with at least one joinable tuple.
   std::vector<TupleId> touched;
-  for (const IdSet& ids : idsets) {
-    for (TupleId id : ids) {
-      if (!alive[id]) continue;
+  for (uint32_t t = 0; t < idsets.num_sets(); ++t) {
+    idsets.ForEach(t, [&](TupleId id) {
+      if (!alive[id]) return;
       if (agg_count_[id] == 0) touched.push_back(id);
       ++agg_count_[id];
-    }
+    });
   }
   if (touched.empty()) return;
 
@@ -272,12 +272,11 @@ void LiteralSearcher::SearchAggregations(const Relation& rel,
     for (TupleId id : touched) agg_sum_[id] = 0.0;
     const std::vector<double>& col = rel.DoubleColumn(a);
     for (TupleId t = 0; t < rel.num_tuples(); ++t) {
-      const IdSet& ids = idsets[t];
-      if (ids.empty()) continue;
+      if (idsets.empty(t)) continue;
       double v = col[t];
-      for (TupleId id : ids) {
+      idsets.ForEach(t, [&](TupleId id) {
         if (alive[id]) agg_sum_[id] += v;
-      }
+      });
     }
     std::vector<std::pair<double, TupleId>> entries;
     entries.reserve(touched.size());

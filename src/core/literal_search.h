@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "common/metrics.h"
-#include "core/idset.h"
+#include "core/idset_store.h"
 #include "core/literal.h"
 #include "core/options.h"
 #include "relational/database.h"
@@ -55,18 +55,15 @@ class LiteralSearcher {
   void set_metrics(MetricsRegistry* metrics);
 
   /// Best constraint on `rel` given `idsets` (parallel to rel's tuples).
-  CandidateLiteral FindBest(RelId rel, const std::vector<IdSet>& idsets,
+  CandidateLiteral FindBest(RelId rel, const IdSetStore& idsets,
                             const CrossMineOptions& opts);
 
  private:
   void SearchCategorical(const Relation& rel, AttrId attr,
-                         const std::vector<IdSet>& idsets,
-                         CandidateLiteral* best);
+                         const IdSetStore& idsets, CandidateLiteral* best);
   void SearchNumerical(const Relation& rel, AttrId attr,
-                       const std::vector<IdSet>& idsets,
-                       CandidateLiteral* best);
-  void SearchAggregations(const Relation& rel,
-                          const std::vector<IdSet>& idsets,
+                       const IdSetStore& idsets, CandidateLiteral* best);
+  void SearchAggregations(const Relation& rel, const IdSetStore& idsets,
                           const CrossMineOptions& opts,
                           CandidateLiteral* best);
 

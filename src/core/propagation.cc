@@ -1,61 +1,66 @@
 #include "core/propagation.h"
 
-#include <unordered_map>
-
 #include "common/macros.h"
 
 namespace crossmine {
 
 PropagationResult PropagateIds(const Database& db, const JoinEdge& edge,
-                               const std::vector<IdSet>& src_idsets,
+                               const IdSetStore& src_idsets,
                                const std::vector<uint8_t>* alive,
-                               const PropagationLimits& limits) {
+                               const PropagationLimits& limits,
+                               PropagationScratch* scratch) {
   const Relation& src = db.relation(edge.from_rel);
   const Relation& dst = db.relation(edge.to_rel);
-  CM_CHECK(src_idsets.size() == src.num_tuples());
+  CM_CHECK(src_idsets.num_sets() == src.num_tuples());
 
   PropagationResult result;
+  PropagationScratch local;
+  PropagationScratch& sc = scratch != nullptr ? *scratch : local;
+  sc.bucket_of.clear();
+  sc.bucket_values.clear();
 
-  // Group the source side by join value, merging the idsets of all source
-  // tuples sharing a value. Only values that actually occur on the source
-  // side with a non-empty (alive-filtered) idset are kept.
+  // Group the source side by join value, gathering the (alive-filtered) ids
+  // of all source tuples sharing a value into one bucket. Buckets are kept
+  // in first-seen order so the result's arena layout is deterministic. Only
+  // values that occur on the source side with a non-empty idset are kept.
   const std::vector<int64_t>& src_col = src.IntColumn(edge.from_attr);
-  std::unordered_map<int64_t, IdSet> by_value;
-  by_value.reserve(src.num_tuples());
   for (TupleId t = 0; t < src.num_tuples(); ++t) {
-    const IdSet& ids = src_idsets[t];
-    if (ids.empty()) continue;
+    if (src_idsets.empty(t)) continue;
     int64_t v = src_col[t];
     if (v == kNullValue) continue;
-    IdSet& bucket = by_value[v];
-    if (alive == nullptr) {
-      UnionInPlace(&bucket, ids);
-    } else {
-      IdSet filtered;
-      filtered.reserve(ids.size());
-      for (TupleId id : ids) {
-        if ((*alive)[id]) filtered.push_back(id);
+    auto [it, inserted] =
+        sc.bucket_of.emplace(v, static_cast<uint32_t>(sc.bucket_values.size()));
+    if (inserted) {
+      sc.bucket_values.push_back(v);
+      if (sc.bucket_ids.size() < sc.bucket_values.size()) {
+        sc.bucket_ids.emplace_back();
       }
-      UnionInPlace(&bucket, filtered);
+      sc.bucket_ids[it->second].clear();
     }
+    src_idsets.AppendSet(t, alive, &sc.bucket_ids[it->second]);
   }
 
-  // Assign merged idsets to matching destination tuples through the
-  // destination-side hash index.
+  // Merge each bucket (sort + dedup, skipped for single-contributor buckets
+  // that are already sorted) and hand the merged span to every matching
+  // destination tuple: the first one owns the span, the rest alias it.
   const HashIndex& dst_index = dst.GetHashIndex(edge.to_attr);
-  result.idsets.assign(dst.num_tuples(), IdSet());
+  result.idsets.Reset(dst.num_tuples(), src_idsets.universe());
   uint64_t total = 0;
   uint64_t nonempty = 0;
-  for (const auto& [value, merged] : by_value) {
+  for (uint32_t b = 0; b < sc.bucket_values.size(); ++b) {
+    std::vector<TupleId>& merged = sc.bucket_ids[b];
     if (merged.empty()) continue;
-    auto it = dst_index.find(value);
+    auto it = dst_index.find(sc.bucket_values[b]);
     if (it == dst_index.end()) continue;
+    TupleId first = it->second.front();
+    result.idsets.AssignUnion(first, &merged);
+    uint64_t size = result.idsets.Cardinality(first);
     for (TupleId u : it->second) {
-      result.idsets[u] = merged;
-      total += merged.size();
+      if (u != first) result.idsets.Alias(u, first);
+      total += size;
       ++nonempty;
       if (limits.max_total_ids > 0 && total > limits.max_total_ids) {
-        result.idsets.clear();
+        result.idsets.Free();
         result.ok = false;
         return result;
       }
@@ -66,7 +71,7 @@ PropagationResult PropagateIds(const Database& db, const JoinEdge& edge,
   if (limits.max_avg_fanout > 0 && nonempty > 0 &&
       static_cast<double>(total) / static_cast<double>(nonempty) >
           limits.max_avg_fanout) {
-    result.idsets.clear();
+    result.idsets.Free();
     result.ok = false;
   }
   return result;
@@ -76,16 +81,16 @@ bool RefreshPropagation(PropagationResult* result,
                         const std::vector<uint8_t>& alive,
                         const PropagationLimits& limits) {
   CM_CHECK(result->ok);
+  // One in-place compaction pass: dead ids drop out and every surviving
+  // span slides down over the reclaimed space, so the arena shrinks to the
+  // live footprint (never grows).
+  result->idsets.FilterAndCompact(alive);
   uint64_t total = 0;
   uint64_t nonempty = 0;
-  for (IdSet& ids : result->idsets) {
-    if (ids.empty()) continue;
-    FilterIdSet(&ids, alive);
-    if (ids.empty()) {
-      IdSet().swap(ids);  // release storage, like FilterIdSets
-      continue;
-    }
-    total += ids.size();
+  for (uint32_t s = 0; s < result->idsets.num_sets(); ++s) {
+    uint32_t n = result->idsets.Cardinality(s);
+    if (n == 0) continue;
+    total += n;
     ++nonempty;
   }
   result->total_ids = total;
@@ -95,7 +100,7 @@ bool RefreshPropagation(PropagationResult* result,
       (limits.max_avg_fanout > 0 && nonempty > 0 &&
        static_cast<double>(total) / static_cast<double>(nonempty) >
            limits.max_avg_fanout)) {
-    result->idsets.clear();
+    result->idsets.Free();
     result->ok = false;
   }
   return result->ok;

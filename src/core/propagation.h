@@ -2,9 +2,10 @@
 #define CROSSMINE_CORE_PROPAGATION_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
-#include "core/idset.h"
+#include "core/idset_store.h"
 #include "relational/database.h"
 
 namespace crossmine {
@@ -22,12 +23,28 @@ struct PropagationLimits {
 
 /// Outcome of one tuple ID propagation step.
 struct PropagationResult {
-  /// idset per destination tuple; empty vector when `ok == false`.
-  std::vector<IdSet> idsets;
+  /// One idset per destination tuple, arena-backed; freed (`num_sets() == 0`)
+  /// when `ok == false`.
+  IdSetStore idsets;
   /// False when a PropagationLimits guard rejected the edge.
   bool ok = true;
   /// Total ids attached to destination tuples.
   uint64_t total_ids = 0;
+};
+
+/// Reusable working memory for `PropagateIds`: the per-join-value buckets of
+/// the source-side grouping. One scratch per worker lane amortizes the merge
+/// buffers across every propagation that lane runs — after warm-up the hot
+/// path stops allocating.
+struct PropagationScratch {
+  /// join value -> index into bucket_ids / bucket_values
+  std::unordered_map<int64_t, uint32_t> bucket_of;
+  /// gathered (alive-filtered) source ids per bucket; capacity is kept
+  /// across calls
+  std::vector<std::vector<TupleId>> bucket_ids;
+  /// bucket join values in first-seen (= source tuple) order, so the arena
+  /// fill order is deterministic
+  std::vector<int64_t> bucket_values;
 };
 
 /// Propagates tuple IDs along `edge` (Definition 2): every destination tuple
@@ -38,22 +55,31 @@ struct PropagationResult {
 /// over — this is the "update IDs on every active relation" filtering of
 /// Algorithm 2 fused into the propagation.
 ///
+/// Destination tuples sharing a join value alias one merged arena span in
+/// the result store instead of receiving copies; `total_ids` and the limit
+/// guards still count every destination separately, exactly like the
+/// per-destination copies they replace.
+///
+/// `scratch` (optional) reuses grouping buffers across calls.
+///
 /// NULL join values never match (SQL semantics).
 PropagationResult PropagateIds(const Database& db, const JoinEdge& edge,
-                               const std::vector<IdSet>& src_idsets,
+                               const IdSetStore& src_idsets,
                                const std::vector<uint8_t>* alive,
-                               const PropagationLimits& limits = {});
+                               const PropagationLimits& limits = {},
+                               PropagationScratch* scratch = nullptr);
 
 /// Refreshes a previously successful propagation after the alive mask
-/// shrank: filters every idset down to the still-alive IDs, recomputes
-/// `total_ids`, and re-applies the `limits` guards to the filtered volume.
+/// shrank: one in-place `FilterAndCompact` pass over the result's arena
+/// drops dead IDs and reclaims their storage, then `total_ids` is recomputed
+/// and the `limits` guards re-applied to the filtered volume.
 ///
 /// When the alive mask only loses members between two propagation requests
 /// (the Algorithm 2 invariant — appended literals only remove targets),
 /// this produces a result identical to re-running `PropagateIds` with the
-/// new mask, at the cost of one linear filter pass instead of a full
+/// new mask, at the cost of one linear compaction instead of a full
 /// re-join. Returns `result->ok` for convenience; a result that now trips
-/// a limit has its idsets cleared, exactly like a fresh failed propagation.
+/// a limit has its store freed, exactly like a fresh failed propagation.
 bool RefreshPropagation(PropagationResult* result,
                         const std::vector<uint8_t>& alive,
                         const PropagationLimits& limits);

@@ -7,6 +7,7 @@
 namespace crossmine {
 namespace {
 
+using testing::ApplyConstraintV;
 using testing::Fig2Database;
 using testing::MakeFig2Database;
 
@@ -77,7 +78,7 @@ AppliedResult Apply(const Fig2Database& f, const Constraint& c,
   AppliedResult r;
   r.idsets = {{0, 1}, {2}, {3, 4}, {}};  // Fig. 4 idsets on Account
   r.satisfied.assign(5, 0);
-  ApplyConstraint(f.db.relation(f.account), c, alive, &r.idsets,
+  ApplyConstraintV(f.db.relation(f.account), c, alive, &r.idsets,
                   &r.satisfied);
   return r;
 }
@@ -141,19 +142,19 @@ TEST(ApplyConstraintTest, AggregationSumAndAvg) {
   std::vector<uint8_t> alive(5, 1);
   Constraint sum_c =
       Aggregation(AggOp::kSum, f.account_date, CmpOp::kGe, 1911150.0);
-  ApplyConstraint(f.db.relation(f.account), sum_c, alive, &idsets,
+  ApplyConstraintV(f.db.relation(f.account), sum_c, alive, &idsets,
                   &satisfied);
   EXPECT_EQ(satisfied[0], 1);  // 960227 + 950923 = 1911150
 
   idsets = {{0}, {0}, {}, {}};
   Constraint avg_c =
       Aggregation(AggOp::kAvg, f.account_date, CmpOp::kLe, 955575.0);
-  ApplyConstraint(f.db.relation(f.account), avg_c, alive, &idsets,
+  ApplyConstraintV(f.db.relation(f.account), avg_c, alive, &idsets,
                   &satisfied);
   EXPECT_EQ(satisfied[0], 1);  // avg = 955575
   avg_c.threshold = 955574.0;
   idsets = {{0}, {0}, {}, {}};
-  ApplyConstraint(f.db.relation(f.account), avg_c, alive, &idsets,
+  ApplyConstraintV(f.db.relation(f.account), avg_c, alive, &idsets,
                   &satisfied);
   EXPECT_EQ(satisfied[0], 0);
 }
@@ -167,7 +168,7 @@ TEST(ApplyConstraintTest, AggregationNeedsAtLeastOneJoinPartner) {
   std::vector<uint8_t> alive(5, 1);
   Constraint c =
       Aggregation(AggOp::kCount, kInvalidAttr, CmpOp::kLe, 100);
-  ApplyConstraint(f.db.relation(f.account), c, alive, &idsets, &satisfied);
+  ApplyConstraintV(f.db.relation(f.account), c, alive, &idsets, &satisfied);
   EXPECT_EQ(satisfied[2], 0);
   EXPECT_EQ(satisfied[0], 1);
 }

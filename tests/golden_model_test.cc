@@ -1,0 +1,124 @@
+// Golden-model regression tests: training on fixed generator configs must
+// produce models byte-identical to the committed golden files under
+// tests/golden/. The goldens were written by the pre-IdSetStore-refactor
+// trainer, so these tests prove the arena-backed ID storage (and any later
+// storage-layer change) is semantics-preserving down to the serialized
+// bytes — at one worker thread and at several.
+//
+// To regenerate the goldens after an *intentional* model change, run with
+// CROSSMINE_WRITE_GOLDEN=1 and commit the rewritten files.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <string>
+
+#include "core/classifier.h"
+#include "core/model_io.h"
+#include "datagen/financial.h"
+#include "datagen/mutagenesis.h"
+#include "datagen/synthetic.h"
+
+#ifndef CROSSMINE_SOURCE_DIR
+#error "golden_model_test needs CROSSMINE_SOURCE_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace crossmine {
+namespace {
+
+std::string GoldenPath(const char* name) {
+  return std::string(CROSSMINE_SOURCE_DIR) + "/tests/golden/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Trains on `db` with `num_threads` workers and returns the model bytes.
+std::string TrainedModelBytes(const Database& db, CrossMineOptions opts,
+                              int num_threads, const char* tag) {
+  opts.num_threads = num_threads;
+  CrossMineClassifier model(opts);
+  std::vector<TupleId> all(db.target_relation().num_tuples());
+  std::iota(all.begin(), all.end(), 0);
+  EXPECT_TRUE(model.Train(db, all).ok());
+  std::string path = ::testing::TempDir() + "/golden_" + tag + ".cmm";
+  std::filesystem::remove(path);
+  EXPECT_TRUE(SaveModel(model, db, path).ok());
+  return ReadFile(path);
+}
+
+void CheckAgainstGolden(const Database& db, const CrossMineOptions& opts,
+                        const char* golden_name) {
+  std::string bytes = TrainedModelBytes(db, opts, 1, golden_name);
+  ASSERT_FALSE(bytes.empty());
+
+  std::string path = GoldenPath(golden_name);
+  if (std::getenv("CROSSMINE_WRITE_GOLDEN") != nullptr) {
+    std::filesystem::create_directories(GoldenPath(""));
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+    ASSERT_TRUE(out.good()) << "failed writing " << path;
+    GTEST_SKIP() << "golden rewritten: " << path;
+  }
+
+  std::string golden = ReadFile(path);
+  ASSERT_FALSE(golden.empty()) << "missing golden file " << path
+                               << " (regenerate with CROSSMINE_WRITE_GOLDEN=1)";
+  EXPECT_EQ(bytes, golden)
+      << golden_name << ": trained model diverged from the committed golden";
+
+  // The same bytes must come out of a multi-threaded build too.
+  EXPECT_EQ(TrainedModelBytes(db, opts, 4, golden_name), golden)
+      << golden_name << ": 4-thread model diverged from the committed golden";
+}
+
+TEST(GoldenModelTest, SyntheticMatchesPreRefactorGolden) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_relations = 8;
+  cfg.expected_tuples = 150;
+  cfg.seed = 17;
+  StatusOr<Database> db = datagen::GenerateSyntheticDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  CheckAgainstGolden(*db, CrossMineOptions{}, "synthetic_r8_t150_s17.cmm");
+}
+
+TEST(GoldenModelTest, SyntheticWithSamplingMatchesPreRefactorGolden) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_relations = 10;
+  cfg.expected_tuples = 200;
+  cfg.seed = 23;
+  StatusOr<Database> db = datagen::GenerateSyntheticDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  CrossMineOptions opts;
+  opts.use_sampling = true;
+  CheckAgainstGolden(*db, opts, "synthetic_r10_t200_s23_sampling.cmm");
+}
+
+TEST(GoldenModelTest, FinancialMatchesPreRefactorGolden) {
+  datagen::FinancialConfig cfg;
+  cfg.num_loans = 80;
+  cfg.seed = 5;
+  StatusOr<Database> db = datagen::GenerateFinancialDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  CheckAgainstGolden(*db, CrossMineOptions{}, "financial_l80_s5.cmm");
+}
+
+TEST(GoldenModelTest, MutagenesisMatchesPreRefactorGolden) {
+  datagen::MutagenesisConfig cfg;
+  cfg.num_molecules = 60;
+  cfg.seed = 9;
+  StatusOr<Database> db = datagen::GenerateMutagenesisDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  CheckAgainstGolden(*db, CrossMineOptions{}, "mutagenesis_m60_s9.cmm");
+}
+
+}  // namespace
+}  // namespace crossmine

@@ -1,0 +1,289 @@
+#include "core/idset_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "core/idset.h"
+
+namespace crossmine {
+namespace {
+
+using Reference = std::vector<std::set<TupleId>>;
+
+// Materializes one store set through ForEach, checking ascending order.
+std::vector<TupleId> Enumerate(const IdSetStore& store, uint32_t s) {
+  std::vector<TupleId> out;
+  store.ForEach(s, [&](TupleId id) { out.push_back(id); });
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_EQ(std::adjacent_find(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void ExpectMatches(const IdSetStore& store, const Reference& ref) {
+  ASSERT_EQ(store.num_sets(), ref.size());
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < store.num_sets(); ++s) {
+    std::vector<TupleId> want(ref[s].begin(), ref[s].end());
+    EXPECT_EQ(Enumerate(store, s), want) << "set " << s;
+    EXPECT_EQ(store.ToVector(s), want) << "set " << s;
+    EXPECT_EQ(store.Cardinality(s), want.size()) << "set " << s;
+    EXPECT_EQ(store.empty(s), want.empty()) << "set " << s;
+    total += want.size();
+  }
+  EXPECT_EQ(store.total_ids(), total);
+}
+
+TEST(IdSetStoreTest, InitIdentityRespectsAliveMask) {
+  std::vector<uint8_t> alive{1, 0, 1, 1, 0};
+  IdSetStore store;
+  store.InitIdentity(alive);
+  ASSERT_EQ(store.num_sets(), 5u);
+  EXPECT_EQ(store.universe(), 5u);
+  EXPECT_EQ(store.ToVector(0), (std::vector<TupleId>{0}));
+  EXPECT_TRUE(store.empty(1));
+  EXPECT_EQ(store.ToVector(2), (std::vector<TupleId>{2}));
+  EXPECT_EQ(store.total_ids(), 3u);
+}
+
+TEST(IdSetStoreTest, AssignUnionNormalizesUnsortedDuplicatedInput) {
+  IdSetStore store;
+  store.Reset(2, 10);
+  std::vector<TupleId> buf{7, 3, 3, 9, 0, 7};
+  store.AssignUnion(0, &buf);
+  EXPECT_EQ(store.ToVector(0), (std::vector<TupleId>{0, 3, 7, 9}));
+  // Already-sorted input takes the no-sort fast path; result must agree.
+  std::vector<TupleId> sorted{1, 2, 8};
+  store.AssignUnion(1, &sorted);
+  EXPECT_EQ(store.ToVector(1), (std::vector<TupleId>{1, 2, 8}));
+}
+
+TEST(IdSetStoreTest, PromotionBoundaryBothSides) {
+  // Universe large enough that the threshold is driven by the bitmap size.
+  const TupleId universe = 4096;
+  IdSetStore store;
+  store.Reset(2, universe);
+  const uint32_t threshold = store.bitmap_threshold();
+  ASSERT_GE(threshold, 16u);
+
+  // One id below the threshold: must stay sparse.
+  std::vector<TupleId> below(threshold - 1);
+  for (uint32_t i = 0; i < below.size(); ++i) below[i] = i * 2;
+  store.AssignSorted(0, below.data(), static_cast<uint32_t>(below.size()));
+  EXPECT_FALSE(store.IsBitmap(0));
+  EXPECT_EQ(store.ToVector(0), below);
+
+  // Exactly at the threshold: must promote to the bitmap form, and
+  // enumeration must be indistinguishable from the sparse form.
+  std::vector<TupleId> at(threshold);
+  for (uint32_t i = 0; i < at.size(); ++i) at[i] = i * 2;
+  store.AssignSorted(1, at.data(), static_cast<uint32_t>(at.size()));
+  EXPECT_TRUE(store.IsBitmap(1));
+  EXPECT_EQ(store.ToVector(1), at);
+  EXPECT_EQ(store.Cardinality(1), threshold);
+}
+
+TEST(IdSetStoreTest, FilterCanDemoteCardinalityButKeepsBitmapCorrect) {
+  const TupleId universe = 1024;
+  IdSetStore store;
+  store.Reset(1, universe);
+  const uint32_t threshold = store.bitmap_threshold();
+  std::vector<TupleId> ids(threshold);
+  for (uint32_t i = 0; i < threshold; ++i) ids[i] = i;
+  store.AssignSorted(0, ids.data(), threshold);
+  ASSERT_TRUE(store.IsBitmap(0));
+
+  // Keep only even ids: cardinality falls below the promotion threshold.
+  std::vector<uint8_t> alive(universe, 0);
+  std::vector<TupleId> want;
+  for (TupleId id = 0; id < threshold; id += 2) {
+    alive[id] = 1;
+    want.push_back(id);
+  }
+  store.FilterAndCompact(alive);
+  EXPECT_EQ(store.ToVector(0), want);
+  EXPECT_EQ(store.Cardinality(0), want.size());
+}
+
+TEST(IdSetStoreTest, AliasSharesStorageAndClearIsLocal) {
+  IdSetStore store;
+  store.Reset(3, 16);
+  std::vector<TupleId> ids{1, 4, 9};
+  store.AssignSorted(0, ids.data(), 3);
+  store.Alias(1, 0);
+  store.Alias(2, 0);
+  EXPECT_EQ(store.ToVector(1), ids);
+  EXPECT_EQ(store.total_ids(), 9u);  // aliases counted per set
+
+  store.Clear(1);
+  EXPECT_TRUE(store.empty(1));
+  EXPECT_EQ(store.ToVector(0), ids);  // untouched
+  EXPECT_EQ(store.ToVector(2), ids);
+}
+
+TEST(IdSetStoreTest, CompactionPreservesAliasingAndNeverGrows) {
+  IdSetStore store;
+  store.Reset(4, 32);
+  std::vector<TupleId> a{0, 5, 10, 15, 20};
+  std::vector<TupleId> b{2, 3};
+  store.AssignSorted(0, a.data(), static_cast<uint32_t>(a.size()));
+  store.Alias(1, 0);
+  store.AssignSorted(2, b.data(), static_cast<uint32_t>(b.size()));
+  store.Clear(3);
+  const uint64_t bytes_before = store.arena_bytes();
+
+  std::vector<uint8_t> alive(32, 1);
+  alive[5] = alive[3] = 0;
+  store.FilterAndCompact(alive);
+  EXPECT_EQ(store.ToVector(0), (std::vector<TupleId>{0, 10, 15, 20}));
+  EXPECT_EQ(store.ToVector(1), (std::vector<TupleId>{0, 10, 15, 20}));
+  EXPECT_EQ(store.ToVector(2), (std::vector<TupleId>{2}));
+  EXPECT_LE(store.arena_bytes(), bytes_before);
+}
+
+// Regression for the FilterIdSets partial-shrink leak: shrinking every
+// *non-empty* set must reclaim arena space, not just emptied sets.
+TEST(IdSetStoreTest, CompactionReclaimsPartialShrink) {
+  IdSetStore store;
+  store.Reset(8, 4096);  // threshold 128: sets of 64 stay sparse
+  std::vector<TupleId> ids(64);
+  for (TupleId i = 0; i < 64; ++i) ids[i] = i;
+  for (uint32_t s = 0; s < 8; ++s) {
+    store.AssignSorted(s, ids.data(), 64);
+  }
+  ASSERT_FALSE(store.IsBitmap(0));
+  const uint64_t live_before = store.live_id_bytes();
+
+  // Keep 4 of 64 ids in every set — all sets stay non-empty.
+  std::vector<uint8_t> alive(4096, 0);
+  for (TupleId i = 0; i < 4; ++i) alive[i] = 1;
+  store.FilterAndCompact(alive);
+  for (uint32_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(store.Cardinality(s), 4u);
+  }
+  EXPECT_LT(store.live_id_bytes(), live_before);
+  // A second compaction under the same mask is a no-op on live bytes.
+  const uint64_t live_mid = store.live_id_bytes();
+  store.FilterAndCompact(alive);
+  EXPECT_EQ(store.live_id_bytes(), live_mid);
+}
+
+TEST(IdSetStoreTest, AppendSetHonorsAliveMaskAcrossRepresentations) {
+  const TupleId universe = 512;
+  IdSetStore store;
+  store.Reset(2, universe);
+  const uint32_t threshold = store.bitmap_threshold();
+  std::vector<TupleId> big(threshold + 5);
+  for (uint32_t i = 0; i < big.size(); ++i) big[i] = i * 3;
+  store.AssignSorted(0, big.data(), static_cast<uint32_t>(big.size()));
+  ASSERT_TRUE(store.IsBitmap(0));
+  std::vector<TupleId> small{1, 2};
+  store.AssignSorted(1, small.data(), 2);
+
+  std::vector<uint8_t> alive(universe, 1);
+  alive[0] = alive[6] = alive[1] = 0;
+  for (uint32_t s = 0; s < 2; ++s) {
+    std::vector<TupleId> got;
+    store.AppendSet(s, &alive, &got);
+    std::vector<TupleId> want;
+    store.ForEach(s, [&](TupleId id) {
+      if (alive[id]) want.push_back(id);
+    });
+    EXPECT_EQ(got, want) << "set " << s;
+  }
+}
+
+TEST(IdSetStoreTest, StoreVectorBridgesRoundTrip) {
+  std::vector<IdSet> sets{{0, 2, 9}, {}, {5}};
+  IdSetStore store = StoreFromIdSets(sets, 10);
+  EXPECT_EQ(IdSetsFromStore(store), sets);
+}
+
+// Randomized property suite: a chain of assign/alias/clear/filter
+// operations on the store must agree with a naive std::set reference at
+// every step, across the sparse<->bitmap promotion boundary.
+class IdSetStorePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IdSetStorePropertyTest, MatchesNaiveSetReference) {
+  Rng rng(GetParam());
+  const TupleId universe =
+      static_cast<TupleId>(64 + rng.Uniform(2000));  // threshold 16..64
+  const uint32_t num_sets = 4 + static_cast<uint32_t>(rng.Uniform(28));
+
+  IdSetStore store;
+  store.Reset(num_sets, universe);
+  Reference ref(num_sets);
+  const uint32_t threshold = store.bitmap_threshold();
+
+  for (int step = 0; step < 60; ++step) {
+    const uint32_t s = static_cast<uint32_t>(rng.Uniform(num_sets));
+    switch (rng.Uniform(6)) {
+      case 0: {  // AssignUnion of random (unsorted, duplicated) ids.
+        // Sizes straddle the promotion threshold from both sides.
+        const uint32_t n = static_cast<uint32_t>(
+            rng.Uniform(2 * static_cast<uint64_t>(threshold) + 2));
+        std::vector<TupleId> buf;
+        for (uint32_t i = 0; i < n; ++i) {
+          buf.push_back(static_cast<TupleId>(rng.Uniform(universe)));
+        }
+        ref[s] = std::set<TupleId>(buf.begin(), buf.end());
+        store.AssignUnion(s, &buf);
+        break;
+      }
+      case 1: {  // AssignSorted exactly at/below/above the boundary.
+        const uint32_t n = threshold - 1 + static_cast<uint32_t>(
+                                               rng.Uniform(3));  // t-1,t,t+1
+        std::set<TupleId> ids;
+        while (ids.size() < n && ids.size() < universe) {
+          ids.insert(static_cast<TupleId>(rng.Uniform(universe)));
+        }
+        std::vector<TupleId> v(ids.begin(), ids.end());
+        store.AssignSorted(s, v.data(), static_cast<uint32_t>(v.size()));
+        ref[s] = ids;
+        EXPECT_EQ(store.IsBitmap(s), v.size() >= threshold);
+        break;
+      }
+      case 2: {  // Alias.
+        const uint32_t src = static_cast<uint32_t>(rng.Uniform(num_sets));
+        store.Alias(s, src);
+        ref[s] = ref[src];
+        break;
+      }
+      case 3:  // Clear.
+        store.Clear(s);
+        ref[s].clear();
+        break;
+      case 4: {  // FilterAndCompact under a random alive mask.
+        std::vector<uint8_t> alive(universe);
+        for (auto& a : alive) a = rng.Bernoulli(0.8);
+        const uint64_t bytes_before = store.arena_bytes();
+        store.FilterAndCompact(alive);
+        EXPECT_LE(store.arena_bytes(), bytes_before);
+        for (auto& set : ref) {
+          for (auto it = set.begin(); it != set.end();) {
+            it = alive[*it] ? std::next(it) : set.erase(it);
+          }
+        }
+        break;
+      }
+      case 5: {  // AssignSingle.
+        const TupleId id = static_cast<TupleId>(rng.Uniform(universe));
+        store.AssignSingle(s, id);
+        ref[s] = {id};
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  ExpectMatches(store, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IdSetStorePropertyTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace crossmine

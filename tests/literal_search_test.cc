@@ -50,7 +50,8 @@ TEST(LiteralSearchTest, FindsMonthlyFrequencyLiteral) {
   CrossMineOptions opts;
   opts.use_numerical_literals = false;
   opts.use_aggregation_literals = false;
-  CandidateLiteral best = searcher.FindBest(f.account, idsets, opts);
+  CandidateLiteral best =
+      searcher.FindBest(f.account, StoreFromIdSets(idsets, 5), opts);
   ASSERT_TRUE(best.valid());
   EXPECT_EQ(best.constraint.attr, f.account_frequency);
   EXPECT_EQ(best.constraint.category, f.monthly);
@@ -104,7 +105,8 @@ TEST(LiteralSearchTest, DistinctTargetCountingSection43) {
   searcher.SetContext(&s.alive, s.pos, s.neg);
   CrossMineOptions opts;
   opts.use_aggregation_literals = false;
-  CandidateLiteral best = searcher.FindBest(0, idsets, opts);
+  CandidateLiteral best =
+      searcher.FindBest(0, StoreFromIdSets(idsets, 10), opts);
   // The only literal covers everything — no discrimination, so the search
   // reports nothing (had labels been counted per-binding it would report
   // a misleading 14+/5- literal).
@@ -124,7 +126,8 @@ TEST(LiteralSearchTest, NumericalSweepFindsThreshold) {
   for (TupleId t = 0; t < 5; ++t) root[t] = {t};
   CrossMineOptions opts;
   opts.use_aggregation_literals = false;
-  CandidateLiteral best = searcher.FindBest(f.loan, root, opts);
+  CandidateLiteral best =
+      searcher.FindBest(f.loan, StoreFromIdSets(root, 5), opts);
   ASSERT_TRUE(best.valid());
   // duration <= 12 gives 2+/0-, the purest split with decent coverage;
   // payment <= 120 would give 2+/0- as well (90 and 120): either is
@@ -160,7 +163,7 @@ TEST(LiteralSearchTest, NumericalGeDirection) {
   for (TupleId i = 0; i < 6; ++i) root[i] = {i};
   CrossMineOptions opts;
   opts.use_aggregation_literals = false;
-  CandidateLiteral best = searcher.FindBest(0, root, opts);
+  CandidateLiteral best = searcher.FindBest(0, StoreFromIdSets(root, 6), opts);
   ASSERT_TRUE(best.valid());
   EXPECT_EQ(best.constraint.cmp, CmpOp::kGe);
   EXPECT_DOUBLE_EQ(best.constraint.threshold, 3.0);
@@ -203,7 +206,8 @@ TEST(LiteralSearchTest, AggregationCountLiteralFound) {
   LiteralSearcher searcher(&db, &s.positive);
   searcher.SetContext(&s.alive, s.pos, s.neg);
   CrossMineOptions opts;  // aggregations enabled by default
-  CandidateLiteral best = searcher.FindBest(0, idsets, opts);
+  CandidateLiteral best =
+      searcher.FindBest(0, StoreFromIdSets(idsets, 8), opts);
   ASSERT_TRUE(best.valid());
   EXPECT_EQ(best.constraint.agg, AggOp::kCount);
   EXPECT_EQ(best.constraint.cmp, CmpOp::kGe);
@@ -224,7 +228,8 @@ TEST(LiteralSearchTest, DisablingFamiliesRestrictsSearch) {
   none.use_aggregation_literals = false;
   // The loan relation has only key + numerical attributes, so disabling
   // numerical literals leaves nothing to find.
-  CandidateLiteral best = searcher.FindBest(f.loan, root, none);
+  CandidateLiteral best =
+      searcher.FindBest(f.loan, StoreFromIdSets(root, 5), none);
   EXPECT_FALSE(best.valid());
 }
 
@@ -239,8 +244,9 @@ TEST_P(LiteralSearchPropertyTest, CategoricalCountsMatchBruteForce) {
   LiteralSearcher searcher(&db, &s.positive);
   searcher.SetContext(&s.alive, s.pos, s.neg);
 
-  std::vector<IdSet> root(n);
-  for (TupleId t = 0; t < n; ++t) root[t] = {t};
+  std::vector<uint8_t> all(n, 1);
+  IdSetStore root;
+  root.InitIdentity(all);
 
   for (const JoinEdge& edge : db.edges()) {
     if (edge.from_rel != db.target()) continue;
@@ -260,7 +266,7 @@ TEST_P(LiteralSearchPropertyTest, CategoricalCountsMatchBruteForce) {
       if (rel.Int(u, best.constraint.attr) != best.constraint.category) {
         continue;
       }
-      covered.insert(prop.idsets[u].begin(), prop.idsets[u].end());
+      prop.idsets.ForEach(u, [&](TupleId id) { covered.insert(id); });
     }
     uint32_t pos = 0, neg = 0;
     for (TupleId id : covered) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/idset.h"
 #include "test_util.h"
 
 namespace crossmine {
@@ -24,10 +25,11 @@ const JoinEdge* FindEdge(const Database& db, RelId from, AttrId from_attr,
   return nullptr;
 }
 
-// Root idsets for the target relation: idset(t) = {t}.
-std::vector<IdSet> RootIdSets(const Database& db) {
-  std::vector<IdSet> root(db.target_relation().num_tuples());
-  for (TupleId t = 0; t < root.size(); ++t) root[t] = {t};
+// Root idset store for the target relation: idset(t) = {t}.
+IdSetStore RootStore(const Database& db) {
+  std::vector<uint8_t> all(db.target_relation().num_tuples(), 1);
+  IdSetStore root;
+  root.InitIdentity(all);
   return root;
 }
 
@@ -40,13 +42,13 @@ TEST(PropagationTest, PaperFig4Example) {
   ASSERT_NE(edge, nullptr);
 
   PropagationResult result =
-      PropagateIds(f.db, *edge, RootIdSets(f.db), nullptr);
+      PropagateIds(f.db, *edge, RootStore(f.db), nullptr);
   ASSERT_TRUE(result.ok);
-  ASSERT_EQ(result.idsets.size(), 4u);
-  EXPECT_EQ(result.idsets[0], (IdSet{0, 1}));  // account 124
-  EXPECT_EQ(result.idsets[1], (IdSet{2}));     // account 108
-  EXPECT_EQ(result.idsets[2], (IdSet{3, 4}));  // account 45
-  EXPECT_TRUE(result.idsets[3].empty());       // account 67
+  ASSERT_EQ(result.idsets.num_sets(), 4u);
+  EXPECT_EQ(result.idsets.ToVector(0), (IdSet{0, 1}));  // account 124
+  EXPECT_EQ(result.idsets.ToVector(1), (IdSet{2}));     // account 108
+  EXPECT_EQ(result.idsets.ToVector(2), (IdSet{3, 4}));  // account 45
+  EXPECT_TRUE(result.idsets.empty(3));                  // account 67
   EXPECT_EQ(result.total_ids, 5u);
 }
 
@@ -62,16 +64,16 @@ TEST(PropagationTest, ReversePropagationRecoversLoans) {
   ASSERT_NE(to_loan, nullptr);
 
   PropagationResult at_account =
-      PropagateIds(f.db, *to_account, RootIdSets(f.db), nullptr);
+      PropagateIds(f.db, *to_account, RootStore(f.db), nullptr);
   PropagationResult back =
       PropagateIds(f.db, *to_loan, at_account.idsets, nullptr);
   ASSERT_TRUE(back.ok);
   // Loans 0 and 1 share account 124.
-  EXPECT_EQ(back.idsets[0], (IdSet{0, 1}));
-  EXPECT_EQ(back.idsets[1], (IdSet{0, 1}));
-  EXPECT_EQ(back.idsets[2], (IdSet{2}));
-  EXPECT_EQ(back.idsets[3], (IdSet{3, 4}));
-  EXPECT_EQ(back.idsets[4], (IdSet{3, 4}));
+  EXPECT_EQ(back.idsets.ToVector(0), (IdSet{0, 1}));
+  EXPECT_EQ(back.idsets.ToVector(1), (IdSet{0, 1}));
+  EXPECT_EQ(back.idsets.ToVector(2), (IdSet{2}));
+  EXPECT_EQ(back.idsets.ToVector(3), (IdSet{3, 4}));
+  EXPECT_EQ(back.idsets.ToVector(4), (IdSet{3, 4}));
 }
 
 TEST(PropagationTest, AliveMaskFiltersIds) {
@@ -80,11 +82,11 @@ TEST(PropagationTest, AliveMaskFiltersIds) {
   std::vector<uint8_t> alive{1, 0, 1, 0, 1};  // loans 0, 2, 4 alive
 
   PropagationResult result =
-      PropagateIds(f.db, *edge, RootIdSets(f.db), &alive);
+      PropagateIds(f.db, *edge, RootStore(f.db), &alive);
   ASSERT_TRUE(result.ok);
-  EXPECT_EQ(result.idsets[0], (IdSet{0}));
-  EXPECT_EQ(result.idsets[1], (IdSet{2}));
-  EXPECT_EQ(result.idsets[2], (IdSet{4}));
+  EXPECT_EQ(result.idsets.ToVector(0), (IdSet{0}));
+  EXPECT_EQ(result.idsets.ToVector(1), (IdSet{2}));
+  EXPECT_EQ(result.idsets.ToVector(2), (IdSet{4}));
 }
 
 TEST(PropagationTest, NullJoinValuesNeverMatch) {
@@ -93,15 +95,17 @@ TEST(PropagationTest, NullJoinValuesNeverMatch) {
   f.db.mutable_relation(f.loan).SetInt(0, f.loan_account, kNullValue);
   const JoinEdge* edge = FindEdge(f.db, f.loan, f.loan_account, f.account, 0);
   PropagationResult result =
-      PropagateIds(f.db, *edge, RootIdSets(f.db), nullptr);
+      PropagateIds(f.db, *edge, RootStore(f.db), nullptr);
   ASSERT_TRUE(result.ok);
-  EXPECT_EQ(result.idsets[0], (IdSet{1}));  // loan 0 no longer reaches 124
+  EXPECT_EQ(result.idsets.ToVector(0), (IdSet{1}));  // loan 0 misses 124
 }
 
 TEST(PropagationTest, EmptySourceIdsetsYieldEmptyDestination) {
   Fig2Database f = MakeFig2Database();
   const JoinEdge* edge = FindEdge(f.db, f.loan, f.loan_account, f.account, 0);
-  std::vector<IdSet> empty(f.db.target_relation().num_tuples());
+  IdSetStore empty;
+  empty.Reset(f.db.target_relation().num_tuples(),
+              f.db.target_relation().num_tuples());
   PropagationResult result = PropagateIds(f.db, *edge, empty, nullptr);
   ASSERT_TRUE(result.ok);
   EXPECT_EQ(result.total_ids, 0u);
@@ -113,9 +117,9 @@ TEST(PropagationTest, MaxTotalIdsLimitRejects) {
   PropagationLimits limits;
   limits.max_total_ids = 2;  // Fig. 4 needs 5
   PropagationResult result =
-      PropagateIds(f.db, *edge, RootIdSets(f.db), nullptr, limits);
+      PropagateIds(f.db, *edge, RootStore(f.db), nullptr, limits);
   EXPECT_FALSE(result.ok);
-  EXPECT_TRUE(result.idsets.empty());
+  EXPECT_EQ(result.idsets.num_sets(), 0u);  // store freed, like a fresh fail
 }
 
 TEST(PropagationTest, MaxAvgFanoutLimitRejectsUnselectiveLink) {
@@ -124,12 +128,29 @@ TEST(PropagationTest, MaxAvgFanoutLimitRejectsUnselectiveLink) {
   PropagationLimits limits;
   limits.max_avg_fanout = 1.2;  // Fig. 4 average is 5/3 ≈ 1.67
   PropagationResult result =
-      PropagateIds(f.db, *edge, RootIdSets(f.db), nullptr, limits);
+      PropagateIds(f.db, *edge, RootStore(f.db), nullptr, limits);
   EXPECT_FALSE(result.ok);
 
   limits.max_avg_fanout = 2.0;  // now admissible
-  result = PropagateIds(f.db, *edge, RootIdSets(f.db), nullptr, limits);
+  result = PropagateIds(f.db, *edge, RootStore(f.db), nullptr, limits);
   EXPECT_TRUE(result.ok);
+}
+
+TEST(PropagationTest, RefreshMatchesFreshPropagationAndCompactsArena) {
+  Fig2Database f = MakeFig2Database();
+  const JoinEdge* edge = FindEdge(f.db, f.loan, f.loan_account, f.account, 0);
+  PropagationResult result =
+      PropagateIds(f.db, *edge, RootStore(f.db), nullptr);
+  ASSERT_TRUE(result.ok);
+  uint64_t bytes_before = result.idsets.arena_bytes();
+
+  std::vector<uint8_t> alive{1, 0, 1, 0, 1};
+  ASSERT_TRUE(RefreshPropagation(&result, alive, PropagationLimits{}));
+  PropagationResult fresh = PropagateIds(f.db, *edge, RootStore(f.db), &alive);
+  EXPECT_EQ(IdSetsFromStore(result.idsets), IdSetsFromStore(fresh.idsets));
+  EXPECT_EQ(result.total_ids, fresh.total_ids);
+  // The compaction reclaims the dropped ids' storage in place.
+  EXPECT_LE(result.idsets.arena_bytes(), bytes_before);
 }
 
 TEST(PropagationTest, TransitivePropagationLemma2) {
@@ -178,15 +199,13 @@ TEST(PropagationTest, TransitivePropagationLemma2) {
   ASSERT_NE(to_mid, nullptr);
   ASSERT_NE(to_leaf, nullptr);
 
-  std::vector<IdSet> root(4);
-  for (TupleId t = 0; t < 4; ++t) root[t] = {t};
-  PropagationResult at_mid = PropagateIds(db, *to_mid, root, nullptr);
+  PropagationResult at_mid = PropagateIds(db, *to_mid, RootStore(db), nullptr);
   PropagationResult at_leaf =
       PropagateIds(db, *to_leaf, at_mid.idsets, nullptr);
   ASSERT_TRUE(at_leaf.ok);
   // Leaf 0 <- mids {0,1} <- targets {0,1}; leaf 1 <- mid 2 <- targets {2,3}.
-  EXPECT_EQ(at_leaf.idsets[0], (IdSet{0, 1}));
-  EXPECT_EQ(at_leaf.idsets[1], (IdSet{2, 3}));
+  EXPECT_EQ(at_leaf.idsets.ToVector(0), (IdSet{0, 1}));
+  EXPECT_EQ(at_leaf.idsets.ToVector(1), (IdSet{2, 3}));
 }
 
 // Property test: on random databases, PropagateIds agrees with a
@@ -196,30 +215,33 @@ class PropagationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(PropagationPropertyTest, MatchesBruteForceOnEveryEdge) {
   Database db = MakeRandomDatabase(GetParam());
-  std::vector<IdSet> root(db.target_relation().num_tuples());
-  for (TupleId t = 0; t < root.size(); ++t) root[t] = {t};
+  IdSetStore root = RootStore(db);
+  std::vector<IdSet> root_v = IdSetsFromStore(root);
 
   Rng rng(GetParam() ^ 0xabcd);
-  std::vector<uint8_t> alive(root.size());
+  std::vector<uint8_t> alive(root.num_sets());
   for (auto& a : alive) a = rng.Bernoulli(0.7);
 
   for (const JoinEdge& edge : db.edges()) {
     if (edge.from_rel != db.target()) continue;
     PropagationResult got = PropagateIds(db, edge, root, nullptr);
     ASSERT_TRUE(got.ok);
-    EXPECT_EQ(got.idsets, BruteForcePropagate(db, edge, root, nullptr));
+    EXPECT_EQ(IdSetsFromStore(got.idsets),
+              BruteForcePropagate(db, edge, root_v, nullptr));
 
     PropagationResult masked = PropagateIds(db, edge, root, &alive);
     ASSERT_TRUE(masked.ok);
-    EXPECT_EQ(masked.idsets, BruteForcePropagate(db, edge, root, &alive));
+    EXPECT_EQ(IdSetsFromStore(masked.idsets),
+              BruteForcePropagate(db, edge, root_v, &alive));
 
     // Second hop from the reached relation, exercising Lemma 2.
     for (int32_t e2 : db.OutEdges(edge.to_rel)) {
       const JoinEdge& second = db.edges()[static_cast<size_t>(e2)];
       PropagationResult hop2 = PropagateIds(db, second, got.idsets, nullptr);
       ASSERT_TRUE(hop2.ok);
-      EXPECT_EQ(hop2.idsets,
-                BruteForcePropagate(db, second, got.idsets, nullptr));
+      EXPECT_EQ(IdSetsFromStore(hop2.idsets),
+                BruteForcePropagate(db, second, IdSetsFromStore(got.idsets),
+                                    nullptr));
     }
   }
 }

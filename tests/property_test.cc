@@ -92,8 +92,9 @@ TEST_P(NumericalLiteralOracleTest, BestLiteralCountsMatchBruteForce) {
   LiteralSearcher searcher(&db, &positive);
   searcher.SetContext(&alive, pos, neg);
 
-  std::vector<IdSet> root(n);
-  for (TupleId t = 0; t < n; ++t) root[t] = {t};
+  std::vector<uint8_t> all(n, 1);
+  IdSetStore root;
+  root.InitIdentity(all);
 
   for (const JoinEdge& edge : db.edges()) {
     if (edge.from_rel != db.target()) continue;
@@ -114,7 +115,7 @@ TEST_P(NumericalLiteralOracleTest, BestLiteralCountsMatchBruteForce) {
                     ? col[u] <= best.constraint.threshold
                     : col[u] >= best.constraint.threshold;
       if (!ok) continue;
-      covered.insert(prop.idsets[u].begin(), prop.idsets[u].end());
+      prop.idsets.ForEach(u, [&](TupleId id) { covered.insert(id); });
     }
     uint32_t p = 0, ng = 0;
     for (TupleId id : covered) {
@@ -141,8 +142,9 @@ TEST_P(FkFkPropagationTest, MatchesBruteForceOnFkFkEdges) {
   // MakeRandomDatabase gives non-target relations optional FKs back to the
   // target, creating FK-FK edges between them through the target's PK.
   Database db = MakeRandomDatabase(GetParam(), /*num_relations=*/4);
-  std::vector<IdSet> root(db.target_relation().num_tuples());
-  for (TupleId t = 0; t < root.size(); ++t) root[t] = {t};
+  std::vector<uint8_t> all(db.target_relation().num_tuples(), 1);
+  IdSetStore root;
+  root.InitIdentity(all);
 
   int fkfk_checked = 0;
   for (const JoinEdge& first : db.edges()) {
@@ -155,9 +157,9 @@ TEST_P(FkFkPropagationTest, MatchesBruteForceOnFkFkEdges) {
       PropagationResult got =
           PropagateIds(db, second, at_mid.idsets, nullptr);
       ASSERT_TRUE(got.ok);
-      EXPECT_EQ(got.idsets,
-                testing::BruteForcePropagate(db, second, at_mid.idsets,
-                                             nullptr));
+      EXPECT_EQ(IdSetsFromStore(got.idsets),
+                testing::BruteForcePropagate(
+                    db, second, IdSetsFromStore(at_mid.idsets), nullptr));
       ++fkfk_checked;
     }
   }

@@ -9,10 +9,24 @@
 #include "common/macros.h"
 #include "common/random.h"
 #include "core/constraint_eval.h"
+#include "core/idset.h"
 #include "core/literal.h"
 #include "relational/database.h"
 
 namespace crossmine::testing {
+
+/// Vector-of-vectors `ApplyConstraint` shim for tests and oracles: bridges
+/// the legacy carrier through an `IdSetStore` (sets hold target ids, so the
+/// universe is the target-tuple count, `satisfied->size()`).
+inline void ApplyConstraintV(const Relation& rel, const Constraint& c,
+                             const std::vector<uint8_t>& alive,
+                             std::vector<IdSet>* idsets,
+                             std::vector<uint8_t>* satisfied) {
+  IdSetStore store =
+      StoreFromIdSets(*idsets, static_cast<TupleId>(satisfied->size()));
+  ApplyConstraint(rel, c, alive, &store, satisfied);
+  *idsets = IdSetsFromStore(store);
+}
 
 /// The sample database of Fig. 2 / Fig. 4 of the paper:
 ///
@@ -211,8 +225,8 @@ inline std::vector<uint8_t> BruteForceClauseSatisfied(
     int32_t cnode = lit.ConstraintNode();
     const Relation& rel =
         db.relation(clause.nodes()[static_cast<size_t>(cnode)].relation);
-    ApplyConstraint(rel, lit.constraint, alive,
-                    &nodes[static_cast<size_t>(cnode)], &satisfied);
+    ApplyConstraintV(rel, lit.constraint, alive,
+                     &nodes[static_cast<size_t>(cnode)], &satisfied);
     for (TupleId t = 0; t < n; ++t) alive[t] = alive[t] && satisfied[t];
     for (std::vector<IdSet>& idsets : nodes) {
       FilterIdSets(&idsets, alive);

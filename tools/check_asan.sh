@@ -3,7 +3,9 @@
 # protocol / server unit tests plus the live end-to-end smoke test. A
 # standing memory-error detector for the new long-lived path: buffer
 # handling in the JSON codec and the TCP line reader, promise/future
-# lifetimes across drain, and the connection-teardown ordering.
+# lifetimes across drain, and the connection-teardown ordering. Also runs
+# the IdSetStore suite: the arena store's in-place compaction and span
+# aliasing are exactly the kind of offset arithmetic ASan exists for.
 #
 # Usage: tools/check_asan.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -13,12 +15,14 @@ BUILD_DIR="${1:-build-asan}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Asan
 cmake --build "$BUILD_DIR" -j \
-  --target protocol_test serve_test crossmine_cli serve_client
+  --target protocol_test serve_test idset_store_test crossmine_cli \
+  serve_client
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="halt_on_error=1 ${UBSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/protocol_test
 "$BUILD_DIR"/tests/serve_test
+"$BUILD_DIR"/tests/idset_store_test
 bash tools/check_serve_smoke.sh \
   "$BUILD_DIR"/tools/crossmine "$BUILD_DIR"/tools/serve_client
 

@@ -12,11 +12,13 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Tsan
 cmake --build "$BUILD_DIR" -j \
-  --target parallel_search_test clause_builder_test serve_test
+  --target parallel_search_test clause_builder_test serve_test \
+  idset_store_test
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/parallel_search_test
 "$BUILD_DIR"/tests/clause_builder_test
 "$BUILD_DIR"/tests/serve_test
+"$BUILD_DIR"/tests/idset_store_test
 
 echo "check_tsan: OK (no races reported)"
