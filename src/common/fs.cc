@@ -1,0 +1,142 @@
+#include "common/fs.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <libgen.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/string_util.h"
+
+namespace crossmine {
+
+namespace {
+
+Status IoStatus(const char* op, const std::string& target, int err) {
+  return Status::IoError(
+      StrFormat("%s %s: %s", op, target.c_str(), ::strerror(err)));
+}
+
+int FireOr(FaultPoint* point) { return point != nullptr ? point->Fire() : 0; }
+
+/// Best-effort fsync of `path`'s parent directory so the rename itself is
+/// durable. Failure is ignored: directory fsync is unsupported on some
+/// filesystems and the data file is already synced.
+void SyncParentDir(const std::string& path) {
+  std::string copy = path;
+  const char* dir = ::dirname(copy.data());
+  int fd = ::open(dir, O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+StatusOr<std::string> ReadFileToString(const std::string& path,
+                                       const ReadFaultPoints& faults) {
+  int err = FireOr(faults.open);
+  int fd = -1;
+  if (err == 0) {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) err = errno;
+  }
+  if (err != 0) return IoStatus("cannot open", path, err);
+
+  std::string contents;
+  char chunk[1 << 16];
+  for (;;) {
+    err = FireOr(faults.read);
+    ssize_t n = 0;
+    if (err == 0) {
+      n = ::read(fd, chunk, sizeof(chunk));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        err = errno;
+      }
+    }
+    if (err != 0) {
+      ::close(fd);
+      return IoStatus("read", path, err);
+    }
+    if (n == 0) break;
+    contents.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return contents;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents,
+                       const WriteFaultPoints& faults) {
+  std::string tmp =
+      StrFormat("%s.tmp.%d", path.c_str(), static_cast<int>(::getpid()));
+
+  int err = FireOr(faults.open);
+  int fd = -1;
+  if (err == 0) {
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) err = errno;
+  }
+  if (err != 0) return IoStatus("cannot create", tmp, err);
+
+  auto fail = [&](const char* op, int e) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return IoStatus(op, tmp, e);
+  };
+
+  size_t off = 0;
+  while (off < contents.size()) {
+    err = FireOr(faults.write);
+    ssize_t n = 0;
+    if (err == 0) {
+      n = ::write(fd, contents.data() + off, contents.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        err = errno;
+      }
+    }
+    if (err != 0) return fail("write", err);
+    off += static_cast<size_t>(n);
+  }
+
+  err = FireOr(faults.fsync);
+  if (err == 0 && ::fsync(fd) != 0) err = errno;
+  if (err != 0) return fail("fsync", err);
+
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return IoStatus("close", tmp, errno);
+  }
+
+  err = FireOr(faults.rename);
+  if (err == 0 && ::rename(tmp.c_str(), path.c_str()) != 0) err = errno;
+  if (err != 0) {
+    ::unlink(tmp.c_str());
+    return IoStatus("rename", path, err);
+  }
+  SyncParentDir(path);
+  return Status::OK();
+}
+
+uint32_t Crc32(std::string_view data) {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace crossmine

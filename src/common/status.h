@@ -22,6 +22,7 @@ enum class StatusCode {
   kResourceExhausted,
   kDeadlineExceeded,
   kUnavailable,
+  kDataLoss,
 };
 
 /// Lightweight status object in the style of RocksDB / Abseil. Cheap to copy
@@ -64,6 +65,12 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// Unrecoverable corruption of stored bytes (torn file, checksum
+  /// mismatch). Distinct from kInvalidArgument so callers can tell "you
+  /// asked for something nonsensical" from "your data rotted on disk".
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,15 +1,33 @@
 #include "core/model_io.h"
 
-#include <fstream>
+#include <cstdio>
 #include <sstream>
 
+#include "common/faultpoint.h"
+#include "common/fs.h"
 #include "common/string_util.h"
 
 namespace crossmine {
 
 namespace {
 
-constexpr int kFormatVersion = 1;
+// Fault points on every syscall-shaped edge of model persistence. Armed via
+// FaultRegistry (e.g. `--fault-plan "model_io.save.rename@1=EIO"`); the
+// fault matrix test proves each one yields a clean Status with the
+// pre-existing model file intact.
+FaultPoint fp_save_open("model_io.save.open");
+FaultPoint fp_save_write("model_io.save.write");
+FaultPoint fp_save_fsync("model_io.save.fsync");
+FaultPoint fp_save_rename("model_io.save.rename");
+FaultPoint fp_load_open("model_io.load.open");
+FaultPoint fp_load_read("model_io.load.read");
+
+// v2 appends a mandatory `checksum <crc32> <payload-bytes>` trailer that
+// LoadModel verifies, so torn or bit-flipped files fail with DATA_LOSS
+// instead of loading a wrong model. v1 files (no trailer) are still
+// accepted for compatibility with hand-written models and the committed
+// golden files.
+constexpr int kFormatVersion = 2;
 
 uint64_t HashCombine(uint64_t h, uint64_t v) {
   return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
@@ -88,13 +106,13 @@ uint64_t SchemaFingerprint(const Database& db) {
   return h;
 }
 
-Status SaveModel(const CrossMineClassifier& model, const Database& db,
-                 const std::string& path) {
-  if (!db.finalized()) {
-    return Status::FailedPrecondition("database not finalized");
-  }
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot write " + path);
+namespace {
+
+/// The serialized model text, sans checksum trailer. The checksum covers
+/// exactly these bytes.
+std::string ModelPayload(const CrossMineClassifier& model,
+                         const Database& db) {
+  std::ostringstream out;
   out << "crossmine-model " << kFormatVersion << "\n";
   out << "schema " << SchemaFingerprint(db) << "\n";
   out << "classes " << db.num_classes() << " default "
@@ -116,8 +134,25 @@ Status SaveModel(const CrossMineClassifier& model, const Database& db,
     }
     out << "end\n";
   }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return out.str();
+}
+
+}  // namespace
+
+Status SaveModel(const CrossMineClassifier& model, const Database& db,
+                 const std::string& path) {
+  if (!db.finalized()) {
+    return Status::FailedPrecondition("database not finalized");
+  }
+  std::string payload = ModelPayload(model, db);
+  std::string contents = payload;
+  contents += StrFormat("checksum %08x %zu\n", Crc32(payload), payload.size());
+  WriteFaultPoints faults;
+  faults.open = &fp_save_open;
+  faults.write = &fp_save_write;
+  faults.fsync = &fp_save_fsync;
+  faults.rename = &fp_save_rename;
+  return AtomicWriteFile(path, contents, faults);
 }
 
 StatusOr<CrossMineClassifier> LoadModel(const Database& db,
@@ -125,8 +160,11 @@ StatusOr<CrossMineClassifier> LoadModel(const Database& db,
   if (!db.finalized()) {
     return Status::FailedPrecondition("database not finalized");
   }
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot read " + path);
+  ReadFaultPoints read_faults;
+  read_faults.open = &fp_load_open;
+  read_faults.read = &fp_load_read;
+  StatusOr<std::string> contents = ReadFileToString(path, read_faults);
+  if (!contents.ok()) return contents.status();
 
   std::string line;
   int lineno = 0;
@@ -135,17 +173,51 @@ StatusOr<CrossMineClassifier> LoadModel(const Database& db,
         StrFormat("%s:%d: %s", path.c_str(), lineno, what.c_str()));
   };
 
+  std::istringstream in(*contents);
+
   // Header.
   if (!std::getline(in, line)) return fail("empty file");
   ++lineno;
+  int version = 0;
   {
     std::istringstream ls(line);
     std::string magic;
-    int version = 0;
     ls >> magic >> version;
-    if (magic != "crossmine-model" || version != kFormatVersion) {
-      return fail("not a crossmine-model v1 file");
+    if (magic != "crossmine-model" || version < 1 ||
+        version > kFormatVersion) {
+      return fail("not a crossmine-model v1/v2 file");
     }
+  }
+
+  // v2: the final line must be a `checksum <crc32-hex> <payload-bytes>`
+  // trailer covering every byte before it. Any truncation removes or
+  // shortens the trailer and any bit flip breaks either the CRC or the
+  // trailer parse, so corruption is always a clean DATA_LOSS — a wrong
+  // model can never load.
+  if (version >= 2) {
+    const std::string& all = *contents;
+    size_t tpos = all.rfind("checksum ");
+    if (tpos == std::string::npos || (tpos != 0 && all[tpos - 1] != '\n') ||
+        all.back() != '\n') {
+      return Status::DataLoss(path + ": missing checksum trailer (truncated "
+                              "or corrupt model file)");
+    }
+    unsigned int stored_crc = 0;
+    size_t stored_size = 0;
+    if (std::sscanf(all.c_str() + tpos, "checksum %8x %zu", &stored_crc,
+                    &stored_size) != 2) {
+      return Status::DataLoss(path + ": malformed checksum trailer");
+    }
+    std::string_view payload(all.data(), tpos);
+    if (payload.size() != stored_size || Crc32(payload) != stored_crc) {
+      return Status::DataLoss(
+          StrFormat("%s: checksum mismatch (stored %08x over %zu bytes, "
+                    "file has %08x over %zu) — torn or bit-flipped model",
+                    path.c_str(), stored_crc, stored_size, Crc32(payload),
+                    payload.size()));
+    }
+    in.str(std::string(payload));
+    std::getline(in, line);  // re-skip the already-parsed header
   }
 
   int num_classes = 0;

@@ -1,14 +1,27 @@
 #include "relational/csv.h"
 
 #include <cstdio>
-#include <fstream>
 #include <sstream>
+#include <unordered_set>
 
+#include "common/faultpoint.h"
+#include "common/fs.h"
 #include "common/string_util.h"
 
 namespace crossmine {
 
 namespace {
+
+// Fault points on every syscall-shaped edge of dataset persistence (see
+// common/faultpoint.h for the arming grammar).
+FaultPoint fp_schema_open("csv.schema.open");
+FaultPoint fp_schema_read("csv.schema.read");
+FaultPoint fp_data_open("csv.data.open");
+FaultPoint fp_data_read("csv.data.read");
+FaultPoint fp_save_open("csv.save.open");
+FaultPoint fp_save_write("csv.save.write");
+FaultPoint fp_save_fsync("csv.save.fsync");
+FaultPoint fp_save_rename("csv.save.rename");
 
 // CSV quoting: fields containing comma, quote or newline are double-quoted.
 std::string CsvEscape(const std::string& field) {
@@ -69,10 +82,16 @@ std::string CellToString(const Relation& rel, TupleId t, AttrId a) {
 }  // namespace
 
 Status SaveDatabaseCsv(const Database& db, const std::string& dir) {
-  // schema.txt
+  WriteFaultPoints faults;
+  faults.open = &fp_save_open;
+  faults.write = &fp_save_write;
+  faults.fsync = &fp_save_fsync;
+  faults.rename = &fp_save_rename;
+
+  // schema.txt — written atomically, like every file of the dataset, so a
+  // crashed save leaves each file either untouched or complete.
   {
-    std::ofstream out(dir + "/schema.txt");
-    if (!out) return Status::IoError("cannot write " + dir + "/schema.txt");
+    std::ostringstream out;
     out << "classes " << db.num_classes() << "\n";
     for (RelId r = 0; r < db.num_relations(); ++r) {
       const RelationSchema& schema = db.relation(r).schema();
@@ -88,15 +107,13 @@ Status SaveDatabaseCsv(const Database& db, const std::string& dir) {
         out << "\n";
       }
     }
+    CM_RETURN_IF_ERROR(
+        AtomicWriteFile(dir + "/schema.txt", out.str(), faults));
   }
   // One CSV per relation.
   for (RelId r = 0; r < db.num_relations(); ++r) {
     const Relation& rel = db.relation(r);
-    std::ofstream out(dir + "/" + rel.name() + ".csv");
-    if (!out) {
-      return Status::IoError("cannot write " + dir + "/" + rel.name() +
-                             ".csv");
-    }
+    std::ostringstream out;
     std::vector<std::string> header;
     for (AttrId a = 0; a < rel.schema().num_attrs(); ++a) {
       header.push_back(rel.schema().attr(a).name);
@@ -113,15 +130,20 @@ Status SaveDatabaseCsv(const Database& db, const std::string& dir) {
       if (is_target) row.push_back(std::to_string(db.labels()[t]));
       out << Join(row, ",") << "\n";
     }
+    CM_RETURN_IF_ERROR(
+        AtomicWriteFile(dir + "/" + rel.name() + ".csv", out.str(), faults));
   }
   return Status::OK();
 }
 
 StatusOr<Database> LoadDatabaseCsv(const std::string& dir) {
-  std::ifstream schema_in(dir + "/schema.txt");
-  if (!schema_in) {
-    return Status::IoError("cannot read " + dir + "/schema.txt");
-  }
+  ReadFaultPoints schema_faults;
+  schema_faults.open = &fp_schema_open;
+  schema_faults.read = &fp_schema_read;
+  StatusOr<std::string> schema_text =
+      ReadFileToString(dir + "/schema.txt", schema_faults);
+  if (!schema_text.ok()) return schema_text.status();
+  std::istringstream schema_in(*schema_text);
 
   // Parse the manifest into an intermediate form first: foreign keys refer
   // to relations by name, which may appear later in the file.
@@ -157,6 +179,22 @@ StatusOr<Database> LoadDatabaseCsv(const std::string& dir) {
         return Status::InvalidArgument(
             StrFormat("schema.txt:%d: relation with no name", lineno));
       }
+      for (const RelSpec& existing : specs) {
+        if (existing.name == spec.name) {
+          return Status::InvalidArgument(
+              StrFormat("schema.txt:%d: duplicate relation '%s'", lineno,
+                        spec.name.c_str()));
+        }
+      }
+      if (spec.is_target) {
+        for (const RelSpec& existing : specs) {
+          if (existing.is_target) {
+            return Status::InvalidArgument(StrFormat(
+                "schema.txt:%d: more than one relation marked target",
+                lineno));
+          }
+        }
+      }
       specs.push_back(std::move(spec));
     } else if (tok == "attr") {
       if (specs.empty()) {
@@ -169,6 +207,23 @@ StatusOr<Database> LoadDatabaseCsv(const std::string& dir) {
       if (attr.name.empty() || attr.kind.empty()) {
         return Status::InvalidArgument(
             StrFormat("schema.txt:%d: malformed attr line", lineno));
+      }
+      for (const AttrSpec& existing : specs.back().attrs) {
+        if (existing.name == attr.name) {
+          return Status::InvalidArgument(
+              StrFormat("schema.txt:%d: duplicate attribute '%s' in "
+                        "relation '%s'",
+                        lineno, attr.name.c_str(),
+                        specs.back().name.c_str()));
+        }
+        // A second pk declaration would abort inside
+        // RelationSchema::AddPrimaryKey (CM_CHECK) — bytes on disk must
+        // never reach an abort, so reject it here.
+        if (attr.kind == "pk" && existing.kind == "pk") {
+          return Status::InvalidArgument(StrFormat(
+              "schema.txt:%d: relation '%s' declares a second primary key",
+              lineno, specs.back().name.c_str()));
+        }
       }
       specs.back().attrs.push_back(std::move(attr));
     } else {
@@ -218,12 +273,16 @@ StatusOr<Database> LoadDatabaseCsv(const std::string& dir) {
   }
 
   // Load the data files.
+  ReadFaultPoints data_faults;
+  data_faults.open = &fp_data_open;
+  data_faults.read = &fp_data_read;
   std::vector<ClassId> labels;
   for (RelId r = 0; r < db.num_relations(); ++r) {
     Relation& rel = db.mutable_relation(r);
     std::string path = dir + "/" + rel.name() + ".csv";
-    std::ifstream in(path);
-    if (!in) return Status::IoError("cannot read " + path);
+    StatusOr<std::string> data_text = ReadFileToString(path, data_faults);
+    if (!data_text.ok()) return data_text.status();
+    std::istringstream in(*data_text);
     bool is_target = (r == db.target());
     if (!std::getline(in, line)) {
       return Status::InvalidArgument(path + ": empty file");
@@ -235,6 +294,23 @@ StatusOr<Database> LoadDatabaseCsv(const std::string& dir) {
       return Status::InvalidArgument(
           StrFormat("%s: header has %zu columns, schema expects %zu",
                     path.c_str(), header.size(), expected));
+    }
+    // Header cells must match the schema by name — a mismatch means the CSV
+    // and schema.txt disagree about what the columns mean.
+    for (AttrId a = 0; a < rel.schema().num_attrs(); ++a) {
+      const std::string& want = rel.schema().attr(a).name;
+      const std::string& got = header[static_cast<size_t>(a)];
+      if (got != want) {
+        return Status::InvalidArgument(
+            StrFormat("%s: header column %d is '%s', schema expects '%s'",
+                      path.c_str(), static_cast<int>(a), got.c_str(),
+                      want.c_str()));
+      }
+    }
+    if (is_target && header.back() != "__class__") {
+      return Status::InvalidArgument(
+          StrFormat("%s: last header column is '%s', expected '__class__'",
+                    path.c_str(), header.back().c_str()));
     }
     int row_no = 1;
     while (std::getline(in, line)) {
@@ -293,6 +369,56 @@ StatusOr<Database> LoadDatabaseCsv(const std::string& dir) {
                         fields.back().c_str()));
         }
         labels.push_back(static_cast<ClassId>(label));
+      }
+    }
+  }
+
+  // Referential integrity. Primary keys must be non-null and unique; every
+  // non-null foreign key must resolve to an existing primary key. Checking
+  // here (rather than trusting the files) keeps arbitrary bytes on disk from
+  // producing a silently wrong join graph.
+  std::vector<std::unordered_set<int64_t>> pk_values(
+      static_cast<size_t>(db.num_relations()));
+  for (RelId r = 0; r < db.num_relations(); ++r) {
+    const Relation& rel = db.relation(r);
+    AttrId pk = rel.schema().primary_key();
+    if (pk == kInvalidAttr) continue;
+    auto& seen = pk_values[static_cast<size_t>(r)];
+    for (TupleId t = 0; t < rel.num_tuples(); ++t) {
+      int64_t v = rel.Int(t, pk);
+      if (v == kNullValue) {
+        return Status::InvalidArgument(
+            StrFormat("%s.csv: row %d has a null primary key",
+                      rel.name().c_str(), static_cast<int>(t) + 2));
+      }
+      if (!seen.insert(v).second) {
+        return Status::InvalidArgument(StrFormat(
+            "%s.csv: duplicate primary key value %lld", rel.name().c_str(),
+            static_cast<long long>(v)));
+      }
+    }
+  }
+  for (RelId r = 0; r < db.num_relations(); ++r) {
+    const Relation& rel = db.relation(r);
+    for (AttrId fk : rel.schema().foreign_keys()) {
+      RelId ref = rel.schema().attr(fk).references;
+      if (db.relation(ref).schema().primary_key() == kInvalidAttr) {
+        return Status::InvalidArgument(StrFormat(
+            "%s.%s references relation '%s', which has no primary key",
+            rel.name().c_str(), rel.schema().attr(fk).name.c_str(),
+            db.relation(ref).name().c_str()));
+      }
+      const auto& targets = pk_values[static_cast<size_t>(ref)];
+      for (TupleId t = 0; t < rel.num_tuples(); ++t) {
+        int64_t v = rel.Int(t, fk);
+        if (v == kNullValue) continue;
+        if (targets.find(v) == targets.end()) {
+          return Status::InvalidArgument(StrFormat(
+              "%s.csv: row %d: foreign key %s=%lld has no matching %s row",
+              rel.name().c_str(), static_cast<int>(t) + 2,
+              rel.schema().attr(fk).name.c_str(), static_cast<long long>(v),
+              db.relation(ref).name().c_str()));
+        }
       }
     }
   }

@@ -316,6 +316,7 @@ const char* StatusCodeWireName(StatusCode code) {
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
   }
   return "INTERNAL";
 }

@@ -2,11 +2,24 @@
 
 #include <bit>
 #include <cmath>
+#include <cstring>
 
+#include "common/faultpoint.h"
 #include "common/string_util.h"
 #include "core/classifier.h"
 
 namespace crossmine::serve {
+
+namespace {
+
+// Fault points on the two internal seams of the request path: admission
+// (request parsed, about to queue) and execution (worker about to run the
+// prediction). Both map an injected fault to a clean wire error — the
+// request always gets an answer.
+FaultPoint fp_admit("serve.admit");
+FaultPoint fp_execute("serve.execute");
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // LatencyHistogram
@@ -185,6 +198,15 @@ std::future<std::string> PredictionServer::SubmitAsync(
     return inline_future;
   }
 
+  if (int err = fp_admit.Fire(); err != 0) {
+    c_errors_->Add();
+    inline_promise.set_value(EncodeError(
+        Status::Unavailable(StrFormat("admission failed: %s",
+                                      std::strerror(err))),
+        req.req_id_json));
+    return inline_future;
+  }
+
   Pending p;
   p.admitted = std::chrono::steady_clock::now();
   int64_t deadline_ms =
@@ -300,6 +322,11 @@ void PredictionServer::FinishResponse(Pending* p, std::string response) {
 }
 
 std::string PredictionServer::Execute(const Request& req) const {
+  if (int err = fp_execute.Fire(); err != 0) {
+    return EncodeError(Status::Internal(StrFormat("execution failed: %s",
+                                                  std::strerror(err))),
+                       req.req_id_json);
+  }
   switch (req.verb) {
     case Verb::kPredict:
     case Verb::kPredictBatch:

@@ -5,31 +5,62 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <stdio.h>
 #include <string.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
-#include <thread>
 
+#include "common/faultpoint.h"
 #include "common/string_util.h"
 
 namespace crossmine::serve {
 
 namespace {
 
+// Fault points on the syscall edges of the transport (see
+// common/faultpoint.h for the arming grammar). `tcp.send` honors short-op
+// injection: `tcp.send@1=short:1*64` caps 64 consecutive sends at one byte,
+// which exercises the partial-write loop below.
+FaultPoint fp_accept("tcp.accept");
+FaultPoint fp_accept_poll("tcp.accept.poll");
+FaultPoint fp_conn_read("tcp.conn.read");
+FaultPoint fp_send("tcp.send");
+
+/// Accept-side errnos that mean "this connection (or this moment) is bad,
+/// not the listening socket": keep serving. Resource exhaustion is
+/// transient by nature — fds free up as connections close.
+bool TransientAcceptError(int err) {
+  return err == EINTR || err == ECONNABORTED || err == EAGAIN ||
+         err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM;
+}
+
 /// Writes all of `data` to `fd`, riding out EINTR and partial writes.
-bool WriteAll(int fd, const std::string& data) {
+/// Returns the first hard send error as a Status.
+Status WriteAll(int fd, const std::string& data) {
   size_t off = 0;
   while (off < data.size()) {
-    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    size_t want = data.size() - off;
+    FaultPoint::Action act = fp_send.FireAction();
+    if (act.byte_limit >= 0) {
+      want = std::min(want, static_cast<size_t>(
+                                std::max<int64_t>(1, act.byte_limit)));
+    }
+    ssize_t n;
+    if (act.err != 0) {
+      n = -1;
+      errno = act.err;
+    } else {
+      n = ::send(fd, data.data() + off, want, MSG_NOSIGNAL);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return Status::IoError(StrFormat("send: %s", ::strerror(errno)));
     }
     off += static_cast<size_t>(n);
   }
-  return true;
+  return Status::OK();
 }
 
 }  // namespace
@@ -71,12 +102,33 @@ Status TcpServer::ServeUntilShutdown(ShutdownNotifier* shutdown) {
   if (listen_fd_ < 0) {
     return Status::FailedPrecondition("Listen first");
   }
+  Status status = AcceptLoop(shutdown);
+
+  // Graceful drain — also on the error path, so an accept-side failure can
+  // never leak a connection thread: stop accepting (nothing new can
+  // connect), answer every admitted request, then unblock the readers so
+  // their clients see EOF, and join every thread.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  server_->Drain();
+  JoinAll();
+  return status;
+}
+
+Status TcpServer::AcceptLoop(ShutdownNotifier* shutdown) {
   while (!shutdown->requested()) {
     pollfd fds[2] = {
         {listen_fd_, POLLIN, 0},
         {shutdown->wake_fd(), POLLIN, 0},
     };
-    int r = ::poll(fds, 2, -1);
+    int perr = fp_accept_poll.Fire();
+    int r;
+    if (perr != 0) {
+      r = -1;
+      errno = perr;
+    } else {
+      r = ::poll(fds, 2, -1);
+    }
     if (r < 0) {
       if (errno == EINTR) continue;  // signal: loop re-checks requested()
       return Status::IoError(StrFormat("poll: %s", ::strerror(errno)));
@@ -84,45 +136,130 @@ Status TcpServer::ServeUntilShutdown(ShutdownNotifier* shutdown) {
     if (fds[1].revents != 0 || shutdown->requested()) break;
     if ((fds[0].revents & POLLIN) == 0) continue;
 
-    int conn = ::accept(listen_fd_, nullptr, nullptr);
+    int aerr = fp_accept.Fire();
+    int conn;
+    if (aerr != 0) {
+      conn = -1;
+      errno = aerr;
+    } else {
+      conn = ::accept(listen_fd_, nullptr, nullptr);
+    }
     if (conn < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // A simulated failure leaves the pending connection in the backlog;
+      // the next iteration picks it up — exactly how a real transient
+      // error resolves.
+      if (TransientAcceptError(errno)) {
+        std::fprintf(stderr, "[tcp] accept: %s (transient, continuing)\n",
+                     ::strerror(errno));
+        continue;
+      }
       return Status::IoError(StrFormat("accept: %s", ::strerror(errno)));
     }
     int one = 1;
     ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    {
-      std::lock_guard<std::mutex> lock(conn_mu_);
-      conn_fds_.push_back(conn);
-      ++active_conns_;
-    }
-    // Detached reader: exit is observed through `active_conns_`, and the
-    // drain below force-unblocks it via shutdown(2) on its socket — so the
-    // thread can never outlive ServeUntilShutdown.
-    std::thread([this, conn] { ConnectionLoop(conn); }).detach();
-  }
 
-  // Graceful drain: stop accepting (nothing new can connect), answer every
-  // admitted request, then unblock the readers so their clients see EOF.
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  server_->Drain();
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    // Reap before the capacity check so connections that already finished
+    // free their slots for this accept.
+    ReapFinished();
+    bool shed = false;
+    if (options_.max_connections > 0) {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      shed = conns_.size() >= static_cast<size_t>(options_.max_connections);
+    }
+    if (shed) {
+      // Shed: one parseable error line, then close. The client's retry
+      // policy takes it from here.
+      Status st = WriteAll(
+          conn, EncodeError(Status::ResourceExhausted(
+                                StrFormat("server at max_connections=%d",
+                                          options_.max_connections)),
+                            "") +
+                    "\n");
+      (void)st;  // best effort — the shed path owes the client nothing
+      ::close(conn);
+      continue;
+    }
+
+    auto c = std::make_unique<Conn>();
+    Conn* raw = c.get();
+    raw->fd = conn;
+    {
+      // Push and thread-start under one lock: ReapFinished can otherwise
+      // observe done==true and destroy the Conn before `thread` is
+      // assigned (a connection can finish arbitrarily fast).
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conns_.push_back(std::move(c));
+      raw->thread = std::thread([this, raw] { ConnectionLoop(raw); });
+    }
   }
-  std::unique_lock<std::mutex> lock(conn_mu_);
-  conn_cv_.wait(lock, [this] { return active_conns_ == 0; });
   return Status::OK();
 }
 
-void TcpServer::ConnectionLoop(int fd) {
+void TcpServer::ReapFinished() {
+  std::vector<std::unique_ptr<Conn>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    auto mid = std::stable_partition(
+        conns_.begin(), conns_.end(),
+        [](const std::unique_ptr<Conn>& c) {
+          return !c->done.load(std::memory_order_acquire);
+        });
+    for (auto it = mid; it != conns_.end(); ++it) {
+      finished.push_back(std::move(*it));
+    }
+    conns_.erase(mid, conns_.end());
+  }
+  // done==true means the thread is past its last shared access; the join
+  // outside the lock completes almost immediately.
+  for (auto& c : finished) {
+    if (c->thread.joinable()) c->thread.join();
+  }
+}
+
+void TcpServer::JoinAll() {
+  std::vector<std::unique_ptr<Conn>> all;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    // Force-unblock live readers. Closed connections hold fd == -1 (set
+    // under conn_mu_), so this can never shutdown(2) a reused descriptor.
+    for (auto& c : conns_) {
+      if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
+    }
+    all.swap(conns_);
+  }
+  for (auto& c : all) {
+    if (c->thread.joinable()) c->thread.join();
+  }
+}
+
+void TcpServer::ConnectionLoop(Conn* conn) {
+  const int fd = conn->fd;
   const size_t max_line = server_->options().limits.max_line_bytes;
+  const int idle_ms =
+      options_.idle_timeout_ms > 0 ? options_.idle_timeout_ms : -1;
   std::string buffer;
   char chunk[4096];
   bool open = true;
   while (open) {
-    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    // Idle read deadline: a client that connects and then goes silent
+    // releases its thread after idle_timeout_ms instead of holding it
+    // forever.
+    pollfd pfd = {fd, POLLIN, 0};
+    int r = ::poll(&pfd, 1, idle_ms);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (r == 0) break;  // idle deadline: close; the client sees EOF
+
+    int rerr = fp_conn_read.Fire();
+    ssize_t n;
+    if (rerr != 0) {
+      n = -1;
+      errno = rerr;
+    } else {
+      n = ::read(fd, chunk, sizeof(chunk));
+    }
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
     buffer.append(chunk, static_cast<size_t>(n));
@@ -135,7 +272,12 @@ void TcpServer::ConnectionLoop(int fd) {
       if (line.empty()) continue;
       std::string response = server_->Submit(line);
       response.push_back('\n');
-      if (!WriteAll(fd, response)) {
+      Status wst = WriteAll(fd, response);
+      if (!wst.ok()) {
+        // The response cannot be delivered (client gone, injected fault):
+        // the stream is unrecoverable mid-response, so log and close.
+        std::fprintf(stderr, "[tcp] response write failed, closing: %s\n",
+                     wst.ToString().c_str());
         open = false;
         break;
       }
@@ -143,23 +285,27 @@ void TcpServer::ConnectionLoop(int fd) {
     buffer.erase(0, start);
     if (buffer.size() > max_line) {
       // A line that long can never parse; the stream cannot be resynced.
-      WriteAll(fd,
-               EncodeError(Status::InvalidArgument(StrFormat(
-                               "request line exceeds %zu bytes", max_line)),
-                           "") +
-                   "\n");
+      Status wst =
+          WriteAll(fd,
+                   EncodeError(Status::InvalidArgument(StrFormat(
+                                   "request line exceeds %zu bytes", max_line)),
+                               "") +
+                       "\n");
+      if (!wst.ok()) {
+        std::fprintf(stderr, "[tcp] response write failed, closing: %s\n",
+                     wst.ToString().c_str());
+      }
       break;
     }
   }
   {
-    // Deregister before close so the drain path can never shutdown(2) a
-    // closed-and-reused descriptor.
+    // Close under the lock and mark the fd dead so JoinAll can never
+    // shutdown(2) a closed-and-reused descriptor.
     std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_fds_.erase(std::find(conn_fds_.begin(), conn_fds_.end(), fd));
+    ::close(fd);
+    conn->fd = -1;
   }
-  ::close(fd);
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  if (--active_conns_ == 0) conn_cv_.notify_all();
+  conn->done.store(true, std::memory_order_release);
 }
 
 }  // namespace crossmine::serve

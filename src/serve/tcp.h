@@ -1,9 +1,11 @@
 #ifndef CROSSMINE_SERVE_TCP_H_
 #define CROSSMINE_SERVE_TCP_H_
 
-#include <condition_variable>
+#include <atomic>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/shutdown.h"
@@ -11,6 +13,19 @@
 #include "serve/server.h"
 
 namespace crossmine::serve {
+
+/// Transport-level limits. Zero means "unlimited / no deadline" — the
+/// behavior of the server before these knobs existed.
+struct TcpOptions {
+  /// Close a connection that has had no readable bytes for this long.
+  /// Protects the per-connection threads from clients that connect and
+  /// then hang forever. 0 = never time out.
+  int idle_timeout_ms = 0;
+  /// Maximum concurrently open connections. Excess connections get one
+  /// RESOURCE_EXHAUSTED error line and are closed immediately, which a
+  /// well-behaved client treats as a retry-after-backoff signal. 0 = no cap.
+  int max_connections = 0;
+};
 
 /// Thin TCP shell over `PredictionServer::Submit`: accepts connections on a
 /// listening socket, reads newline-delimited request lines, and writes one
@@ -22,9 +37,14 @@ namespace crossmine::serve {
 /// One thread per connection: the expected client population is a handful
 /// of batching load generators / application frontends, not millions of
 /// idle sockets, and a blocked `Submit` already parks the thread cheaply.
+/// Connection threads are joinable and tracked in a registry; finished
+/// threads are reaped from the accept loop, and every exit path of
+/// `ServeUntilShutdown` (clean shutdown or accept-side error) joins all of
+/// them before returning, so no thread ever outlives the server.
 class TcpServer {
  public:
-  explicit TcpServer(PredictionServer* server) : server_(server) {}
+  explicit TcpServer(PredictionServer* server, TcpOptions options = {})
+      : server_(server), options_(options) {}
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -40,20 +60,34 @@ class TcpServer {
   /// Accept loop. Blocks until `shutdown` fires, then performs the
   /// graceful-drain sequence: stop accepting, drain the prediction server
   /// (every admitted request answers), unblock and join every connection,
-  /// and return. The caller flushes the final metrics snapshot.
+  /// and return. The caller flushes the final metrics snapshot. The same
+  /// drain-and-join runs before returning an accept-side error, so the
+  /// server never leaks a connection thread.
   Status ServeUntilShutdown(ShutdownNotifier* shutdown);
 
  private:
-  void ConnectionLoop(int fd);
+  /// One live (or finished-but-unreaped) connection.
+  struct Conn {
+    int fd = -1;                  // -1 once the loop has closed it
+    std::thread thread;
+    std::atomic<bool> done{false};  // set just before the thread returns
+  };
+
+  Status AcceptLoop(ShutdownNotifier* shutdown);
+  void ConnectionLoop(Conn* conn);
+  /// Joins and discards finished connection threads (called while accepting
+  /// so the registry stays bounded by the number of *live* connections).
+  void ReapFinished();
+  /// Unblocks every live connection and joins all threads.
+  void JoinAll();
 
   PredictionServer* const server_;
+  const TcpOptions options_;
   int listen_fd_ = -1;
   int port_ = 0;
 
   std::mutex conn_mu_;
-  std::condition_variable conn_cv_;
-  std::vector<int> conn_fds_;  // open connections, guarded by conn_mu_
-  int active_conns_ = 0;       // guarded by conn_mu_
+  std::vector<std::unique_ptr<Conn>> conns_;  // guarded by conn_mu_
 };
 
 }  // namespace crossmine::serve

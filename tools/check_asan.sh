@@ -6,6 +6,10 @@
 # lifetimes across drain, and the connection-teardown ordering. Also runs
 # the IdSetStore suite: the arena store's in-place compaction and span
 # aliasing are exactly the kind of offset arithmetic ASan exists for.
+# The corruption and fault suites ride along so every rejected corrupt
+# input and every injected failure path is also memory-clean: an
+# out-of-bounds parse of hostile bytes is a failure even when it does not
+# crash the unsanitized build.
 #
 # Usage: tools/check_asan.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -15,14 +19,16 @@ BUILD_DIR="${1:-build-asan}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Asan
 cmake --build "$BUILD_DIR" -j \
-  --target protocol_test serve_test idset_store_test crossmine_cli \
-  serve_client
+  --target protocol_test serve_test idset_store_test csv_corruption_test \
+  fault_matrix_test crossmine_cli serve_client
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="halt_on_error=1 ${UBSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/protocol_test
 "$BUILD_DIR"/tests/serve_test
 "$BUILD_DIR"/tests/idset_store_test
+"$BUILD_DIR"/tests/csv_corruption_test
+"$BUILD_DIR"/tests/fault_matrix_test
 bash tools/check_serve_smoke.sh \
   "$BUILD_DIR"/tools/crossmine "$BUILD_DIR"/tools/serve_client
 

@@ -2,7 +2,9 @@
 # Builds the parallel-search tests under ThreadSanitizer and runs them.
 # A standing race detector for the clause-search worker pool: any data race
 # in ThreadPool, the per-worker LiteralSearcher scratch, or the shared
-# propagation cache fails this script.
+# propagation cache fails this script. The fault-matrix suite rides along
+# for the connection-thread registry: accept-side reaping, shutdown-side
+# joining, and injected mid-connection failures all racing one another.
 #
 # Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -13,12 +15,13 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Tsan
 cmake --build "$BUILD_DIR" -j \
   --target parallel_search_test clause_builder_test serve_test \
-  idset_store_test
+  idset_store_test fault_matrix_test
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/parallel_search_test
 "$BUILD_DIR"/tests/clause_builder_test
 "$BUILD_DIR"/tests/serve_test
 "$BUILD_DIR"/tests/idset_store_test
+"$BUILD_DIR"/tests/fault_matrix_test
 
 echo "check_tsan: OK (no races reported)"

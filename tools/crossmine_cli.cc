@@ -26,6 +26,7 @@
 
 #include "baselines/foil.h"
 #include "baselines/tilde.h"
+#include "common/faultpoint.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "core/classifier.h"
@@ -62,6 +63,7 @@ int Usage() {
       "  crossmine explain <dir> <model-file> <tuple-id>\n"
       "  crossmine serve <dir> <model-file>... [--port N] [--threads N]\n"
       "                  [--max-queue N] [--batch-size N] [--deadline-ms N]\n"
+      "                  [--idle-timeout-ms N] [--max-connections N]\n"
       "                  [--report text|json]\n"
       "\n"
       "serve: answers newline-delimited JSON requests (predict,\n"
@@ -69,7 +71,14 @@ int Usage() {
       "  (default: ephemeral; the bound port is printed on startup).\n"
       "  Models are registered under their file stem; the first is the\n"
       "  default. SIGINT/SIGTERM drains in-flight requests and prints a\n"
-      "  final metrics snapshot.\n"
+      "  final metrics snapshot. --idle-timeout-ms closes connections\n"
+      "  with no readable bytes for that long; --max-connections sheds\n"
+      "  excess connections with RESOURCE_EXHAUSTED (0 = unlimited).\n"
+      "\n"
+      "fault injection (any subcommand, for failure testing):\n"
+      "  --fault-plan \"point[@hit]=action[*count];...\"  arm named fault\n"
+      "  points, e.g. \"model_io.save.rename@1=EIO\". Also read from the\n"
+      "  CROSSMINE_FAULT_PLAN environment variable.\n"
       "\n"
       "model options (evaluate / train):\n"
       "  --sampling             enable negative sampling (off by default)\n"
@@ -516,7 +525,12 @@ int Serve(int argc, char** argv) {
     std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  serve::TcpServer tcp(&server);
+  serve::TcpOptions tcp_opts;
+  tcp_opts.idle_timeout_ms =
+      static_cast<int>(OptInt(opts, "idle-timeout-ms", 0));
+  tcp_opts.max_connections =
+      static_cast<int>(OptInt(opts, "max-connections", 0));
+  serve::TcpServer tcp(&server, tcp_opts);
   st = tcp.Listen(static_cast<int>(OptInt(opts, "port", 0)));
   if (!st.ok()) {
     std::fprintf(stderr, "listen failed: %s\n", st.ToString().c_str());
@@ -549,6 +563,26 @@ int Serve(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  // Global fault-injection hook, honored by every subcommand (see
+  // common/faultpoint.h for the plan grammar). Applied before dispatch so
+  // points arm ahead of any I/O; a malformed plan is a usage error.
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--fault-plan") == 0) {
+      Status st = FaultRegistry::Instance().ApplyPlan(argv[i + 1]);
+      if (!st.ok()) {
+        std::fprintf(stderr, "bad --fault-plan: %s\n", st.ToString().c_str());
+        return 2;
+      }
+    }
+  }
+  {
+    Status st = FaultRegistry::Instance().ApplyPlanFromEnv();
+    if (!st.ok()) {
+      std::fprintf(stderr, "bad CROSSMINE_FAULT_PLAN: %s\n",
+                   st.ToString().c_str());
+      return 2;
+    }
+  }
   std::string command = argv[1];
   if (command == "generate") return Generate(argc, argv);
   if (command == "inspect") return Inspect(argc, argv);

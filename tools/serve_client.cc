@@ -59,6 +59,7 @@ struct ClientOptions {
   int batch = 8;             // predict_batch size in the mix
   long long deadline_ms = 0; // per-request deadline field (0 = absent)
   double qps = 0;            // >0 switches to open loop at this total rate
+  int retries = 4;           // per-attempt retry budget (0 = no retries)
   bool json = false;
   bool dump = false;
   uint64_t seed = 1;
@@ -72,6 +73,7 @@ struct Tally {
   long long unavailable = 0;
   long long hard_errors = 0;  // anything else with ok:false
   long long dropped = 0;      // sent but never answered (drain/EOF)
+  long long retries = 0;      // backoff-retried connects / shed requests
 };
 
 int Usage() {
@@ -79,14 +81,18 @@ int Usage() {
                "usage: serve_client --port N [--host H] [--requests N]\n"
                "                    [--connections C] [--ids K] [--batch B]\n"
                "                    [--deadline-ms D] [--qps R] [--seed S]\n"
-               "                    [--json] [--dump]\n");
+               "                    [--retries N] [--json] [--dump]\n");
   return 2;
 }
 
-/// Blocking line-oriented client connection.
+/// Blocking line-oriented client connection. Open() is re-entrant: it
+/// discards any previous socket and buffered bytes, so a lost connection
+/// can be reopened in place.
 class Connection {
  public:
   bool Open(const std::string& host, int port) {
+    if (fd_ >= 0) ::close(fd_);
+    buffer_.clear();
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) return false;
     sockaddr_in addr = {};
@@ -94,6 +100,10 @@ class Connection {
     addr.sin_port = htons(static_cast<uint16_t>(port));
     if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return false;
     if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      int saved = errno;
+      ::close(fd_);
+      fd_ = -1;
+      errno = saved;
       return false;
     }
     int one = 1;
@@ -189,6 +199,42 @@ std::string BuildRequest(const ClientOptions& opt, long long index,
   return req;
 }
 
+/// Capped exponential backoff with seeded jitter: attempt 1 centers on
+/// ~5 ms, doubling up to a 200 ms cap; the actual sleep draws uniformly
+/// from [base/2, base] so synchronized clients desynchronize. Deterministic
+/// given the rng state — reruns with the same --seed back off identically.
+void SleepBackoff(int attempt, uint64_t* rng) {
+  double base = std::min(200.0, 5.0 * std::pow(2.0, attempt - 1));
+  double ms = base / 2 +
+              (base / 2) * (static_cast<double>(NextRand(rng) % 1024) / 1023.0);
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Opens with retries on ECONNREFUSED (server still binding, or briefly
+/// gone). Any other connect failure is immediately fatal.
+bool OpenWithRetry(Connection* conn, const ClientOptions& opt, uint64_t* rng,
+                   long long* retries) {
+  for (int attempt = 0;; ++attempt) {
+    if (conn->Open(opt.host, opt.port)) return true;
+    if (errno != ECONNREFUSED || attempt >= opt.retries) return false;
+    ++*retries;
+    SleepBackoff(attempt + 1, rng);
+  }
+}
+
+/// True for a well-formed RESOURCE_EXHAUSTED error response — the server
+/// shedding load, which a retry after backoff is expected to resolve.
+bool IsShedResponse(const std::string& line) {
+  StatusOr<JsonValue> parsed = serve::ParseJson(line);
+  if (!parsed.ok() || parsed->kind != JsonValue::Kind::kObject) return false;
+  const JsonValue* ok = parsed->Find("ok");
+  if (ok == nullptr || ok->kind != JsonValue::Kind::kBool || ok->boolean) {
+    return false;
+  }
+  const JsonValue* code = parsed->Find("code");
+  return code != nullptr && code->string == "RESOURCE_EXHAUSTED";
+}
+
 /// Classifies one response line into the tally (latency recorded by caller).
 void Classify(const std::string& line, Tally* tally) {
   StatusOr<JsonValue> parsed = serve::ParseJson(line);
@@ -218,29 +264,58 @@ void Classify(const std::string& line, Tally* tally) {
   }
 }
 
-/// Closed loop: send, wait for the response, repeat.
+/// Closed loop: send, wait for the response, repeat. Shed responses and
+/// lost connections retry with backoff (a shed at max_connections closes
+/// the socket, so the retry path reconnects first).
 void RunClosedLoop(const ClientOptions& opt, int conn_index,
                    long long num_requests, Tally* tally) {
+  uint64_t rng = opt.seed * 0x9E3779B97F4A7C15ULL +
+                 static_cast<uint64_t>(conn_index) + 1;
+  uint64_t backoff_rng = rng ^ 0xD1B54A32D192ED03ULL;
   Connection conn;
-  if (!conn.Open(opt.host, opt.port)) {
+  if (!OpenWithRetry(&conn, opt, &backoff_rng, &tally->retries)) {
     tally->hard_errors += num_requests;
     return;
   }
-  uint64_t rng = opt.seed * 0x9E3779B97F4A7C15ULL +
-                 static_cast<uint64_t>(conn_index) + 1;
   std::string response;
+  bool connected = true;
   for (long long i = 0; i < num_requests; ++i) {
     std::string request = BuildRequest(opt, i, &rng);
-    auto t0 = std::chrono::steady_clock::now();
-    if (!conn.Send(request) || !conn.Recv(&response)) {
-      tally->dropped += num_requests - i;
-      return;
+    int attempt = 0;
+    for (;;) {
+      if (!connected) {
+        if (attempt >= opt.retries ||
+            !OpenWithRetry(&conn, opt, &backoff_rng, &tally->retries)) {
+          tally->dropped += num_requests - i;
+          return;
+        }
+        connected = true;
+      }
+      auto t0 = std::chrono::steady_clock::now();
+      if (!conn.Send(request) || !conn.Recv(&response)) {
+        connected = false;
+        if (attempt >= opt.retries) {
+          tally->dropped += num_requests - i;
+          return;
+        }
+        ++attempt;
+        ++tally->retries;
+        SleepBackoff(attempt, &backoff_rng);
+        continue;
+      }
+      double ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+      tally->latencies_ms.push_back(ms);
+      if (IsShedResponse(response) && attempt < opt.retries) {
+        ++attempt;
+        ++tally->retries;
+        SleepBackoff(attempt, &backoff_rng);
+        continue;
+      }
+      Classify(response, tally);
+      break;
     }
-    double ms = std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
-    tally->latencies_ms.push_back(ms);
-    Classify(response, tally);
   }
 }
 
@@ -250,8 +325,13 @@ void RunClosedLoop(const ClientOptions& opt, int conn_index,
 /// instead of silently slowing the generator down.
 void RunOpenLoop(const ClientOptions& opt, int conn_index,
                  long long num_requests, Tally* tally) {
+  uint64_t backoff_rng = (opt.seed * 0x9E3779B97F4A7C15ULL +
+                          static_cast<uint64_t>(conn_index) + 1) ^
+                         0xD1B54A32D192ED03ULL;
   Connection conn;
-  if (!conn.Open(opt.host, opt.port)) {
+  // Connect-only retry: once the paced stream is running, a retry would
+  // distort the schedule, so in-flight failures stay dropped/shed.
+  if (!OpenWithRetry(&conn, opt, &backoff_rng, &tally->retries)) {
     tally->hard_errors += num_requests;
     return;
   }
@@ -304,18 +384,36 @@ void RunOpenLoop(const ClientOptions& opt, int conn_index,
 
 /// --dump: predictions for ids 0..K-1 in `crossmine predict` stdout format.
 int RunDump(const ClientOptions& opt) {
+  uint64_t backoff_rng = (opt.seed * 0x9E3779B97F4A7C15ULL + 1) ^
+                         0xD1B54A32D192ED03ULL;
+  long long retries = 0;
   Connection conn;
-  if (!conn.Open(opt.host, opt.port)) {
+  if (!OpenWithRetry(&conn, opt, &backoff_rng, &retries)) {
     std::fprintf(stderr, "serve_client: cannot connect to %s:%d\n",
                  opt.host.c_str(), opt.port);
     return 1;
   }
   std::string response;
   for (long long id = 0; id < opt.ids; ++id) {
-    if (!conn.Send(StrFormat("{\"verb\":\"predict\",\"id\":%lld}", id)) ||
-        !conn.Recv(&response)) {
-      std::fprintf(stderr, "serve_client: connection lost at id %lld\n", id);
-      return 1;
+    int attempt = 0;
+    for (;;) {
+      bool alive = conn.Send(
+                       StrFormat("{\"verb\":\"predict\",\"id\":%lld}", id)) &&
+                   conn.Recv(&response);
+      if (alive && !IsShedResponse(response)) break;
+      if (attempt >= opt.retries) {
+        std::fprintf(stderr, "serve_client: %s at id %lld\n",
+                     alive ? "shed persisted" : "connection lost", id);
+        return 1;
+      }
+      ++attempt;
+      ++retries;
+      SleepBackoff(attempt, &backoff_rng);
+      if (!alive && !OpenWithRetry(&conn, opt, &backoff_rng, &retries)) {
+        std::fprintf(stderr, "serve_client: connection lost at id %lld\n",
+                     id);
+        return 1;
+      }
     }
     StatusOr<JsonValue> parsed = serve::ParseJson(response);
     if (!parsed.ok()) {
@@ -369,6 +467,8 @@ int main(int argc, char** argv) {
       opt.deadline_ms = v;
     } else if (key == "--qps" && ParseDouble(next(), &d)) {
       opt.qps = d;
+    } else if (key == "--retries" && ParseInt64(next(), &v)) {
+      opt.retries = static_cast<int>(std::max<int64_t>(0, v));
     } else if (key == "--seed" && ParseInt64(next(), &v)) {
       opt.seed = static_cast<uint64_t>(v);
     } else if (key == "--json") {
@@ -409,6 +509,7 @@ int main(int argc, char** argv) {
     total.unavailable += t.unavailable;
     total.hard_errors += t.hard_errors;
     total.dropped += t.dropped;
+    total.retries += t.retries;
     total.latencies_ms.insert(total.latencies_ms.end(),
                               t.latencies_ms.begin(), t.latencies_ms.end());
   }
@@ -425,21 +526,21 @@ int main(int argc, char** argv) {
         "{\"bench\":\"serve_client\",\"requests\":%lld,\"connections\":%d,"
         "\"open_loop\":%s,\"answered\":%lld,\"ok\":%lld,\"sheds\":%lld,"
         "\"deadline_exceeded\":%lld,\"unavailable\":%lld,\"errors\":%lld,"
-        "\"dropped\":%lld,\"wall_ms\":%.3f,\"qps\":%.1f,\"p50_ms\":%.3f,"
-        "\"p90_ms\":%.3f,\"p99_ms\":%.3f,\"max_ms\":%.3f}\n",
+        "\"dropped\":%lld,\"retries\":%lld,\"wall_ms\":%.3f,\"qps\":%.1f,"
+        "\"p50_ms\":%.3f,\"p90_ms\":%.3f,\"p99_ms\":%.3f,\"max_ms\":%.3f}\n",
         opt.requests, opt.connections, opt.qps > 0 ? "true" : "false",
         answered, total.ok, total.sheds, total.deadline_exceeded,
-        total.unavailable, total.hard_errors, total.dropped, wall_ms, qps,
-        p50, p90, p99, max);
+        total.unavailable, total.hard_errors, total.dropped, total.retries,
+        wall_ms, qps, p50, p90, p99, max);
   } else {
     std::printf(
         "%lld requests over %d connections in %.1f ms (%.1f answered/s)\n"
         "  ok %lld, sheds %lld, deadline_exceeded %lld, unavailable %lld, "
-        "errors %lld, dropped %lld\n"
+        "errors %lld, dropped %lld, retries %lld\n"
         "  latency ms: p50 %.3f  p90 %.3f  p99 %.3f  max %.3f\n",
         opt.requests, opt.connections, wall_ms, qps, total.ok, total.sheds,
         total.deadline_exceeded, total.unavailable, total.hard_errors,
-        total.dropped, p50, p90, p99, max);
+        total.dropped, total.retries, p50, p90, p99, max);
   }
   return total.hard_errors == 0 ? 0 : 1;
 }
