@@ -145,6 +145,33 @@ void BenchStoreUnion(const char* name, uint32_t fanout) {
   bench::EmitJsonLine(name, fanout, ms, 1);
 }
 
+/// Per-join-value merge via the word-parallel AssignUnionOfSets kernel —
+/// the PropagateIds inner loop after the bitmap-index change: span dedup,
+/// then OR of bitmap spans / scatter of sparse spans, no gather and no
+/// sort. Compare against store_union_f (gather + AssignUnion) and
+/// idset_union_f (the old vector-of-vectors merge).
+void BenchStoreUnionKernel(const char* name, uint32_t fanout) {
+  constexpr size_t kSets = 4096;
+  constexpr TupleId kUniverse = 8192;
+  IdSetStore sets = StoreFromIdSets(MakeSets(11, kSets, kUniverse, fanout),
+                                    kUniverse);
+  IdSetStore out;
+  UnionScratch scratch;
+  std::vector<TupleId> group(8);
+  double ms = bench::BestWallMs([&] {
+    out.Reset(kSets / 8, kUniverse);
+    uint64_t total = 0;
+    for (uint32_t base = 0; base + 8 <= kSets; base += 8) {
+      for (uint32_t j = 0; j < 8; ++j) group[j] = base + j;
+      total += out.AssignUnionOfSets(base / 8, sets, group.data(), 8, nullptr,
+                                     nullptr, /*use_bitmap_kernel=*/true,
+                                     &scratch);
+    }
+    DoNotOptimize(total);
+  });
+  bench::EmitJsonLine(name, fanout, ms, 1);
+}
+
 /// Alive-filter via in-place FilterAndCompact on a copied store (the
 /// RefreshPropagation pass).
 void BenchStoreFilter(const char* name, uint32_t fanout) {
@@ -233,6 +260,7 @@ int RunAll(bool full) {
     BenchFilter("idset_filter_f", fanout);
     BenchScan("idset_scan_f", fanout);
     BenchStoreUnion("store_union_f", fanout);
+    BenchStoreUnionKernel("store_union_kernel_f", fanout);
     BenchStoreFilter("store_filter_f", fanout);
     BenchStoreScan("store_scan_f", fanout);
   }

@@ -95,6 +95,9 @@ void TouchStandardTrainMetrics(MetricsRegistry* registry) {
   registry->counter("train.clauses_built");
   registry->counter("train.literals_scored");
   registry->counter("train.literals_accepted");
+  registry->timer("train.index.build_seconds");
+  registry->counter("train.index.bytes");
+  registry->counter("train.index.hits");
 }
 
 void TouchStandardPredictMetrics(MetricsRegistry* registry) {

@@ -63,6 +63,10 @@ Status CrossMineClassifier::Train(const Database& db,
   if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
 
   // One-vs-rest: learn clauses for every class (§5.3).
+  double index_seconds_before = 0.0;
+  for (RelId r = 0; r < db.num_relations(); ++r) {
+    index_seconds_before += db.relation(r).attr_index_build_seconds();
+  }
   Rng rng(options_.seed);
   for (ClassId cls = 0; cls < num_classes_; ++cls) {
     if (class_count[static_cast<size_t>(cls)] == 0) continue;
@@ -71,6 +75,20 @@ Status CrossMineClassifier::Train(const Database& db,
       if (db.labels()[id] == cls) positive[id] = 1;
     }
     TrainOneClass(db, cls, positive, in_train, rng.Next(), pool.get());
+  }
+  if (metrics_ != nullptr) {
+    // AttrIndexes are built at most once per relation version and live on
+    // the database, so report the *delta* of the cumulative build time
+    // (repeat Train calls on warm indexes add zero) and the peak footprint.
+    double index_seconds = 0.0;
+    uint64_t index_bytes = 0;
+    for (RelId r = 0; r < db.num_relations(); ++r) {
+      index_seconds += db.relation(r).attr_index_build_seconds();
+      index_bytes += db.relation(r).attr_index_bytes();
+    }
+    metrics_->timer("train.index.build_seconds")
+        ->AddSeconds(index_seconds - index_seconds_before);
+    metrics_->counter("train.index.bytes")->MaxWith(index_bytes);
   }
 
   // §5.3: estimate each clause's accuracy by predicting on the training

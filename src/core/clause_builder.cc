@@ -66,8 +66,11 @@ void ClauseBuilder::WarmIndexes() const {
       switch (rel.schema().attr(a).kind) {
         case AttrKind::kPrimaryKey:
         case AttrKind::kForeignKey:
+          rel.GetHashIndex(a);
+          break;
         case AttrKind::kCategorical:
           rel.GetHashIndex(a);
+          if (opts_->use_bitmap_index) rel.GetAttrIndex(a);
           break;
         case AttrKind::kNumerical:
           if (opts_->use_numerical_literals) rel.GetSortedIndex(a);
@@ -179,8 +182,9 @@ std::shared_ptr<const PropagationResult> ClauseBuilder::GetPropagation(
   }
 
   Stopwatch prop_watch;
-  auto fresh = std::make_shared<PropagationResult>(PropagateIds(
-      *db_, edge, src, &alive_, opts_->propagation_limits, scratch));
+  auto fresh = std::make_shared<PropagationResult>(
+      PropagateIds(*db_, edge, src, &alive_, opts_->propagation_limits,
+                   scratch, opts_->use_bitmap_index));
   if (prop_time_ != nullptr) {
     prop_time_->AddSeconds(prop_watch.ElapsedSeconds());
   }
@@ -236,9 +240,12 @@ ClauseBuilder::BestChoice ClauseBuilder::FindBestLiteral() {
     LiteralSearcher& searcher = searchers_[static_cast<size_t>(worker)];
     if (t.edge < 0) {
       // Hop 0: constraint on the active node itself (empty prop-path).
+      // Node 0 is the target relation, whose store stays the identity
+      // (`idset(t) = {t}` iff alive) through every FilterAndCompact.
       const ClauseNode& node = clause_.nodes()[static_cast<size_t>(t.node)];
-      scored[i] = searcher.FindBest(
-          node.relation, node_idsets_[static_cast<size_t>(t.node)], *opts_);
+      scored[i] = searcher.FindBest(node.relation,
+                                    node_idsets_[static_cast<size_t>(t.node)],
+                                    *opts_, /*identity_idsets=*/t.node == 0);
     } else if (t.edge2 < 0) {
       // Hop 1: one propagation along a join edge leaving the node.
       const JoinEdge& edge = edges[static_cast<size_t>(t.edge)];
@@ -342,7 +349,8 @@ void ClauseBuilder::Append(const BestChoice& choice) {
   const Relation& rel =
       db_->relation(clause_.nodes()[static_cast<size_t>(cnode)].relation);
   ApplyConstraint(rel, added.constraint, alive_,
-                  &node_idsets_[static_cast<size_t>(cnode)], &satisfied_);
+                  &node_idsets_[static_cast<size_t>(cnode)], &satisfied_,
+                  opts_->use_bitmap_index);
   for (size_t id = 0; id < alive_.size(); ++id) {
     alive_[id] = alive_[id] && satisfied_[id];
   }

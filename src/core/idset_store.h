@@ -5,9 +5,20 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "core/bitmap_ops.h"
 #include "relational/types.h"
 
 namespace crossmine {
+
+/// Reusable working memory for `IdSetStore::AssignUnionOfSets`: the span
+/// dedup list and the sparse-path merge buffer. One scratch per worker lane
+/// keeps the hot union path allocation-free after warm-up.
+struct UnionScratch {
+  /// (kind<<32 | arena offset, cardinality) per contributing span.
+  std::vector<std::pair<uint64_t, uint32_t>> spans;
+  /// gathered ids for the sparse (sort+dedup) path
+  std::vector<TupleId> merge;
+};
 
 /// Owns every idset of one propagation result in pooled arena storage.
 ///
@@ -66,18 +77,41 @@ class IdSetStore {
   /// Sets `idset(s) = {id}`.
   void AssignSingle(uint32_t s, TupleId id);
   /// Sets `idset(s)` to the union of the (possibly unsorted, duplicated)
-  /// ids in `*buf` — the per-join-value merge of PropagateIds. `*buf` is
-  /// normalized in place as a side effect. Already-sorted input (the
-  /// single-contributor fast path) skips the sort.
+  /// ids in `*buf`. Buffers past the bitmap threshold scatter straight into
+  /// a dense bitmap (no sort; the popcount is the cardinality); smaller
+  /// buffers are normalized in `*buf` as a side effect, skipping the sort
+  /// for already-sorted input (the single-contributor fast path).
   void AssignUnion(uint32_t s, std::vector<TupleId>* buf);
+  /// Sets `idset(s)` to `∪ { src.idset(t) : t ∈ src_sets } ∩ alive` — the
+  /// per-join-value merge of PropagateIds, fused with the alive filter.
+  /// With `use_bitmap_kernel` set, inputs that are bitmap-heavy (any
+  /// bitmap-kind contributor, or summed cardinality past the bitmap
+  /// threshold) are merged word-parallel: contributing spans are
+  /// deduplicated (aliased sets contribute once), bitmap spans OR in and
+  /// sparse spans scatter, then one AND with `alive_words` and one
+  /// popcount — no gather, no sort. Otherwise ids are gathered (filtering
+  /// on the `alive` byte mask) and sorted as before.
+  /// `alive` and `alive_words` are the same mask in both encodings (both
+  /// null for no filtering). Returns the new cardinality.
+  uint32_t AssignUnionOfSets(uint32_t s, const IdSetStore& src,
+                             const TupleId* src_sets, uint32_t n,
+                             const std::vector<uint8_t>* alive,
+                             const uint64_t* alive_words,
+                             bool use_bitmap_kernel, UnionScratch* scratch);
   /// Makes `idset(s)` share `idset(source)`'s storage. Clearing one alias
   /// later does not affect the others; compaction preserves the sharing.
-  void Alias(uint32_t s, uint32_t source) { entries_[s] = entries_[source]; }
+  void Alias(uint32_t s, uint32_t source) {
+    entries_[s] = entries_[source];
+    NoteCount(s, entries_[s].count);
+  }
   /// Empties `idset(s)`. O(1): the descriptor is zeroed, the span stays in
   /// the arena (possibly still referenced by aliases) until the next
   /// `FilterAndCompact`. Note: re-assigning a non-empty set likewise
   /// abandons its old span until compaction.
-  void Clear(uint32_t s) { entries_[s] = Entry{}; }
+  void Clear(uint32_t s) {
+    entries_[s] = Entry{};
+    NoteCount(s, 0);
+  }
 
   /// Visits the ids of `idset(s)` in ascending order.
   template <typename Fn>
@@ -138,6 +172,35 @@ class IdSetStore {
   bool IsBitmap(uint32_t s) const {
     return entries_[s].kind == Entry::kBitmap && entries_[s].count > 0;
   }
+  /// Fixed word count of every bitmap-kind set (`ceil(universe / 64)`).
+  uint32_t words_per_set() const { return words_per_set_; }
+  /// Bitmap words of `idset(s)`; only valid when `IsBitmap(s)`.
+  const uint64_t* bitmap_words(uint32_t s) const {
+    return words_.data() + entries_[s].offset;
+  }
+  /// Sorted ids of `idset(s)`; only valid for non-empty sparse sets.
+  const TupleId* sparse_ids(uint32_t s) const {
+    return pool_.data() + entries_[s].offset;
+  }
+  /// Identity of `idset(s)`'s storage span: aliased sets (and only they)
+  /// share a key. Keys of empty sets are not meaningful.
+  uint64_t span_key(uint32_t s) const {
+    return (static_cast<uint64_t>(entries_[s].kind) << 32) |
+           entries_[s].offset;
+  }
+
+  /// Bitmap over set indices with one bit per currently non-empty set,
+  /// maintained exactly by every assignment/clear/compaction. Lets
+  /// consumers (propagation grouping, refresh recounts) visit only the
+  /// non-empty sets instead of scanning every descriptor.
+  const uint64_t* nonempty_words() const { return nonempty_words_.data(); }
+  size_t nonempty_num_words() const { return nonempty_words_.size(); }
+  /// Visits every non-empty set index, ascending.
+  template <typename Fn>
+  void ForEachNonEmptySet(Fn&& fn) const {
+    bitmap_ops::ForEachBit(nonempty_words_.data(), nonempty_words_.size(),
+                           static_cast<Fn&&>(fn));
+  }
 
  private:
   struct Entry {
@@ -150,9 +213,29 @@ class IdSetStore {
   /// Appends a bitmap for `n` sorted ids and returns its word offset.
   uint32_t AppendBitmap(const TupleId* ids, uint32_t n);
 
+  /// Maintains the non-empty bit of set `s` after its count became `count`.
+  /// Every path that writes a descriptor calls this — the bitmap is exact,
+  /// never merely a hint.
+  void NoteCount(uint32_t s, uint32_t count) {
+    uint64_t bit = uint64_t{1} << (s & 63);
+    if (count != 0) {
+      nonempty_words_[s >> 6] |= bit;
+    } else {
+      nonempty_words_[s >> 6] &= ~bit;
+    }
+  }
+
   std::vector<Entry> entries_;
   std::vector<TupleId> pool_;    ///< sparse spans, bump-allocated
   std::vector<uint64_t> words_;  ///< bitmap blocks of words_per_set_ words
+  /// Packed alive mask, rebuilt by FilterAndCompact when bitmap entries
+  /// exist; kept as a member so refreshes stay allocation-free.
+  std::vector<uint64_t> alive_words_;
+  /// One bit per non-empty set (see nonempty_words()).
+  std::vector<uint64_t> nonempty_words_;
+  /// Compaction-order scratch of FilterAndCompact; member so repeated
+  /// refreshes of a cached propagation stop allocating.
+  std::vector<uint32_t> order_;
   TupleId universe_ = 0;
   uint32_t words_per_set_ = 0;
   uint32_t bitmap_threshold_ = 0;

@@ -32,15 +32,32 @@ void LiteralSearcher::SetContext(const std::vector<uint8_t>* alive,
     agg_count_.assign(alive_->size(), 0);
     agg_sum_.assign(alive_->size(), 0.0);
   }
+  // Pack the alive targets of each class as bitmap-kernel operands. The
+  // masks are disjoint and their union is the alive set, so a covered-id
+  // bitmap ANDed against them yields the distinct pos/neg counts directly.
+  size_t words = bitmap_ops::WordsForBits(alive_->size());
+  alive_pos_words_.assign(words, 0);
+  alive_neg_words_.assign(words, 0);
+  union_words_.assign(words, 0);
+  for (size_t id = 0; id < alive_->size(); ++id) {
+    if (!(*alive_)[id]) continue;
+    if ((*positive_)[id]) {
+      bitmap_ops::SetBit(alive_pos_words_.data(), static_cast<TupleId>(id));
+    } else {
+      bitmap_ops::SetBit(alive_neg_words_.data(), static_cast<TupleId>(id));
+    }
+  }
 }
 
 void LiteralSearcher::set_metrics(MetricsRegistry* metrics) {
   if (metrics == nullptr) {
     literals_scored_ = nullptr;
+    index_hits_ = nullptr;
     search_time_ = nullptr;
     return;
   }
   literals_scored_ = metrics->counter("train.literals_scored");
+  index_hits_ = metrics->counter("train.index.hits");
   search_time_ = metrics->timer("train.phase.literal_search_seconds");
 }
 
@@ -70,13 +87,20 @@ void LiteralSearcher::Offer(CandidateLiteral* best, const Constraint& c,
 
 CandidateLiteral LiteralSearcher::FindBest(RelId rel_id,
                                            const IdSetStore& idsets,
-                                           const CrossMineOptions& opts) {
+                                           const CrossMineOptions& opts,
+                                           bool identity_idsets) {
   CM_CHECK(alive_ != nullptr);
   const Relation& rel = db_->relation(rel_id);
   CM_CHECK(idsets.num_sets() == rel.num_tuples());
+  bitmap_on_ = opts.use_bitmap_index;
+  identity_ = identity_idsets;
+  if (bitmap_on_) {
+    CM_CHECK(static_cast<size_t>(idsets.universe()) == alive_->size());
+  }
 
   Stopwatch watch;
   offered_ = 0;
+  hits_ = 0;
   CandidateLiteral best;
   for (AttrId a = 0; a < rel.schema().num_attrs(); ++a) {
     switch (rel.schema().attr(a).kind) {
@@ -97,6 +121,7 @@ CandidateLiteral LiteralSearcher::FindBest(RelId rel_id,
     SearchAggregations(rel, idsets, opts, &best);
   }
   if (literals_scored_ != nullptr) literals_scored_->Add(offered_);
+  if (index_hits_ != nullptr && hits_ != 0) index_hits_->Add(hits_);
   if (search_time_ != nullptr) search_time_->AddSeconds(watch.ElapsedSeconds());
   return best;
 }
@@ -104,6 +129,10 @@ CandidateLiteral LiteralSearcher::FindBest(RelId rel_id,
 void LiteralSearcher::SearchCategorical(const Relation& rel, AttrId attr,
                                         const IdSetStore& idsets,
                                         CandidateLiteral* best) {
+  if (bitmap_on_) {
+    SearchCategoricalIndexed(rel, attr, idsets, best);
+    return;
+  }
   const HashIndex& index = rel.GetHashIndex(attr);
   // Iterate categories in sorted order for deterministic tie-breaking.
   std::vector<int64_t> values;
@@ -135,6 +164,108 @@ void LiteralSearcher::SearchCategorical(const Relation& rel, AttrId attr,
   }
 }
 
+void LiteralSearcher::SearchCategoricalIndexed(const Relation& rel,
+                                               AttrId attr,
+                                               const IdSetStore& idsets,
+                                               CandidateLiteral* best) {
+  const AttrIndex& index = rel.GetAttrIndex(attr);
+  const std::vector<uint8_t>& alive = *alive_;
+  const std::vector<uint8_t>& positive = *positive_;
+  size_t words = alive_pos_words_.size();
+  const uint64_t* pos_words = alive_pos_words_.data();
+  const uint64_t* neg_words = alive_neg_words_.data();
+  // `index.values` ascends — the same order as the legacy path's sorted
+  // hash-index keys, so ties break identically.
+  for (size_t v = 0; v < index.num_values(); ++v) {
+    const TupleId* tuples = index.posting(v);
+    uint32_t n = index.posting_count(v);
+    uint32_t pos_cov = 0, neg_cov = 0;
+    if (identity_) {
+      // Node-0 store (idset(t) = {t} iff alive[t]): the posting itself is
+      // the covered-target set, so count it directly against the class
+      // masks without touching the store.
+      const uint64_t* pw = index.posting_words(v);
+      if (pw != nullptr) {
+        pos_cov = static_cast<uint32_t>(
+            bitmap_ops::AndPopcount(pw, pos_words, words));
+        neg_cov = static_cast<uint32_t>(
+            bitmap_ops::AndPopcount(pw, neg_words, words));
+        ++hits_;
+      } else {
+        for (uint32_t i = 0; i < n; ++i) {
+          TupleId id = tuples[i];
+          if (!alive[id]) continue;
+          if (positive[id]) {
+            ++pos_cov;
+          } else {
+            ++neg_cov;
+          }
+        }
+      }
+    } else {
+      // One pass over the posting collects the tuples with non-empty
+      // idsets (under sampling most are empty) together with the summed
+      // cardinality and representation mix; the chosen engine then touches
+      // only those. The word-parallel union pays off once any contributing
+      // idset is bitmap-kind (decoding it id-by-id is the expensive part)
+      // or the summed cardinality reaches the accumulator's own footprint;
+      // sparser postings keep the scalar epoch walk.
+      nonempty_.clear();
+      uint64_t total = 0;
+      bool any_bitmap = false;
+      for (uint32_t i = 0; i < n; ++i) {
+        TupleId t = tuples[i];
+        uint32_t card = idsets.Cardinality(t);
+        if (card == 0) continue;
+        nonempty_.push_back(t);
+        total += card;
+        any_bitmap = any_bitmap || idsets.IsBitmap(t);
+      }
+      if (any_bitmap || total >= 2 * words) {
+        std::fill(union_words_.begin(), union_words_.end(), 0);
+        uint64_t* acc = union_words_.data();
+        constexpr uint64_t kNoSpan = ~uint64_t{0};
+        uint64_t last_span = kNoSpan;
+        for (TupleId t : nonempty_) {
+          uint64_t span = idsets.span_key(t);
+          if (span == last_span) continue;  // aliased neighbor: already ORed
+          last_span = span;
+          if (idsets.IsBitmap(t)) {
+            bitmap_ops::Or(acc, idsets.bitmap_words(t), words);
+          } else {
+            const TupleId* ids = idsets.sparse_ids(t);
+            uint32_t m = idsets.Cardinality(t);
+            for (uint32_t j = 0; j < m; ++j) bitmap_ops::SetBit(acc, ids[j]);
+          }
+        }
+        pos_cov = static_cast<uint32_t>(
+            bitmap_ops::AndPopcount(acc, pos_words, words));
+        neg_cov = static_cast<uint32_t>(
+            bitmap_ops::AndPopcount(acc, neg_words, words));
+        ++hits_;
+      } else if (!nonempty_.empty()) {
+        uint32_t epoch = NewEpoch();
+        for (TupleId t : nonempty_) {
+          idsets.ForEach(t, [&](TupleId id) {
+            if (!alive[id] || mark_[id] == epoch) return;
+            mark_[id] = epoch;
+            if (positive[id]) {
+              ++pos_cov;
+            } else {
+              ++neg_cov;
+            }
+          });
+        }
+      }
+    }
+    Constraint c;
+    c.attr = attr;
+    c.cmp = CmpOp::kEq;
+    c.category = index.values[v];
+    Offer(best, c, pos_cov, neg_cov);
+  }
+}
+
 void LiteralSearcher::SearchNumerical(const Relation& rel, AttrId attr,
                                       const IdSetStore& idsets,
                                       CandidateLiteral* best) {
@@ -142,6 +273,104 @@ void LiteralSearcher::SearchNumerical(const Relation& rel, AttrId attr,
   const std::vector<double>& col = rel.DoubleColumn(attr);
   const std::vector<uint8_t>& alive = *alive_;
   const std::vector<uint8_t>& positive = *positive_;
+
+  if (bitmap_on_ && identity_) {
+    // Node-0 store: each sweep step covers exactly its own tuple, so the
+    // cumulative counts are direct class checks — no marking, no bitmaps.
+    uint32_t pos_cov = 0, neg_cov = 0;
+    for (size_t i = 0; i < order.size(); ++i) {
+      TupleId t = order[i];
+      if (alive[t]) {
+        if (positive[t]) {
+          ++pos_cov;
+        } else {
+          ++neg_cov;
+        }
+      }
+      if (i + 1 < order.size() && col[order[i + 1]] == col[t]) continue;
+      Constraint c;
+      c.attr = attr;
+      c.cmp = CmpOp::kLe;
+      c.threshold = col[t];
+      Offer(best, c, pos_cov, neg_cov);
+    }
+    pos_cov = neg_cov = 0;
+    for (size_t i = order.size(); i-- > 0;) {
+      TupleId t = order[i];
+      if (alive[t]) {
+        if (positive[t]) {
+          ++pos_cov;
+        } else {
+          ++neg_cov;
+        }
+      }
+      if (i > 0 && col[order[i - 1]] == col[t]) continue;
+      Constraint c;
+      c.attr = attr;
+      c.cmp = CmpOp::kGe;
+      c.threshold = col[t];
+      Offer(best, c, pos_cov, neg_cov);
+    }
+    ++hits_;
+    return;
+  }
+
+  if (bitmap_on_) {
+    // Incremental sweep on the counting kernel: the covered-target bitmap
+    // accumulates across steps and `OrCountNew` classifies each newly set
+    // bit by the disjoint class masks — dead ids land in neither. Aliased
+    // spans OR in zero fresh bits, so no dedup is needed for correctness.
+    size_t words = alive_pos_words_.size();
+    const uint64_t* pos_words = alive_pos_words_.data();
+    const uint64_t* neg_words = alive_neg_words_.data();
+    uint64_t* acc = union_words_.data();
+    auto sweep_step = [&](TupleId t, uint32_t* pos_cov, uint32_t* neg_cov) {
+      if (idsets.empty(t)) return;
+      if (idsets.IsBitmap(t)) {
+        bitmap_ops::OrCountNew(acc, idsets.bitmap_words(t), pos_words,
+                               neg_words, words, pos_cov, neg_cov);
+        return;
+      }
+      const TupleId* ids = idsets.sparse_ids(t);
+      uint32_t m = idsets.Cardinality(t);
+      for (uint32_t j = 0; j < m; ++j) {
+        TupleId id = ids[j];
+        if (bitmap_ops::TestBit(acc, id)) continue;
+        bitmap_ops::SetBit(acc, id);
+        if (bitmap_ops::TestBit(pos_words, id)) {
+          ++*pos_cov;
+        } else if (bitmap_ops::TestBit(neg_words, id)) {
+          ++*neg_cov;
+        }
+      }
+    };
+    std::fill(union_words_.begin(), union_words_.end(), 0);
+    uint32_t pos_cov = 0, neg_cov = 0;
+    for (size_t i = 0; i < order.size(); ++i) {
+      TupleId t = order[i];
+      sweep_step(t, &pos_cov, &neg_cov);
+      if (i + 1 < order.size() && col[order[i + 1]] == col[t]) continue;
+      Constraint c;
+      c.attr = attr;
+      c.cmp = CmpOp::kLe;
+      c.threshold = col[t];
+      Offer(best, c, pos_cov, neg_cov);
+    }
+    std::fill(union_words_.begin(), union_words_.end(), 0);
+    pos_cov = neg_cov = 0;
+    for (size_t i = order.size(); i-- > 0;) {
+      TupleId t = order[i];
+      sweep_step(t, &pos_cov, &neg_cov);
+      if (i > 0 && col[order[i - 1]] == col[t]) continue;
+      Constraint c;
+      c.attr = attr;
+      c.cmp = CmpOp::kGe;
+      c.threshold = col[t];
+      Offer(best, c, pos_cov, neg_cov);
+    }
+    ++hits_;
+    return;
+  }
 
   // Ascending sweep: literals of the form [attr <= v] for each distinct v.
   {

@@ -32,8 +32,21 @@ struct CandidateLiteral {
 ///    same two-direction sweep over the aggregated values.
 ///
 /// Counting is *distinct-target* counting (the §4.3 pitfall): a target tuple
-/// joinable with many satisfying tuples is counted once, via epoch-stamped
-/// marker arrays (no per-candidate allocation).
+/// joinable with many satisfying tuples is counted once. Two interchangeable
+/// engines produce the counts:
+///
+///  * the scalar engine: epoch-stamped marker arrays, no per-candidate
+///    allocation (always used when `opts.use_bitmap_index` is off);
+///  * the bitmap engine: the relation's cached `AttrIndex` posting lists and
+///    the `bitmap_ops` AND+popcount kernel — a candidate's covered-target
+///    set is built as a dense bitmap union and its pos/neg counts are
+///    `popcount(union ∧ alive_pos)` / `popcount(union ∧ alive_neg)`.
+///    Values with sparse postings (no bitmap-kind idset and summed
+///    cardinality below break-even) keep the scalar engine per value.
+///
+/// Both engines count the same distinct targets and offer candidates in the
+/// same order, so the chosen literal — and the trained model — is
+/// byte-identical either way.
 ///
 /// The searcher owns scratch buffers sized to the number of target tuples;
 /// reuse one instance across calls.
@@ -49,18 +62,29 @@ class LiteralSearcher {
                   uint32_t neg);
 
   /// Attaches a metrics registry (borrowed; null detaches). `FindBest`
-  /// then accumulates scan wall time into `train.phase.literal_search_seconds`
-  /// and one `train.literals_scored` tick per candidate offered to the
-  /// gain comparison. Counting never alters which literal wins.
+  /// then accumulates scan wall time into `train.phase.literal_search_seconds`,
+  /// one `train.literals_scored` tick per candidate offered to the gain
+  /// comparison, and one `train.index.hits` tick per counting served by
+  /// the bitmap engine (per categorical value, per numerical attribute
+  /// sweep pair). Counting never alters which literal wins.
   void set_metrics(MetricsRegistry* metrics);
 
   /// Best constraint on `rel` given `idsets` (parallel to rel's tuples).
+  /// `identity_idsets` asserts the caller-known invariant
+  /// `idset(t) = {t} iff alive[t]` (the clause's node-0 store): the bitmap
+  /// engine then counts straight off the AttrIndex postings without
+  /// touching the store. Purely an optimization hint — counts are the same
+  /// with it off.
   CandidateLiteral FindBest(RelId rel, const IdSetStore& idsets,
-                            const CrossMineOptions& opts);
+                            const CrossMineOptions& opts,
+                            bool identity_idsets = false);
 
  private:
   void SearchCategorical(const Relation& rel, AttrId attr,
                          const IdSetStore& idsets, CandidateLiteral* best);
+  void SearchCategoricalIndexed(const Relation& rel, AttrId attr,
+                                const IdSetStore& idsets,
+                                CandidateLiteral* best);
   void SearchNumerical(const Relation& rel, AttrId attr,
                        const IdSetStore& idsets, CandidateLiteral* best);
   void SearchAggregations(const Relation& rel, const IdSetStore& idsets,
@@ -87,12 +111,24 @@ class LiteralSearcher {
   std::vector<uint32_t> agg_count_;
   std::vector<double> agg_sum_;
 
-  /// Cached metric handles (null when detached). `offered_` batches the
-  /// per-candidate count locally during one `FindBest` so the hot `Offer`
-  /// path never touches an atomic; it is flushed once per call.
+  /// Bitmap-engine state, rebuilt by `SetContext`: the alive targets of each
+  /// class as kernel operands, plus the union accumulator. `bitmap_on_` /
+  /// `identity_` are per-`FindBest` mode flags.
+  std::vector<uint64_t> alive_pos_words_;
+  std::vector<uint64_t> alive_neg_words_;
+  std::vector<uint64_t> union_words_;
+  std::vector<TupleId> nonempty_;
+  bool bitmap_on_ = false;
+  bool identity_ = false;
+
+  /// Cached metric handles (null when detached). `offered_` / `hits_` batch
+  /// the per-candidate counts locally during one `FindBest` so the hot
+  /// `Offer` path never touches an atomic; they are flushed once per call.
   Counter* literals_scored_ = nullptr;
+  Counter* index_hits_ = nullptr;
   Timer* search_time_ = nullptr;
   mutable uint64_t offered_ = 0;
+  mutable uint64_t hits_ = 0;
 };
 
 }  // namespace crossmine

@@ -1,5 +1,7 @@
 #include "core/propagation.h"
 
+#include <algorithm>
+
 #include "common/macros.h"
 
 namespace crossmine {
@@ -8,7 +10,8 @@ PropagationResult PropagateIds(const Database& db, const JoinEdge& edge,
                                const IdSetStore& src_idsets,
                                const std::vector<uint8_t>* alive,
                                const PropagationLimits& limits,
-                               PropagationScratch* scratch) {
+                               PropagationScratch* scratch,
+                               bool use_bitmap_kernel) {
   const Relation& src = db.relation(edge.from_rel);
   const Relation& dst = db.relation(edge.to_rel);
   CM_CHECK(src_idsets.num_sets() == src.num_tuples());
@@ -16,45 +19,58 @@ PropagationResult PropagateIds(const Database& db, const JoinEdge& edge,
   PropagationResult result;
   PropagationScratch local;
   PropagationScratch& sc = scratch != nullptr ? *scratch : local;
-  sc.bucket_of.clear();
-  sc.bucket_values.clear();
 
-  // Group the source side by join value, gathering the (alive-filtered) ids
-  // of all source tuples sharing a value into one bucket. Buckets are kept
-  // in first-seen order so the result's arena layout is deterministic. Only
-  // values that occur on the source side with a non-empty idset are kept.
+  // Group the source side by join value with a flat sort of (value, tuple)
+  // pairs: only tuples with a non-empty idset enter (under sampling that is
+  // a small fraction — the store's non-empty bitmap walks straight to them
+  // instead of probing every descriptor), and sorting POD pairs is
+  // allocation-free after warm-up — unlike a per-call hash map, whose node
+  // allocation per distinct value used to dominate this function's profile.
+  // Lexicographic order keeps each bucket's tuples ascending; ascending-
+  // value bucket order is deterministic, and neither the produced idset
+  // contents nor the limit verdicts below depend on bucket order, so models
+  // stay byte-identical.
   const std::vector<int64_t>& src_col = src.IntColumn(edge.from_attr);
-  for (TupleId t = 0; t < src.num_tuples(); ++t) {
-    if (src_idsets.empty(t)) continue;
+  sc.groups.clear();
+  src_idsets.ForEachNonEmptySet([&sc, &src_col](TupleId t) {
     int64_t v = src_col[t];
-    if (v == kNullValue) continue;
-    auto [it, inserted] =
-        sc.bucket_of.emplace(v, static_cast<uint32_t>(sc.bucket_values.size()));
-    if (inserted) {
-      sc.bucket_values.push_back(v);
-      if (sc.bucket_ids.size() < sc.bucket_values.size()) {
-        sc.bucket_ids.emplace_back();
-      }
-      sc.bucket_ids[it->second].clear();
-    }
-    src_idsets.AppendSet(t, alive, &sc.bucket_ids[it->second]);
+    if (v == kNullValue) return;
+    sc.groups.emplace_back(v, t);
+  });
+  std::sort(sc.groups.begin(), sc.groups.end());
+
+  // Pack the alive mask once; every word-parallel merge ANDs against it.
+  const uint64_t* alive_words = nullptr;
+  if (alive != nullptr && use_bitmap_kernel) {
+    sc.alive_words.resize(bitmap_ops::WordsForBits(alive->size()));
+    bitmap_ops::PackBytes(alive->data(), alive->size(),
+                          sc.alive_words.data());
+    alive_words = sc.alive_words.data();
   }
 
-  // Merge each bucket (sort + dedup, skipped for single-contributor buckets
-  // that are already sorted) and hand the merged span to every matching
+  // Merge each bucket and hand the merged span to every matching
   // destination tuple: the first one owns the span, the rest alias it.
   const HashIndex& dst_index = dst.GetHashIndex(edge.to_attr);
   result.idsets.Reset(dst.num_tuples(), src_idsets.universe());
   uint64_t total = 0;
   uint64_t nonempty = 0;
-  for (uint32_t b = 0; b < sc.bucket_values.size(); ++b) {
-    std::vector<TupleId>& merged = sc.bucket_ids[b];
-    if (merged.empty()) continue;
-    auto it = dst_index.find(sc.bucket_values[b]);
+  for (size_t lo = 0; lo < sc.groups.size();) {
+    const int64_t value = sc.groups[lo].first;
+    size_t hi = lo;
+    sc.bucket.clear();
+    while (hi < sc.groups.size() && sc.groups[hi].first == value) {
+      sc.bucket.push_back(sc.groups[hi].second);
+      ++hi;
+    }
+    lo = hi;
+    auto it = dst_index.find(value);
     if (it == dst_index.end()) continue;
     TupleId first = it->second.front();
-    result.idsets.AssignUnion(first, &merged);
-    uint64_t size = result.idsets.Cardinality(first);
+    uint64_t size = result.idsets.AssignUnionOfSets(
+        first, src_idsets, sc.bucket.data(),
+        static_cast<uint32_t>(sc.bucket.size()), alive, alive_words,
+        use_bitmap_kernel, &sc.union_scratch);
+    if (size == 0) continue;
     for (TupleId u : it->second) {
       if (u != first) result.idsets.Alias(u, first);
       total += size;
@@ -87,12 +103,11 @@ bool RefreshPropagation(PropagationResult* result,
   result->idsets.FilterAndCompact(alive);
   uint64_t total = 0;
   uint64_t nonempty = 0;
-  for (uint32_t s = 0; s < result->idsets.num_sets(); ++s) {
-    uint32_t n = result->idsets.Cardinality(s);
-    if (n == 0) continue;
-    total += n;
+  const IdSetStore& sets = result->idsets;
+  sets.ForEachNonEmptySet([&sets, &total, &nonempty](TupleId s) {
+    total += sets.Cardinality(s);
     ++nonempty;
-  }
+  });
   result->total_ids = total;
   // Re-apply the guards against the filtered volume; a fresh propagation
   // under the shrunken mask would see exactly these totals.

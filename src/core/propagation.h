@@ -2,7 +2,6 @@
 #define CROSSMINE_CORE_PROPAGATION_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/idset_store.h"
@@ -32,19 +31,21 @@ struct PropagationResult {
   uint64_t total_ids = 0;
 };
 
-/// Reusable working memory for `PropagateIds`: the per-join-value buckets of
-/// the source-side grouping. One scratch per worker lane amortizes the merge
-/// buffers across every propagation that lane runs — after warm-up the hot
-/// path stops allocating.
+/// Reusable working memory for `PropagateIds` merges. One scratch per worker
+/// lane amortizes the buffers across every propagation that lane runs —
+/// after warm-up the hot path stops allocating. (The per-join-value grouping
+/// itself comes from the source relation's cached hash index, so no grouping
+/// buffers live here.)
 struct PropagationScratch {
-  /// join value -> index into bucket_ids / bucket_values
-  std::unordered_map<int64_t, uint32_t> bucket_of;
-  /// gathered (alive-filtered) source ids per bucket; capacity is kept
-  /// across calls
-  std::vector<std::vector<TupleId>> bucket_ids;
-  /// bucket join values in first-seen (= source tuple) order, so the arena
-  /// fill order is deterministic
-  std::vector<int64_t> bucket_values;
+  /// (join value, source tuple) pairs of the non-empty source tuples,
+  /// sorted to form the per-value buckets
+  std::vector<std::pair<int64_t, TupleId>> groups;
+  /// tuple ids of the bucket currently being merged
+  std::vector<TupleId> bucket;
+  /// span-dedup / gather scratch of AssignUnionOfSets
+  UnionScratch union_scratch;
+  /// packed alive mask handed to the word-parallel union filter
+  std::vector<uint64_t> alive_words;
 };
 
 /// Propagates tuple IDs along `edge` (Definition 2): every destination tuple
@@ -60,14 +61,20 @@ struct PropagationScratch {
 /// guards still count every destination separately, exactly like the
 /// per-destination copies they replace.
 ///
-/// `scratch` (optional) reuses grouping buffers across calls.
+/// `scratch` (optional) reuses grouping and merge buffers across calls.
+///
+/// `use_bitmap_kernel` lets per-value merges whose summed input cardinality
+/// passes the store's bitmap threshold run word-parallel (OR + alive-mask
+/// AND + popcount, see `IdSetStore::AssignUnionOfSets`) instead of
+/// gather-and-sort; the resulting sets are identical either way.
 ///
 /// NULL join values never match (SQL semantics).
 PropagationResult PropagateIds(const Database& db, const JoinEdge& edge,
                                const IdSetStore& src_idsets,
                                const std::vector<uint8_t>* alive,
                                const PropagationLimits& limits = {},
-                               PropagationScratch* scratch = nullptr);
+                               PropagationScratch* scratch = nullptr,
+                               bool use_bitmap_kernel = true);
 
 /// Refreshes a previously successful propagation after the alive mask
 /// shrank: one in-place `FilterAndCompact` pass over the result's arena

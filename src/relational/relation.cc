@@ -1,6 +1,9 @@
 #include "relational/relation.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "core/bitmap_ops.h"
 
 namespace crossmine {
 
@@ -14,6 +17,8 @@ Relation::Relation(RelationSchema schema) : schema_(std::move(schema)) {
   hash_index_version_.assign(n, ~0ULL);
   sorted_indexes_.resize(n);
   sorted_index_version_.assign(n, ~0ULL);
+  attr_indexes_.resize(n);
+  attr_index_version_.assign(n, ~0ULL);
 }
 
 TupleId Relation::AddTuple() {
@@ -58,6 +63,74 @@ const std::vector<TupleId>& Relation::GetSortedIndex(AttrId a) const {
     sorted_index_version_[idx] = version_;
   }
   return sorted_indexes_[idx];
+}
+
+const AttrIndex& Relation::GetAttrIndex(AttrId a) const {
+  size_t idx = static_cast<size_t>(a);
+  CM_CHECK(schema_.IsIntAttr(a));
+  if (attr_index_version_[idx] != version_) {
+    auto t0 = std::chrono::steady_clock::now();
+    AttrIndex index;
+    index.words_per_value =
+        static_cast<uint32_t>(bitmap_ops::WordsForBits(num_tuples_));
+    const std::vector<int64_t>& col = int_cols_[idx];
+
+    // Sort (value, tuple) pairs: distinct values come out ascending and each
+    // posting list ascending (pairs with equal value order by tuple id).
+    index.values.reserve(64);
+    std::vector<std::pair<int64_t, TupleId>> pairs;
+    pairs.reserve(col.size());
+    for (TupleId t = 0; t < num_tuples_; ++t) {
+      if (col[t] == kNullValue) continue;
+      pairs.emplace_back(col[t], t);
+    }
+    std::sort(pairs.begin(), pairs.end());
+
+    index.postings.reserve(pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      if (index.values.empty() || pairs[i].first != index.values.back()) {
+        index.values.push_back(pairs[i].first);
+        index.offsets.push_back(static_cast<uint32_t>(i));
+      }
+      index.postings.push_back(pairs[i].second);
+    }
+    index.offsets.push_back(static_cast<uint32_t>(pairs.size()));
+
+    // Promote high-cardinality postings to dense bitmaps at the same
+    // break-even the IdSetStore uses: past 2 * words the bitmap is at most
+    // half the sorted list's footprint, and counting turns into
+    // AND+popcount.
+    uint32_t break_even =
+        std::max<uint32_t>(16, 2 * index.words_per_value);
+    index.word_offs.assign(index.values.size(), AttrIndex::kNoBitmap);
+    for (size_t v = 0; v < index.values.size(); ++v) {
+      if (index.posting_count(v) < break_even) continue;
+      uint32_t off = static_cast<uint32_t>(index.words.size());
+      index.words.resize(off + index.words_per_value, 0);
+      uint64_t* w = index.words.data() + off;
+      const TupleId* ids = index.posting(v);
+      uint32_t n = index.posting_count(v);
+      for (uint32_t i = 0; i < n; ++i) bitmap_ops::SetBit(w, ids[i]);
+      index.word_offs[v] = off;
+    }
+
+    attr_indexes_[idx] = std::move(index);
+    attr_index_version_[idx] = version_;
+    attr_index_build_seconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  return attr_indexes_[idx];
+}
+
+uint64_t Relation::attr_index_bytes() const {
+  uint64_t total = 0;
+  for (size_t idx = 0; idx < attr_indexes_.size(); ++idx) {
+    if (attr_index_version_[idx] == version_) {
+      total += attr_indexes_[idx].bytes();
+    }
+  }
+  return total;
 }
 
 std::vector<int64_t> Relation::DistinctCategories(AttrId a) const {

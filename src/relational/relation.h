@@ -16,6 +16,49 @@ namespace crossmine {
 /// NULL values (`kNullValue`) are not indexed, matching SQL join semantics.
 using HashIndex = std::unordered_map<int64_t, std::vector<TupleId>>;
 
+/// Inverted index over one categorical (or key) attribute: the distinct
+/// values in ascending order, each with its posting list of tuple ids
+/// (ascending, NULLs excluded) in one CSR layout. Values whose posting
+/// reaches the dense break-even threshold (`max(16, num_tuples / 32)` —
+/// the cardinality where a `num_tuples / 8`-byte bitmap is no larger than
+/// the 4-byte-per-id sorted list, the IdSetStore rule) additionally carry a
+/// dense bitmap over tuple ids for O(1) membership and word-parallel
+/// AND+popcount counting.
+///
+/// Built once per relation version and cached (`Relation::GetAttrIndex`);
+/// literal search iterates `values` directly instead of re-sorting the hash
+/// index's keys on every scan.
+struct AttrIndex {
+  static constexpr uint32_t kNoBitmap = ~uint32_t{0};
+
+  std::vector<int64_t> values;      ///< distinct values, ascending
+  std::vector<uint32_t> offsets;    ///< CSR: values.size() + 1 entries
+  std::vector<TupleId> postings;    ///< concatenated ascending tuple ids
+  std::vector<uint32_t> word_offs;  ///< per value: into words, or kNoBitmap
+  std::vector<uint64_t> words;      ///< dense posting bitmaps
+  uint32_t words_per_value = 0;     ///< ceil(num_tuples / 64)
+
+  size_t num_values() const { return values.size(); }
+  uint32_t posting_count(size_t v) const {
+    return offsets[v + 1] - offsets[v];
+  }
+  const TupleId* posting(size_t v) const {
+    return postings.data() + offsets[v];
+  }
+  /// Dense bitmap of value `v`'s posting, or null if below break-even.
+  const uint64_t* posting_words(size_t v) const {
+    return word_offs[v] == kNoBitmap ? nullptr : words.data() + word_offs[v];
+  }
+  /// Heap footprint, for the `train.index.bytes` metric.
+  uint64_t bytes() const {
+    return values.capacity() * sizeof(int64_t) +
+           offsets.capacity() * sizeof(uint32_t) +
+           postings.capacity() * sizeof(TupleId) +
+           word_offs.capacity() * sizeof(uint32_t) +
+           words.capacity() * sizeof(uint64_t);
+  }
+};
+
 /// Columnar in-memory relation. Key and categorical attributes are stored as
 /// `int64_t` columns (categorical values are dictionary codes), numerical
 /// attributes as `double` columns. Rows are append-only; cell updates are
@@ -74,6 +117,16 @@ class Relation {
   /// built, cached). Used for the paper's numerical-literal sweeps (§5.1).
   const std::vector<TupleId>& GetSortedIndex(AttrId a) const;
 
+  /// Inverted index over an integer attribute (lazily built, cached).
+  /// See `AttrIndex` for the layout and bitmap promotion rule.
+  const AttrIndex& GetAttrIndex(AttrId a) const;
+
+  /// Cumulative time spent building AttrIndexes for this relation, and the
+  /// current heap footprint of its cached AttrIndexes. Feed the
+  /// `train.index.*` metrics.
+  double attr_index_build_seconds() const { return attr_index_build_seconds_; }
+  uint64_t attr_index_bytes() const;
+
   /// Distinct values of a categorical attribute actually present (sorted).
   /// NULLs excluded.
   std::vector<int64_t> DistinctCategories(AttrId a) const;
@@ -104,6 +157,9 @@ class Relation {
   mutable std::vector<uint64_t> hash_index_version_;
   mutable std::vector<std::vector<TupleId>> sorted_indexes_;
   mutable std::vector<uint64_t> sorted_index_version_;
+  mutable std::vector<AttrIndex> attr_indexes_;
+  mutable std::vector<uint64_t> attr_index_version_;
+  mutable double attr_index_build_seconds_ = 0.0;
 };
 
 }  // namespace crossmine

@@ -1,0 +1,203 @@
+// AttrIndex correctness: the cached inverted index must list exactly the
+// column's non-NULL (value, tuple) pairs in CSR form, promote dense values
+// to bitmaps per the break-even rule, and rebuild after mutations. The
+// equivalence tests then prove the point of all that machinery: training
+// with the bitmap engine on and off produces byte-identical models.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "core/bitmap_ops.h"
+#include "core/classifier.h"
+#include "core/model_io.h"
+#include "datagen/financial.h"
+#include "datagen/mutagenesis.h"
+#include "datagen/synthetic.h"
+#include "relational/database.h"
+#include "test_util.h"
+
+namespace crossmine {
+namespace {
+
+/// Rebuilds the expected value -> sorted posting map straight from the
+/// column, the reference the index is checked against.
+std::map<int64_t, std::vector<TupleId>> ReferencePostings(const Relation& rel,
+                                                          AttrId a) {
+  std::map<int64_t, std::vector<TupleId>> ref;
+  const std::vector<int64_t>& col = rel.IntColumn(a);
+  for (TupleId t = 0; t < rel.num_tuples(); ++t) {
+    if (col[t] != kNullValue) ref[col[t]].push_back(t);
+  }
+  return ref;
+}
+
+void CheckIndexAgainstColumn(const Relation& rel, AttrId a) {
+  const AttrIndex& index = rel.GetAttrIndex(a);
+  std::map<int64_t, std::vector<TupleId>> ref = ReferencePostings(rel, a);
+
+  ASSERT_EQ(index.num_values(), ref.size()) << rel.name();
+  EXPECT_EQ(index.words_per_value,
+            bitmap_ops::WordsForBits(rel.num_tuples()));
+  EXPECT_TRUE(std::is_sorted(index.values.begin(), index.values.end()));
+  ASSERT_EQ(index.offsets.size(), index.num_values() + 1);
+  EXPECT_EQ(index.offsets.front(), 0u);
+  EXPECT_EQ(index.offsets.back(), index.postings.size());
+
+  const uint32_t break_even =
+      std::max<uint32_t>(16, 2 * index.words_per_value);
+  auto it = ref.begin();
+  for (size_t v = 0; v < index.num_values(); ++v, ++it) {
+    EXPECT_EQ(index.values[v], it->first);
+    ASSERT_EQ(index.posting_count(v), it->second.size());
+    const TupleId* ids = index.posting(v);
+    for (size_t i = 0; i < it->second.size(); ++i) {
+      EXPECT_EQ(ids[i], it->second[i]);
+    }
+    const uint64_t* words = index.posting_words(v);
+    if (index.posting_count(v) >= break_even) {
+      ASSERT_NE(words, nullptr)
+          << rel.name() << ": value " << it->first << " with "
+          << index.posting_count(v) << " postings missed bitmap promotion";
+    }
+    if (words != nullptr) {
+      // The bitmap is an exact dense rendering of the posting list.
+      EXPECT_EQ(bitmap_ops::Popcount(words, index.words_per_value),
+                index.posting_count(v));
+      for (TupleId id : it->second) {
+        EXPECT_TRUE(bitmap_ops::TestBit(words, id));
+      }
+    }
+  }
+}
+
+TEST(AttrIndexTest, MatchesColumnOnFig2) {
+  testing::Fig2Database f = testing::MakeFig2Database();
+  for (RelId r = 0; r < f.db.num_relations(); ++r) {
+    const Relation& rel = f.db.relation(r);
+    for (AttrId a = 0; a < static_cast<AttrId>(rel.schema().num_attrs());
+         ++a) {
+      if (!rel.schema().IsIntAttr(a)) continue;
+      CheckIndexAgainstColumn(rel, a);
+    }
+  }
+}
+
+TEST(AttrIndexTest, MatchesColumnOnGeneratedDatabases) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_relations = 6;
+  cfg.expected_tuples = 400;  // enough tuples to cross bitmap break-even
+  cfg.seed = 29;
+  StatusOr<Database> db = datagen::GenerateSyntheticDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  bool saw_bitmap = false;
+  for (RelId r = 0; r < db->num_relations(); ++r) {
+    const Relation& rel = db->relation(r);
+    for (AttrId a = 0; a < static_cast<AttrId>(rel.schema().num_attrs());
+         ++a) {
+      if (!rel.schema().IsIntAttr(a)) continue;
+      CheckIndexAgainstColumn(rel, a);
+      const AttrIndex& index = rel.GetAttrIndex(a);
+      for (size_t v = 0; v < index.num_values(); ++v) {
+        saw_bitmap = saw_bitmap || index.posting_words(v) != nullptr;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_bitmap)
+      << "config never promoted a value to bitmap; the dense path is untested";
+}
+
+TEST(AttrIndexTest, CachedUntilMutationThenRebuilt) {
+  testing::Fig2Database f = testing::MakeFig2Database();
+  Relation& rel = f.db.mutable_relation(f.account);
+  const AttrIndex& first = rel.GetAttrIndex(f.account_frequency);
+  // Same object back while the relation is untouched.
+  EXPECT_EQ(&rel.GetAttrIndex(f.account_frequency), &first);
+
+  int64_t old = rel.Int(0, f.account_frequency);
+  int64_t moved = old + 1000;
+  rel.SetInt(0, f.account_frequency, moved);
+  const AttrIndex& rebuilt = rel.GetAttrIndex(f.account_frequency);
+  auto pos = std::find(rebuilt.values.begin(), rebuilt.values.end(), moved);
+  ASSERT_NE(pos, rebuilt.values.end());
+  size_t v = static_cast<size_t>(pos - rebuilt.values.begin());
+  ASSERT_EQ(rebuilt.posting_count(v), 1u);
+  EXPECT_EQ(rebuilt.posting(v)[0], 0u);
+  CheckIndexAgainstColumn(rel, f.account_frequency);
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Trains and serializes; the raw container bytes are the comparison unit —
+/// any divergence between the two search engines must surface here.
+std::string TrainedModelBytes(const Database& db, CrossMineOptions opts,
+                              const char* tag) {
+  CrossMineClassifier model(opts);
+  std::vector<TupleId> all(db.target_relation().num_tuples());
+  std::iota(all.begin(), all.end(), 0);
+  EXPECT_TRUE(model.Train(db, all).ok());
+  std::string path = ::testing::TempDir() + "/attr_index_equiv_" + tag + ".cmm";
+  std::filesystem::remove(path);
+  EXPECT_TRUE(SaveModel(model, db, path).ok());
+  std::string bytes = ReadFileBytes(path);
+  EXPECT_FALSE(bytes.empty());
+  return bytes;
+}
+
+void CheckEngineEquivalence(const Database& db, const char* tag) {
+  CrossMineOptions on;
+  on.use_bitmap_index = true;
+  CrossMineOptions off;
+  off.use_bitmap_index = false;
+  std::string with_index = TrainedModelBytes(db, on, tag);
+  EXPECT_EQ(with_index, TrainedModelBytes(db, off, tag))
+      << tag << ": bitmap and scalar engines trained different models";
+  // And across thread counts with the index on.
+  on.num_threads = 4;
+  EXPECT_EQ(with_index, TrainedModelBytes(db, on, tag))
+      << tag << ": 4-thread bitmap-indexed model diverged";
+}
+
+TEST(AttrIndexEquivalenceTest, SyntheticModelsByteIdentical) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_relations = 8;
+  cfg.expected_tuples = 150;
+  cfg.seed = 17;
+  StatusOr<Database> db = datagen::GenerateSyntheticDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  CheckEngineEquivalence(*db, "synthetic");
+}
+
+TEST(AttrIndexEquivalenceTest, FinancialModelsByteIdentical) {
+  datagen::FinancialConfig cfg;
+  cfg.num_loans = 80;
+  cfg.seed = 5;
+  StatusOr<Database> db = datagen::GenerateFinancialDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  CheckEngineEquivalence(*db, "financial");
+}
+
+TEST(AttrIndexEquivalenceTest, MutagenesisModelsByteIdentical) {
+  datagen::MutagenesisConfig cfg;
+  cfg.num_molecules = 60;
+  cfg.seed = 9;
+  StatusOr<Database> db = datagen::GenerateMutagenesisDatabase(cfg);
+  ASSERT_TRUE(db.ok());
+  CheckEngineEquivalence(*db, "mutagenesis");
+}
+
+}  // namespace
+}  // namespace crossmine

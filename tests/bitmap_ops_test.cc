@@ -1,0 +1,178 @@
+#include "core/bitmap_ops.h"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace crossmine {
+namespace {
+
+using SetRef = std::set<TupleId>;
+
+/// Builds a zero-padded bitmap over `universe` bits from a reference set.
+std::vector<uint64_t> ToWords(const SetRef& ids, size_t universe) {
+  std::vector<uint64_t> words(bitmap_ops::WordsForBits(universe), 0);
+  for (TupleId id : ids) bitmap_ops::SetBit(words.data(), id);
+  return words;
+}
+
+/// Decodes a bitmap back into a reference set via ForEachBit.
+SetRef ToSet(const std::vector<uint64_t>& words) {
+  SetRef out;
+  bitmap_ops::ForEachBit(words.data(), words.size(),
+                         [&out](TupleId id) { out.insert(id); });
+  return out;
+}
+
+SetRef RandomSet(std::mt19937_64* rng, size_t universe, double density) {
+  SetRef out;
+  if (universe == 0) return out;
+  std::bernoulli_distribution take(density);
+  for (size_t i = 0; i < universe; ++i) {
+    if (take(*rng)) out.insert(static_cast<TupleId>(i));
+  }
+  return out;
+}
+
+SetRef Intersect(const SetRef& a, const SetRef& b) {
+  SetRef out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::inserter(out, out.begin()));
+  return out;
+}
+
+SetRef Difference(const SetRef& a, const SetRef& b) {
+  SetRef out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::inserter(out, out.begin()));
+  return out;
+}
+
+SetRef Union(const SetRef& a, const SetRef& b) {
+  SetRef out = a;
+  out.insert(b.begin(), b.end());
+  return out;
+}
+
+/// The universes the kernels must survive: word-boundary sizes, a lone tail
+/// bit, sub-word spans, and a multi-word span with a partial tail.
+const size_t kUniverses[] = {1, 5, 63, 64, 65, 127, 128, 129, 200, 1000};
+
+TEST(BitmapOpsTest, RoundTripAndPopcountMatchReference) {
+  std::mt19937_64 rng(20260808);
+  for (size_t universe : kUniverses) {
+    for (double density : {0.0, 0.03, 0.5, 1.0}) {
+      SetRef ref = RandomSet(&rng, universe, density);
+      std::vector<uint64_t> words = ToWords(ref, universe);
+      EXPECT_EQ(ToSet(words), ref) << "universe=" << universe;
+      EXPECT_EQ(bitmap_ops::Popcount(words.data(), words.size()), ref.size());
+      for (size_t i = 0; i < universe; ++i) {
+        EXPECT_EQ(bitmap_ops::TestBit(words.data(), static_cast<TupleId>(i)),
+                  ref.count(static_cast<TupleId>(i)) != 0);
+      }
+    }
+  }
+}
+
+TEST(BitmapOpsTest, BinaryKernelsMatchSetAlgebra) {
+  std::mt19937_64 rng(977);
+  for (size_t universe : kUniverses) {
+    for (int round = 0; round < 8; ++round) {
+      SetRef a = RandomSet(&rng, universe, 0.05 + 0.12 * (round % 5));
+      SetRef b = RandomSet(&rng, universe, 0.05 + 0.2 * (round % 3));
+      std::vector<uint64_t> wa = ToWords(a, universe);
+      std::vector<uint64_t> wb = ToWords(b, universe);
+      size_t n = wa.size();
+
+      EXPECT_EQ(bitmap_ops::AndPopcount(wa.data(), wb.data(), n),
+                Intersect(a, b).size());
+      EXPECT_EQ(bitmap_ops::AndNotPopcount(wa.data(), wb.data(), n),
+                Difference(a, b).size());
+
+      std::vector<uint64_t> dst = wa;
+      bitmap_ops::Or(dst.data(), wb.data(), n);
+      EXPECT_EQ(ToSet(dst), Union(a, b));
+
+      dst = wa;
+      bitmap_ops::And(dst.data(), wb.data(), n);
+      EXPECT_EQ(ToSet(dst), Intersect(a, b));
+
+      dst = wa;
+      bitmap_ops::AndNot(dst.data(), wb.data(), n);
+      EXPECT_EQ(ToSet(dst), Difference(a, b));
+    }
+  }
+}
+
+TEST(BitmapOpsTest, OrCountNewCountsOnlyFreshBitsPerClass) {
+  std::mt19937_64 rng(4242);
+  for (size_t universe : kUniverses) {
+    for (int round = 0; round < 8; ++round) {
+      SetRef acc = RandomSet(&rng, universe, 0.2);
+      SetRef src = RandomSet(&rng, universe, 0.3);
+      // Disjoint class masks, as the literal search provides them.
+      SetRef pos = RandomSet(&rng, universe, 0.4);
+      SetRef all = RandomSet(&rng, universe, 0.7);
+      SetRef neg = Difference(all, pos);
+
+      std::vector<uint64_t> dst = ToWords(acc, universe);
+      std::vector<uint64_t> wsrc = ToWords(src, universe);
+      std::vector<uint64_t> wpos = ToWords(pos, universe);
+      std::vector<uint64_t> wneg = ToWords(neg, universe);
+
+      uint32_t pos_add = 7, neg_add = 11;  // verify adds, not overwrites
+      bitmap_ops::OrCountNew(dst.data(), wsrc.data(), wpos.data(),
+                             wneg.data(), dst.size(), &pos_add, &neg_add);
+
+      SetRef fresh = Difference(src, acc);
+      EXPECT_EQ(pos_add, 7 + Intersect(fresh, pos).size());
+      EXPECT_EQ(neg_add, 11 + Intersect(fresh, neg).size());
+      EXPECT_EQ(ToSet(dst), Union(acc, src));
+    }
+  }
+}
+
+TEST(BitmapOpsTest, PackBytesMatchesByteMask) {
+  std::mt19937_64 rng(555);
+  for (size_t universe : kUniverses) {
+    for (double density : {0.0, 0.3, 1.0}) {
+      SetRef ref = RandomSet(&rng, universe, density);
+      std::vector<uint8_t> bytes(universe, 0);
+      for (TupleId id : ref) bytes[id] = 1;
+      // Poison the output to prove full overwrite including the tail word.
+      std::vector<uint64_t> words(bitmap_ops::WordsForBits(universe),
+                                  ~uint64_t{0});
+      bitmap_ops::PackBytes(bytes.data(), bytes.size(), words.data());
+      EXPECT_EQ(ToSet(words), ref) << "universe=" << universe;
+      EXPECT_EQ(bitmap_ops::Popcount(words.data(), words.size()), ref.size());
+    }
+  }
+}
+
+TEST(BitmapOpsTest, WordsForBitsBoundaries) {
+  EXPECT_EQ(bitmap_ops::WordsForBits(0), 0u);
+  EXPECT_EQ(bitmap_ops::WordsForBits(1), 1u);
+  EXPECT_EQ(bitmap_ops::WordsForBits(63), 1u);
+  EXPECT_EQ(bitmap_ops::WordsForBits(64), 1u);
+  EXPECT_EQ(bitmap_ops::WordsForBits(65), 2u);
+  EXPECT_EQ(bitmap_ops::WordsForBits(128), 2u);
+  EXPECT_EQ(bitmap_ops::WordsForBits(129), 3u);
+}
+
+TEST(BitmapOpsTest, ForEachBitAscendingOrder) {
+  std::mt19937_64 rng(31337);
+  SetRef ref = RandomSet(&rng, 500, 0.2);
+  std::vector<uint64_t> words = ToWords(ref, 500);
+  std::vector<TupleId> seen;
+  bitmap_ops::ForEachBit(words.data(), words.size(),
+                         [&seen](TupleId id) { seen.push_back(id); });
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(SetRef(seen.begin(), seen.end()), ref);
+  EXPECT_EQ(seen.size(), ref.size());
+}
+
+}  // namespace
+}  // namespace crossmine

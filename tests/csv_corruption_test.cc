@@ -52,8 +52,13 @@ std::vector<size_t> RowStarts(const std::string& csv) {
 class CsvCorruptionTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    baseline_ = ::testing::TempDir() + "/csv_corruption_baseline";
-    scratch_ = ::testing::TempDir() + "/csv_corruption_case";
+    // Suffix the fixture dirs with the test name: ctest runs each case as
+    // its own process, and parallel cases sharing one path clobber each
+    // other's files mid-load.
+    const std::string name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    baseline_ = ::testing::TempDir() + "/csv_corruption_baseline_" + name;
+    scratch_ = ::testing::TempDir() + "/csv_corruption_case_" + name;
     std::filesystem::remove_all(baseline_);
     std::filesystem::create_directories(baseline_);
     testing::Fig2Database fig = MakeFig2Database();

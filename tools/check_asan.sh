@@ -9,7 +9,9 @@
 # The corruption and fault suites ride along so every rejected corrupt
 # input and every injected failure path is also memory-clean: an
 # out-of-bounds parse of hostile bytes is a failure even when it does not
-# crash the unsanitized build.
+# crash the unsanitized build. The bitmap kernel and AttrIndex suites run
+# here too: word-granular spans with tail-word masking and CSR posting
+# arithmetic are classic off-by-one-word territory.
 #
 # Usage: tools/check_asan.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -19,14 +21,17 @@ BUILD_DIR="${1:-build-asan}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Asan
 cmake --build "$BUILD_DIR" -j \
-  --target protocol_test serve_test idset_store_test csv_corruption_test \
-  fault_matrix_test crossmine_cli serve_client
+  --target protocol_test serve_test idset_store_test bitmap_ops_test \
+  attr_index_test csv_corruption_test fault_matrix_test crossmine_cli \
+  serve_client
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="halt_on_error=1 ${UBSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/protocol_test
 "$BUILD_DIR"/tests/serve_test
 "$BUILD_DIR"/tests/idset_store_test
+"$BUILD_DIR"/tests/bitmap_ops_test
+"$BUILD_DIR"/tests/attr_index_test
 "$BUILD_DIR"/tests/csv_corruption_test
 "$BUILD_DIR"/tests/fault_matrix_test
 bash tools/check_serve_smoke.sh \

@@ -5,6 +5,8 @@
 # propagation cache fails this script. The fault-matrix suite rides along
 # for the connection-thread registry: accept-side reaping, shutdown-side
 # joining, and injected mid-connection failures all racing one another.
+# The AttrIndex equivalence suite rides along because parallel workers share
+# the lazily built attribute indexes (warmed before the pool starts).
 #
 # Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -15,13 +17,14 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Tsan
 cmake --build "$BUILD_DIR" -j \
   --target parallel_search_test clause_builder_test serve_test \
-  idset_store_test fault_matrix_test
+  idset_store_test attr_index_test fault_matrix_test
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/parallel_search_test
 "$BUILD_DIR"/tests/clause_builder_test
 "$BUILD_DIR"/tests/serve_test
 "$BUILD_DIR"/tests/idset_store_test
+"$BUILD_DIR"/tests/attr_index_test
 "$BUILD_DIR"/tests/fault_matrix_test
 
 echo "check_tsan: OK (no races reported)"

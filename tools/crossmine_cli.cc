@@ -87,6 +87,8 @@ int Usage() {
       "  --min-gain G           minimum FOIL gain to append a literal\n"
       "  --no-lookahead         disable the look-one-ahead second hop\n"
       "  --no-aggregations      disable aggregation literals\n"
+      "  --bitmap-index 0|1     bitmap-index counting kernel (default 1;\n"
+      "                         either value trains the identical model)\n"
       "  --threads N            clause-search worker threads (0 = auto)\n"
       "  --seed N               sampling seed\n"
       "  --mode best|vote|list  prediction mode\n");
@@ -136,6 +138,7 @@ CrossMineOptions ParseCrossMineOptions(
   o.use_sampling = opts.count("sampling") > 0;
   o.look_one_ahead = opts.count("no-lookahead") == 0;
   o.use_aggregation_literals = opts.count("no-aggregations") == 0;
+  o.use_bitmap_index = OptInt(opts, "bitmap-index", 1) != 0;
   o.seed = static_cast<uint64_t>(OptInt(opts, "seed", 1));
   o.neg_pos_ratio = OptDouble(opts, "neg-pos-ratio", o.neg_pos_ratio);
   o.max_num_negative = static_cast<uint32_t>(
