@@ -4,7 +4,8 @@
 // their own multi-relational data:
 //   1. declare relations with primary/foreign keys,
 //   2. load tuples (here: generated; in practice from your own source),
-//   3. save/load the database as CSV + schema manifest,
+//   3. persist it — CSV for diff-able text, `.cmdb` for fast binary
+//      loads — through the unified storage API,
 //   4. train, inspect clauses, and evaluate with cross-validation.
 //
 // Build & run:  cmake --build build && ./build/examples/churn_analysis
@@ -15,8 +16,8 @@
 #include "common/random.h"
 #include "core/classifier.h"
 #include "eval/cross_validation.h"
-#include "relational/csv.h"
 #include "relational/database.h"
+#include "storage/storage.h"
 
 using namespace crossmine;
 
@@ -128,17 +129,26 @@ int main() {
               db.num_relations(),
               static_cast<unsigned long long>(db.TotalTuples()));
 
-  // Persist to CSV and reload — the workflow for teams that keep datasets
-  // in version control or edit them with external tools.
+  // Persist and reload through the unified storage API. A directory path
+  // means CSV + schema manifest (diff-able, editable with external tools);
+  // a `.cmdb` path means the binary columnar format (mmap-backed, the fast
+  // path for repeated runs). OpenDatabase sniffs the format on load.
   std::string dir = "churn_dataset";
-  std::filesystem::create_directories(dir);
-  Status st = SaveDatabaseCsv(db, dir);
+  Status st = storage::SaveDatabase(db, dir);
   CM_CHECK_MSG(st.ok(), st.ToString().c_str());
-  StatusOr<Database> loaded = LoadDatabaseCsv(dir);
+  StatusOr<Database> loaded = storage::OpenDatabase(dir);
   CM_CHECK_MSG(loaded.ok(), loaded.status().ToString().c_str());
   std::printf("Round-tripped through %s/ (schema.txt + one CSV per "
-              "relation)\n\n",
+              "relation)\n",
               dir.c_str());
+
+  std::string cmdb = "churn_dataset.cmdb";
+  st = storage::SaveDatabase(db, cmdb);
+  CM_CHECK_MSG(st.ok(), st.ToString().c_str());
+  StatusOr<Database> fast = storage::OpenDatabase(cmdb);
+  CM_CHECK_MSG(fast.ok(), fast.status().ToString().c_str());
+  std::printf("Round-tripped through %s (binary columnar)\n\n",
+              cmdb.c_str());
 
   // Mine churn rules with ten-fold cross validation.
   CrossMineOptions options;  // defaults: all literal families

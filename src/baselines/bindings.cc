@@ -21,8 +21,8 @@ bool BindingsTable::Join(const JoinEdge& edge, int col, size_t max_rows,
   CM_CHECK(col_rel_[static_cast<size_t>(col)] == edge.from_rel);
   const Relation& src = db_->relation(edge.from_rel);
   const Relation& dst = db_->relation(edge.to_rel);
-  const std::vector<int64_t>& src_col = src.IntColumn(edge.from_attr);
-  const std::vector<int64_t>& dst_col = dst.IntColumn(edge.to_attr);
+  const Column<int64_t>& src_col = src.IntColumn(edge.from_attr);
+  const Column<int64_t>& dst_col = dst.IntColumn(edge.to_attr);
 
   std::vector<RelId> new_cols = col_rel_;
   new_cols.push_back(edge.to_rel);
@@ -133,7 +133,7 @@ std::vector<BaselineCandidate> CategoricalCandidates(
     const BindingsTable& table, int col, AttrId attr,
     const std::vector<ClassId>& labels, int num_classes) {
   const Relation& rel = table.db().relation(table.col_relation(col));
-  const std::vector<int64_t>& values = rel.IntColumn(attr);
+  const Column<int64_t>& values = rel.IntColumn(attr);
 
   // Collect (value, target) pairs, dedupe, then count per value per class.
   std::vector<std::pair<int64_t, TupleId>> pairs;
@@ -168,7 +168,7 @@ std::vector<BaselineCandidate> NumericalCandidates(
     const BindingsTable& table, int col, AttrId attr,
     const std::vector<ClassId>& labels, int num_classes) {
   const Relation& rel = table.db().relation(table.col_relation(col));
-  const std::vector<double>& values = rel.DoubleColumn(attr);
+  const Column<double>& values = rel.DoubleColumn(attr);
   TupleId num_targets = table.db().target_relation().num_tuples();
 
   std::vector<std::pair<double, TupleId>> pairs;
@@ -235,7 +235,7 @@ std::vector<BaselineCandidate> EvaluateByConstruction(
   // Enumerate the candidate constraints first.
   std::vector<Constraint> constraints;
   if (attr_info.kind == AttrKind::kCategorical) {
-    const std::vector<int64_t>& values = rel.IntColumn(attr);
+    const Column<int64_t>& values = rel.IntColumn(attr);
     std::vector<int64_t> distinct;
     distinct.reserve(n);
     for (size_t r = 0; r < n; ++r) {
@@ -254,7 +254,7 @@ std::vector<BaselineCandidate> EvaluateByConstruction(
     }
   } else {
     CM_CHECK(attr_info.kind == AttrKind::kNumerical);
-    const std::vector<double>& values = rel.DoubleColumn(attr);
+    const Column<double>& values = rel.DoubleColumn(attr);
     std::vector<double> distinct;
     distinct.reserve(n);
     for (size_t r = 0; r < n; ++r) {

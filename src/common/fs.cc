@@ -121,20 +121,47 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents,
 }
 
 uint32_t Crc32(std::string_view data) {
-  static const uint32_t* table = [] {
-    static uint32_t t[256];
+  // Slicing-by-eight: eight derived tables let the hot loop fold eight
+  // bytes per iteration (one pass over a mmap'd .cmdb segment runs at
+  // memory speed instead of a byte-at-a-time table walk). Table 0 is the
+  // classic CRC-32 table, so the tail loop and the scalar fallback compute
+  // the identical polynomial.
+  static const auto* tables = [] {
+    static uint32_t t[8][256];
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
         c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
       }
-      t[i] = c;
+      t[0][i] = c;
     }
-    return t;
+    for (int k = 1; k < 8; ++k) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+      }
+    }
+    return &t;
   }();
+  const uint32_t(*t)[256] = *tables;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(data.data());
+  size_t n = data.size();
   uint32_t crc = 0xFFFFFFFFu;
-  for (unsigned char byte : data) {
-    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  while (n >= 8) {
+    uint32_t lo, hi;
+    ::memcpy(&lo, p, 4);
+    ::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+          t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+#endif
+  for (; n > 0; --n, ++p) {
+    crc = t[0][(crc ^ *p) & 0xFFu] ^ (crc >> 8);
   }
   return crc ^ 0xFFFFFFFFu;
 }

@@ -270,7 +270,7 @@ void LiteralSearcher::SearchNumerical(const Relation& rel, AttrId attr,
                                       const IdSetStore& idsets,
                                       CandidateLiteral* best) {
   const std::vector<TupleId>& order = rel.GetSortedIndex(attr);
-  const std::vector<double>& col = rel.DoubleColumn(attr);
+  const Column<double>& col = rel.DoubleColumn(attr);
   const std::vector<uint8_t>& alive = *alive_;
   const std::vector<uint8_t>& positive = *positive_;
 
@@ -499,7 +499,7 @@ void LiteralSearcher::SearchAggregations(const Relation& rel,
   for (AttrId a = 0; a < rel.schema().num_attrs(); ++a) {
     if (rel.schema().attr(a).kind != AttrKind::kNumerical) continue;
     for (TupleId id : touched) agg_sum_[id] = 0.0;
-    const std::vector<double>& col = rel.DoubleColumn(a);
+    const Column<double>& col = rel.DoubleColumn(a);
     for (TupleId t = 0; t < rel.num_tuples(); ++t) {
       if (idsets.empty(t)) continue;
       double v = col[t];

@@ -30,7 +30,7 @@ PropagationResult PropagateIds(const Database& db, const JoinEdge& edge,
   // value bucket order is deterministic, and neither the produced idset
   // contents nor the limit verdicts below depend on bucket order, so models
   // stay byte-identical.
-  const std::vector<int64_t>& src_col = src.IntColumn(edge.from_attr);
+  const Column<int64_t>& src_col = src.IntColumn(edge.from_attr);
   sc.groups.clear();
   src_idsets.ForEachNonEmptySet([&sc, &src_col](TupleId t) {
     int64_t v = src_col[t];

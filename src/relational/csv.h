@@ -8,6 +8,13 @@
 
 namespace crossmine {
 
+/// \file
+/// CSV codec for relational databases. Deprecated as a public surface:
+/// include `storage/storage.h` and use `storage::OpenDatabase` /
+/// `storage::SaveDatabase` instead, which handle both the CSV directory
+/// format and the binary `.cmdb` columnar format. This header remains an
+/// implementation detail of the storage facade.
+
 /// Persists a database as a directory of CSV files plus a `schema.txt`
 /// manifest, so downstream users can inspect or edit datasets with ordinary
 /// tools. One `<relation>.csv` per relation; the target relation carries an

@@ -1,6 +1,7 @@
 #ifndef CROSSMINE_RELATIONAL_DATABASE_H_
 #define CROSSMINE_RELATIONAL_DATABASE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -98,6 +99,13 @@ class Database {
   /// Total tuple count across all relations (reporting convenience).
   uint64_t TotalTuples() const;
 
+  /// Anchors an opaque storage object (e.g. the mmap backing borrowed
+  /// columns — see `storage::OpenDatabase`) to this database's lifetime.
+  /// Borrowed column spans stay valid exactly as long as the Database.
+  void RetainStorage(std::shared_ptr<const void> storage) {
+    retained_.push_back(std::move(storage));
+  }
+
  private:
   std::vector<Relation> relations_;
   RelId target_ = kInvalidRel;
@@ -107,6 +115,7 @@ class Database {
   bool finalized_ = false;
   std::vector<JoinEdge> edges_;
   std::vector<std::vector<int32_t>> out_edges_;
+  std::vector<std::shared_ptr<const void>> retained_;
 };
 
 }  // namespace crossmine

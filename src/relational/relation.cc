@@ -24,9 +24,9 @@ Relation::Relation(RelationSchema schema) : schema_(std::move(schema)) {
 TupleId Relation::AddTuple() {
   for (AttrId a = 0; a < schema_.num_attrs(); ++a) {
     if (schema_.IsIntAttr(a)) {
-      int_cols_[static_cast<size_t>(a)].push_back(kNullValue);
+      int_cols_[static_cast<size_t>(a)].Append(kNullValue);
     } else {
-      double_cols_[static_cast<size_t>(a)].push_back(0.0);
+      double_cols_[static_cast<size_t>(a)].Append(0.0);
     }
   }
   ++version_;
@@ -38,7 +38,7 @@ const HashIndex& Relation::GetHashIndex(AttrId a) const {
   CM_CHECK(schema_.IsIntAttr(a));
   if (hash_index_version_[idx] != version_) {
     HashIndex index;
-    const std::vector<int64_t>& col = int_cols_[idx];
+    const Column<int64_t>& col = int_cols_[idx];
     index.reserve(col.size());
     for (TupleId t = 0; t < num_tuples_; ++t) {
       if (col[t] == kNullValue) continue;
@@ -56,7 +56,7 @@ const std::vector<TupleId>& Relation::GetSortedIndex(AttrId a) const {
   if (sorted_index_version_[idx] != version_) {
     std::vector<TupleId> order(num_tuples_);
     for (TupleId t = 0; t < num_tuples_; ++t) order[t] = t;
-    const std::vector<double>& col = double_cols_[idx];
+    const Column<double>& col = double_cols_[idx];
     std::stable_sort(order.begin(), order.end(),
                      [&col](TupleId x, TupleId y) { return col[x] < col[y]; });
     sorted_indexes_[idx] = std::move(order);
@@ -73,7 +73,7 @@ const AttrIndex& Relation::GetAttrIndex(AttrId a) const {
     AttrIndex index;
     index.words_per_value =
         static_cast<uint32_t>(bitmap_ops::WordsForBits(num_tuples_));
-    const std::vector<int64_t>& col = int_cols_[idx];
+    const Column<int64_t>& col = int_cols_[idx];
 
     // Sort (value, tuple) pairs: distinct values come out ascending and each
     // posting list ascending (pairs with equal value order by tuple id).
@@ -135,13 +135,23 @@ uint64_t Relation::attr_index_bytes() const {
 
 std::vector<int64_t> Relation::DistinctCategories(AttrId a) const {
   CM_CHECK(schema_.IsIntAttr(a));
-  std::vector<int64_t> values = int_cols_[static_cast<size_t>(a)];
+  const Column<int64_t>& col = int_cols_[static_cast<size_t>(a)];
+  std::vector<int64_t> values(col.begin(), col.end());
   std::sort(values.begin(), values.end());
   values.erase(std::unique(values.begin(), values.end()), values.end());
   if (!values.empty() && values.front() == kNullValue) {
     values.erase(values.begin());
   }
   return values;
+}
+
+void Relation::SetDictionary(AttrId a, std::vector<std::string> labels) {
+  size_t idx = static_cast<size_t>(a);
+  dicts_[idx] = std::move(labels);
+  dict_lookup_[idx].clear();
+  for (size_t i = 0; i < dicts_[idx].size(); ++i) {
+    dict_lookup_[idx].emplace(dicts_[idx][i], static_cast<int64_t>(i));
+  }
 }
 
 int64_t Relation::InternCategory(AttrId a, const std::string& label) {

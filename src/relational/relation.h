@@ -1,6 +1,7 @@
 #ifndef CROSSMINE_RELATIONAL_RELATION_H_
 #define CROSSMINE_RELATIONAL_RELATION_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -11,6 +12,79 @@
 #include "relational/types.h"
 
 namespace crossmine {
+
+/// Storage for one column of a Relation: either an owned `std::vector`
+/// (databases built in memory, loaded from CSV, or mutated after load) or a
+/// borrowed read-only span into a mapped `.cmdb` columnar file
+/// (`storage::OpenDatabase`). Reads index one bare pointer either way, so
+/// the propagation / literal-search hot paths pay nothing for the
+/// indirection. The first mutation of a borrowed column copies it into
+/// owned storage (copy-on-write); the mapping itself is never written
+/// through, and its lifetime is anchored by `Database::RetainStorage`.
+template <typename T>
+class Column {
+ public:
+  Column() = default;
+
+  Column(const Column& other) { *this = other; }
+  Column& operator=(const Column& other) {
+    if (this == &other) return *this;
+    if (other.borrowed()) {
+      owned_.clear();
+      data_ = other.data_;
+    } else {
+      owned_ = other.owned_;
+      data_ = owned_.data();
+    }
+    size_ = other.size_;
+    return *this;
+  }
+  // Moving a vector keeps its heap buffer, so a moved owned column's data_
+  // pointer stays valid under the new owner.
+  Column(Column&&) noexcept = default;
+  Column& operator=(Column&&) noexcept = default;
+
+  const T& operator[](size_t i) const { return data_[i]; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T* data() const { return data_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  /// True while the bytes live in a mapped file rather than owned_.
+  bool borrowed() const { return data_ != nullptr && data_ != owned_.data(); }
+
+  /// Points the column at `n` externally owned values (storage loader
+  /// entry; the caller guarantees the span outlives every read).
+  void Borrow(const T* data, size_t n) {
+    owned_.clear();
+    owned_.shrink_to_fit();
+    data_ = data;
+    size_ = n;
+  }
+
+  void Set(size_t i, T v) {
+    Materialize();
+    owned_[i] = v;
+  }
+  void Append(T v) {
+    Materialize();
+    owned_.push_back(v);
+    data_ = owned_.data();
+    size_ = owned_.size();
+  }
+
+ private:
+  void Materialize() {
+    if (!borrowed()) return;
+    owned_.assign(data_, data_ + size_);
+    data_ = owned_.data();
+  }
+
+  const T* data_ = nullptr;  ///< owned_.data() or the mapped segment
+  size_t size_ = 0;
+  std::vector<T> owned_;
+};
 
 /// Hash index on an integer-valued attribute: value -> tuple ids having it.
 /// NULL values (`kNullValue`) are not indexed, matching SQL join semantics.
@@ -59,10 +133,12 @@ struct AttrIndex {
   }
 };
 
-/// Columnar in-memory relation. Key and categorical attributes are stored as
+/// Columnar relation. Key and categorical attributes are stored as
 /// `int64_t` columns (categorical values are dictionary codes), numerical
-/// attributes as `double` columns. Rows are append-only; cell updates are
-/// allowed until indexes are first requested.
+/// attributes as `double` columns; each column either owns its storage or
+/// borrows a read-only span from a mapped `.cmdb` file (see `Column`).
+/// Rows are append-only; cell updates are allowed until indexes are first
+/// requested.
 ///
 /// Index caches (hash index per int attribute, sorted permutation per
 /// numerical attribute) are built lazily and invalidated by any mutation.
@@ -90,25 +166,49 @@ class Relation {
   }
   void SetInt(TupleId t, AttrId a, int64_t v) {
     CM_CHECK(schema_.IsIntAttr(a));
-    int_cols_[static_cast<size_t>(a)][t] = v;
+    int_cols_[static_cast<size_t>(a)].Set(t, v);
     ++version_;
   }
   void SetDouble(TupleId t, AttrId a, double v) {
     CM_CHECK(!schema_.IsIntAttr(a));
-    double_cols_[static_cast<size_t>(a)][t] = v;
+    double_cols_[static_cast<size_t>(a)].Set(t, v);
     ++version_;
   }
 
   /// Whole int column (pk/fk/categorical attribute).
-  const std::vector<int64_t>& IntColumn(AttrId a) const {
+  const Column<int64_t>& IntColumn(AttrId a) const {
     CM_CHECK(schema_.IsIntAttr(a));
     return int_cols_[static_cast<size_t>(a)];
   }
   /// Whole double column (numerical attribute).
-  const std::vector<double>& DoubleColumn(AttrId a) const {
+  const Column<double>& DoubleColumn(AttrId a) const {
     CM_CHECK(!schema_.IsIntAttr(a));
     return double_cols_[static_cast<size_t>(a)];
   }
+
+  /// Storage-loader entry points (`storage::OpenDatabaseColumnar`): binds
+  /// this empty relation to `n` tuples whose column bytes live in a
+  /// read-only mapped file retained by the owning Database, then borrows
+  /// one span per attribute. Every attribute must be attached; later
+  /// mutations (SetInt / AddTuple / ...) transparently copy the touched
+  /// column into owned storage.
+  void BindBorrowedTuples(TupleId n) {
+    CM_CHECK_MSG(num_tuples_ == 0, "BindBorrowedTuples on non-empty relation");
+    num_tuples_ = n;
+    ++version_;
+  }
+  void BorrowIntColumn(AttrId a, const int64_t* data) {
+    CM_CHECK(schema_.IsIntAttr(a));
+    int_cols_[static_cast<size_t>(a)].Borrow(data, num_tuples_);
+  }
+  void BorrowDoubleColumn(AttrId a, const double* data) {
+    CM_CHECK(!schema_.IsIntAttr(a));
+    double_cols_[static_cast<size_t>(a)].Borrow(data, num_tuples_);
+  }
+  /// Installs a complete dictionary for a categorical attribute (codes
+  /// 0..labels.size()-1, in order). Storage-loader counterpart of
+  /// incremental InternCategory.
+  void SetDictionary(AttrId a, std::vector<std::string> labels);
 
   /// Hash index over an integer attribute (lazily built, cached).
   const HashIndex& GetHashIndex(AttrId a) const;
@@ -145,9 +245,9 @@ class Relation {
  private:
   RelationSchema schema_;
   TupleId num_tuples_ = 0;
-  // One entry per attribute; only the matching-kind vector is populated.
-  std::vector<std::vector<int64_t>> int_cols_;
-  std::vector<std::vector<double>> double_cols_;
+  // One entry per attribute; only the matching-kind column is populated.
+  std::vector<Column<int64_t>> int_cols_;
+  std::vector<Column<double>> double_cols_;
   std::vector<std::vector<std::string>> dicts_;
   std::vector<std::unordered_map<std::string, int64_t>> dict_lookup_;
 

@@ -1,0 +1,580 @@
+#include "storage/columnar.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/faultpoint.h"
+#include "common/fs.h"
+#include "common/string_util.h"
+#include "core/model_io.h"
+#include "storage/mmap_file.h"
+
+namespace crossmine::storage {
+
+namespace {
+
+// Fault points on every syscall-shaped edge of columnar persistence (see
+// common/faultpoint.h for the arming grammar).
+FaultPoint fp_save_open("columnar.save.open");
+FaultPoint fp_save_write("columnar.save.write");
+FaultPoint fp_save_fsync("columnar.save.fsync");
+FaultPoint fp_save_rename("columnar.save.rename");
+FaultPoint fp_load_open("columnar.load.open");
+FaultPoint fp_load_mmap("columnar.load.mmap");
+FaultPoint fp_load_read("columnar.load.read");
+
+constexpr char kHeaderMagic[8] = {'C', 'M', 'D', 'B', '0', '0', '0', '1'};
+constexpr char kTrailerMagic[8] = {'C', 'M', 'D', 'B', 'F', 'T', 'R', '1'};
+constexpr size_t kTrailerBytes = 32;
+constexpr size_t kSegmentAlign = 64;
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t ReadU32(const unsigned char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+uint64_t ReadU64(const unsigned char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::DataLoss(path + ": " + what);
+}
+
+// ---------------------------------------------------------------------------
+// Save
+
+struct SegmentRef {
+  uint64_t offset = 0;
+  uint64_t bytes = 0;
+  uint32_t crc = 0;
+};
+
+// Pads to the segment alignment and appends `bytes` raw bytes, returning the
+// segment's location and crc for the footer.
+SegmentRef AppendSegment(std::string* file, const void* data, size_t bytes) {
+  while (file->size() % kSegmentAlign != 0) file->push_back('\0');
+  SegmentRef ref;
+  ref.offset = file->size();
+  ref.bytes = bytes;
+  if (bytes > 0) {
+    ref.crc = Crc32(std::string_view(static_cast<const char*>(data), bytes));
+    file->append(static_cast<const char*>(data), bytes);
+  } else {
+    ref.crc = Crc32(std::string_view());
+  }
+  return ref;
+}
+
+void AppendSegmentLine(std::ostringstream* footer, const char* tag, RelId r,
+                       AttrId a, const SegmentRef& ref) {
+  *footer << tag << " " << r << " " << a << " " << ref.offset << " "
+          << ref.bytes << " " << ref.crc << "\n";
+}
+
+}  // namespace
+
+Status SaveDatabaseColumnar(const Database& db, const std::string& path) {
+  std::string file;
+  file.append(kHeaderMagic, sizeof(kHeaderMagic));
+
+  std::ostringstream footer;
+  footer << "cmdb 1\n";
+  footer << "fingerprint " << SchemaFingerprint(db) << "\n";
+  footer << "classes " << db.num_classes() << "\n";
+
+  std::ostringstream segments;  // column/dict/labels lines, after the schema
+  for (RelId r = 0; r < db.num_relations(); ++r) {
+    const Relation& rel = db.relation(r);
+    const RelationSchema& schema = rel.schema();
+    footer << "relation " << schema.name() << " " << rel.num_tuples();
+    if (r == db.target()) footer << " target";
+    footer << "\n";
+    for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+      const Attribute& attr = schema.attr(a);
+      footer << "attr " << attr.name << " " << AttrKindName(attr.kind);
+      if (attr.kind == AttrKind::kForeignKey) {
+        footer << " " << db.relation(attr.references).name();
+      }
+      footer << "\n";
+
+      SegmentRef col;
+      if (schema.IsIntAttr(a)) {
+        const Column<int64_t>& c = rel.IntColumn(a);
+        col = AppendSegment(&file, c.data(), c.size() * sizeof(int64_t));
+      } else {
+        const Column<double>& c = rel.DoubleColumn(a);
+        col = AppendSegment(&file, c.data(), c.size() * sizeof(double));
+      }
+      AppendSegmentLine(&segments, "column", r, a, col);
+
+      const std::vector<std::string>& dict = rel.Dictionary(a);
+      if (!dict.empty()) {
+        std::string blob;
+        for (const std::string& label : dict) {
+          AppendU32(&blob, static_cast<uint32_t>(label.size()));
+          blob += label;
+        }
+        SegmentRef ref = AppendSegment(&file, blob.data(), blob.size());
+        segments << "dict " << r << " " << a << " " << ref.offset << " "
+                 << ref.bytes << " " << ref.crc << " " << dict.size() << "\n";
+      }
+    }
+  }
+
+  SegmentRef labels =
+      AppendSegment(&file, db.labels().data(),
+                    db.labels().size() * sizeof(ClassId));
+  footer << segments.str();
+  footer << "labels " << labels.offset << " " << labels.bytes << " "
+         << labels.crc << "\n";
+
+  std::string footer_text = footer.str();
+  uint64_t footer_offset = file.size();
+  file += footer_text;
+
+  file.append(kTrailerMagic, sizeof(kTrailerMagic));
+  AppendU64(&file, footer_offset);
+  AppendU64(&file, footer_text.size());
+  AppendU32(&file, Crc32(footer_text));
+  AppendU32(&file, 0);  // reserved
+
+  WriteFaultPoints faults;
+  faults.open = &fp_save_open;
+  faults.write = &fp_save_write;
+  faults.fsync = &fp_save_fsync;
+  faults.rename = &fp_save_rename;
+  return AtomicWriteFile(path, file, faults);
+}
+
+// ---------------------------------------------------------------------------
+// Load
+
+namespace {
+
+// Parsed footer manifest: schema specs plus segment directory, validated
+// against the file bounds but not yet materialized into a Database.
+struct SegmentSpec {
+  uint64_t offset = 0;
+  uint64_t bytes = 0;
+  uint32_t crc = 0;
+  uint64_t dict_count = 0;  // dict lines only
+  bool present = false;
+};
+
+struct AttrSpec {
+  std::string name;
+  std::string kind;
+  std::string fk_target;
+  SegmentSpec column;
+  SegmentSpec dict;
+};
+
+struct RelSpec {
+  std::string name;
+  uint64_t tuples = 0;
+  bool is_target = false;
+  std::vector<AttrSpec> attrs;
+};
+
+struct Manifest {
+  uint64_t fingerprint = 0;
+  int num_classes = 0;
+  uint64_t data_end = 0;  // first byte past the segments (= footer offset)
+  SegmentSpec labels;
+  std::vector<RelSpec> rels;
+};
+
+// Full-range u64 decimal (fingerprints use all 64 bits, so ParseInt64
+// would reject them).
+bool ParseU64Field(std::istringstream& in, uint64_t* out) {
+  std::string tok;
+  if (!(in >> tok) || tok.empty()) return false;
+  uint64_t v = 0;
+  for (char c : tok) {
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (v > (~uint64_t{0} - digit) / 10) return false;  // overflow
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+// Parses one `column`/`dict`/`labels` payload: offset, bytes, crc32 (+ label
+// count for dicts), bounds-checked against the segment area.
+Status ParseSegmentSpec(std::istringstream& in, const Manifest& m,
+                        const std::string& path, bool is_dict,
+                        SegmentSpec* spec) {
+  uint64_t crc = 0;
+  if (!ParseU64Field(in, &spec->offset) || !ParseU64Field(in, &spec->bytes) ||
+      !ParseU64Field(in, &crc) || crc > ~uint32_t{0} ||
+      (is_dict && !ParseU64Field(in, &spec->dict_count))) {
+    return Corrupt(path, "malformed segment line in footer");
+  }
+  spec->crc = static_cast<uint32_t>(crc);
+  if (spec->offset < sizeof(kHeaderMagic) ||
+      spec->offset % sizeof(int64_t) != 0 ||
+      spec->offset > m.data_end || spec->bytes > m.data_end - spec->offset) {
+    return Corrupt(path, "segment out of bounds");
+  }
+  spec->present = true;
+  return Status::OK();
+}
+
+Status ParseFooter(const std::string& path, std::string_view footer,
+                   uint64_t data_end, Manifest* m) {
+  m->data_end = data_end;
+  std::istringstream in{std::string(footer)};
+  std::string line;
+  bool saw_version = false;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view sv = Trim(line);
+    if (sv.empty()) continue;
+    std::istringstream ls{std::string(sv)};
+    std::string tok;
+    ls >> tok;
+    if (!saw_version) {
+      uint64_t version = 0;
+      if (tok != "cmdb" || !ParseU64Field(ls, &version) || version != 1) {
+        return Corrupt(path, "footer does not start with 'cmdb 1'");
+      }
+      saw_version = true;
+    } else if (tok == "fingerprint") {
+      if (!ParseU64Field(ls, &m->fingerprint)) {
+        return Corrupt(path, "malformed fingerprint line");
+      }
+    } else if (tok == "classes") {
+      ls >> m->num_classes;
+    } else if (tok == "relation") {
+      RelSpec spec;
+      ls >> spec.name;
+      if (spec.name.empty() || !ParseU64Field(ls, &spec.tuples) ||
+          spec.tuples > ~TupleId{0}) {
+        return Corrupt(path, StrFormat("footer:%d: malformed relation line",
+                                       lineno));
+      }
+      std::string flag;
+      if (ls >> flag) spec.is_target = (flag == "target");
+      for (const RelSpec& existing : m->rels) {
+        if (existing.name == spec.name) {
+          return Corrupt(path, "duplicate relation in footer");
+        }
+      }
+      m->rels.push_back(std::move(spec));
+    } else if (tok == "attr") {
+      if (m->rels.empty()) {
+        return Corrupt(path, "attr line before any relation");
+      }
+      AttrSpec attr;
+      ls >> attr.name >> attr.kind;
+      if (attr.kind == "fk") ls >> attr.fk_target;
+      if (attr.name.empty() || attr.kind.empty() ||
+          (attr.kind == "fk" && attr.fk_target.empty())) {
+        return Corrupt(path, StrFormat("footer:%d: malformed attr line",
+                                       lineno));
+      }
+      m->rels.back().attrs.push_back(std::move(attr));
+    } else if (tok == "column" || tok == "dict") {
+      uint64_t r = 0, a = 0;
+      if (!ParseU64Field(ls, &r) || !ParseU64Field(ls, &a) ||
+          r >= m->rels.size() || a >= m->rels[r].attrs.size()) {
+        return Corrupt(path, "segment line names an unknown attribute");
+      }
+      AttrSpec& attr = m->rels[r].attrs[a];
+      bool is_dict = (tok == "dict");
+      SegmentSpec* spec = is_dict ? &attr.dict : &attr.column;
+      if (spec->present) return Corrupt(path, "duplicate segment line");
+      CM_RETURN_IF_ERROR(ParseSegmentSpec(ls, *m, path, is_dict, spec));
+    } else if (tok == "labels") {
+      if (m->labels.present) return Corrupt(path, "duplicate labels line");
+      CM_RETURN_IF_ERROR(
+          ParseSegmentSpec(ls, *m, path, /*is_dict=*/false, &m->labels));
+    } else {
+      return Corrupt(path,
+                     StrFormat("footer:%d: unknown directive '%s'", lineno,
+                               tok.c_str()));
+    }
+  }
+  if (m->num_classes <= 0) return Corrupt(path, "missing classes directive");
+  if (!m->labels.present) return Corrupt(path, "missing labels line");
+  bool have_target = false;
+  for (const RelSpec& rel : m->rels) {
+    have_target = have_target || rel.is_target;
+    for (const AttrSpec& attr : rel.attrs) {
+      if (!attr.column.present) {
+        return Corrupt(path, "attribute without a column segment");
+      }
+      uint64_t cell = attr.kind == "num" ? sizeof(double) : sizeof(int64_t);
+      if (attr.column.bytes != rel.tuples * cell) {
+        return Corrupt(path, "column segment size disagrees with tuple count");
+      }
+    }
+  }
+  if (!have_target) return Corrupt(path, "no relation marked target");
+  return Status::OK();
+}
+
+/// Maps `path`, validates header magic / trailer / footer crc, and parses
+/// the manifest. Shared by OpenDatabaseColumnar and ReadColumnarInfo.
+Status LoadManifest(const std::string& path,
+                    std::shared_ptr<MmapFile>* out_file, Manifest* m) {
+  StatusOr<std::shared_ptr<MmapFile>> file =
+      MmapFile::Open(path, &fp_load_open, &fp_load_mmap);
+  if (!file.ok()) return file.status();
+  if (int err = fp_load_read.Fire(); err != 0) {
+    return Status::IoError("read " + path + ": " + std::strerror(err));
+  }
+  const MmapFile& f = **file;
+
+  if (f.size() < sizeof(kHeaderMagic) ||
+      std::memcmp(f.data(), kHeaderMagic, sizeof(kHeaderMagic)) != 0) {
+    return Status::InvalidArgument(path + ": not a .cmdb file");
+  }
+  if (f.size() < sizeof(kHeaderMagic) + kTrailerBytes) {
+    return Corrupt(path, "truncated (no trailer)");
+  }
+  const unsigned char* trailer = f.data() + f.size() - kTrailerBytes;
+  if (std::memcmp(trailer, kTrailerMagic, sizeof(kTrailerMagic)) != 0) {
+    return Corrupt(path, "bad trailer magic (truncated or overwritten)");
+  }
+  uint64_t footer_offset = ReadU64(trailer + 8);
+  uint64_t footer_bytes = ReadU64(trailer + 16);
+  uint32_t footer_crc = ReadU32(trailer + 24);
+  if (ReadU32(trailer + 28) != 0) {
+    return Corrupt(path, "nonzero reserved trailer field");
+  }
+  // The footer must exactly fill [footer_offset, trailer): anything else
+  // means the trailer and the bytes it describes disagree.
+  if (footer_offset < sizeof(kHeaderMagic) ||
+      footer_offset > f.size() - kTrailerBytes ||
+      footer_bytes != f.size() - kTrailerBytes - footer_offset) {
+    return Corrupt(path, "trailer footer bounds out of range");
+  }
+  std::string_view footer(
+      reinterpret_cast<const char*>(f.data() + footer_offset),
+      static_cast<size_t>(footer_bytes));
+  if (Crc32(footer) != footer_crc) {
+    return Corrupt(path, "footer checksum mismatch");
+  }
+  CM_RETURN_IF_ERROR(ParseFooter(path, footer, footer_offset, m));
+  *out_file = std::move(*file);
+  return Status::OK();
+}
+
+Status VerifySegment(const std::string& path, const MmapFile& f,
+                     const SegmentSpec& spec, const char* what) {
+  std::string_view bytes(reinterpret_cast<const char*>(f.data() + spec.offset),
+                         static_cast<size_t>(spec.bytes));
+  if (Crc32(bytes) != spec.crc) {
+    return Corrupt(path, std::string(what) + " segment checksum mismatch");
+  }
+  return Status::OK();
+}
+
+// Decodes a dictionary blob (u32 length + bytes per label). Bounds-checked
+// independently of the crc pass so `verify_checksums=false` opens stay
+// memory-safe on corrupt blobs.
+Status DecodeDictionary(const std::string& path, const MmapFile& f,
+                        const SegmentSpec& spec,
+                        std::vector<std::string>* labels) {
+  const unsigned char* p = f.data() + spec.offset;
+  uint64_t remaining = spec.bytes;
+  labels->reserve(static_cast<size_t>(spec.dict_count));
+  for (uint64_t i = 0; i < spec.dict_count; ++i) {
+    if (remaining < sizeof(uint32_t)) {
+      return Corrupt(path, "dictionary blob truncated");
+    }
+    uint32_t len = ReadU32(p);
+    p += sizeof(uint32_t);
+    remaining -= sizeof(uint32_t);
+    if (remaining < len) return Corrupt(path, "dictionary blob truncated");
+    labels->emplace_back(reinterpret_cast<const char*>(p), len);
+    p += len;
+    remaining -= len;
+  }
+  if (remaining != 0) {
+    return Corrupt(path, "dictionary blob has trailing bytes");
+  }
+  return Status::OK();
+}
+
+// With checksums on, the whole data area must be accounted for: every byte
+// in [header, footer) belongs to a declared segment or is zero alignment
+// padding. Keeps a flipped bit between segments from slipping past the
+// per-segment crcs.
+Status VerifyPadding(const std::string& path, const MmapFile& f,
+                     const Manifest& m) {
+  std::vector<std::pair<uint64_t, uint64_t>> segs;
+  for (const RelSpec& rel : m.rels) {
+    for (const AttrSpec& attr : rel.attrs) {
+      segs.emplace_back(attr.column.offset, attr.column.bytes);
+      if (attr.dict.present) segs.emplace_back(attr.dict.offset, attr.dict.bytes);
+    }
+  }
+  segs.emplace_back(m.labels.offset, m.labels.bytes);
+  std::sort(segs.begin(), segs.end());
+  uint64_t pos = sizeof(kHeaderMagic);
+  for (const auto& [offset, bytes] : segs) {
+    if (offset < pos) return Corrupt(path, "overlapping segments");
+    for (uint64_t i = pos; i < offset; ++i) {
+      if (f.data()[i] != 0) return Corrupt(path, "nonzero segment padding");
+    }
+    pos = offset + bytes;
+  }
+  for (uint64_t i = pos; i < m.data_end; ++i) {
+    if (f.data()[i] != 0) return Corrupt(path, "nonzero segment padding");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Database> OpenDatabaseColumnar(const std::string& path,
+                                        const ColumnarOpenOptions& options) {
+  std::shared_ptr<MmapFile> file;
+  Manifest m;
+  CM_RETURN_IF_ERROR(LoadManifest(path, &file, &m));
+  const MmapFile& f = *file;
+  if (options.verify_checksums) {
+    CM_RETURN_IF_ERROR(VerifyPadding(path, f, m));
+  }
+
+  auto rel_index = [&m](const std::string& name) -> RelId {
+    for (size_t i = 0; i < m.rels.size(); ++i) {
+      if (m.rels[i].name == name) return static_cast<RelId>(i);
+    }
+    return kInvalidRel;
+  };
+
+  Database db;
+  for (const RelSpec& spec : m.rels) {
+    RelationSchema schema(spec.name);
+    for (const AttrSpec& attr : spec.attrs) {
+      if (attr.kind == "pk") {
+        if (schema.primary_key() != kInvalidAttr) {
+          return Corrupt(path, "relation declares a second primary key");
+        }
+        schema.AddPrimaryKey(attr.name);
+      } else if (attr.kind == "fk") {
+        RelId ref = rel_index(attr.fk_target);
+        if (ref == kInvalidRel) {
+          return Corrupt(path, "unknown fk target relation: " +
+                                   attr.fk_target);
+        }
+        schema.AddForeignKey(attr.name, ref);
+      } else if (attr.kind == "cat") {
+        schema.AddCategorical(attr.name);
+      } else if (attr.kind == "num") {
+        schema.AddNumerical(attr.name);
+      } else {
+        return Corrupt(path, "unknown attr kind: " + attr.kind);
+      }
+    }
+    RelId r = db.AddRelation(std::move(schema));
+    if (spec.is_target) db.SetTarget(r);
+  }
+
+  for (RelId r = 0; r < db.num_relations(); ++r) {
+    const RelSpec& spec = m.rels[static_cast<size_t>(r)];
+    Relation& rel = db.mutable_relation(r);
+    rel.BindBorrowedTuples(static_cast<TupleId>(spec.tuples));
+    for (AttrId a = 0; a < rel.schema().num_attrs(); ++a) {
+      const AttrSpec& attr = spec.attrs[static_cast<size_t>(a)];
+      if (options.verify_checksums) {
+        CM_RETURN_IF_ERROR(VerifySegment(path, f, attr.column, "column"));
+      }
+      const unsigned char* base = f.data() + attr.column.offset;
+      if (rel.schema().IsIntAttr(a)) {
+        rel.BorrowIntColumn(a, reinterpret_cast<const int64_t*>(base));
+      } else {
+        rel.BorrowDoubleColumn(a, reinterpret_cast<const double*>(base));
+      }
+      if (attr.dict.present) {
+        if (options.verify_checksums) {
+          CM_RETURN_IF_ERROR(VerifySegment(path, f, attr.dict, "dict"));
+        }
+        std::vector<std::string> labels;
+        CM_RETURN_IF_ERROR(DecodeDictionary(path, f, attr.dict, &labels));
+        rel.SetDictionary(a, std::move(labels));
+      }
+    }
+  }
+
+  if (options.verify_checksums) {
+    CM_RETURN_IF_ERROR(VerifySegment(path, f, m.labels, "labels"));
+  }
+  uint64_t target_tuples =
+      m.rels[static_cast<size_t>(db.target())].tuples;
+  if (m.labels.bytes != target_tuples * sizeof(ClassId)) {
+    return Corrupt(path, "labels segment size disagrees with target tuples");
+  }
+  const ClassId* label_data =
+      reinterpret_cast<const ClassId*>(f.data() + m.labels.offset);
+  std::vector<ClassId> labels(label_data, label_data + target_tuples);
+  for (ClassId label : labels) {
+    if (label < 0 || label >= m.num_classes) {
+      return Corrupt(path, "class label out of range");
+    }
+  }
+  db.SetLabels(std::move(labels), m.num_classes);
+
+  // Convert-time validation (referential integrity, key uniqueness) is
+  // trusted here — the crc32s are the integrity boundary of a binary file,
+  // exactly as for model containers — so open stays O(mmap + checksums).
+  if (Status s = db.Finalize(); !s.ok()) {
+    return Corrupt(path, "stored database fails finalization: " + s.message());
+  }
+  if (SchemaFingerprint(db) != m.fingerprint) {
+    return Corrupt(path, "schema fingerprint mismatch");
+  }
+  db.RetainStorage(std::move(file));
+  return db;
+}
+
+StatusOr<ColumnarInfo> ReadColumnarInfo(const std::string& path) {
+  std::shared_ptr<MmapFile> file;
+  Manifest m;
+  CM_RETURN_IF_ERROR(LoadManifest(path, &file, &m));
+
+  ColumnarInfo info;
+  info.file_bytes = file->size();
+  info.fingerprint = m.fingerprint;
+  info.num_classes = m.num_classes;
+  info.labels_bytes = m.labels.bytes;
+  for (const RelSpec& rel : m.rels) {
+    ColumnarRelationInfo r;
+    r.name = rel.name;
+    r.tuples = rel.tuples;
+    r.is_target = rel.is_target;
+    for (const AttrSpec& attr : rel.attrs) {
+      ColumnarAttrInfo a;
+      a.name = attr.name;
+      a.kind = attr.kind;
+      a.fk_target = attr.fk_target;
+      a.column_bytes = attr.column.bytes;
+      a.dict_count = attr.dict.dict_count;
+      a.dict_bytes = attr.dict.bytes;
+      r.attrs.push_back(std::move(a));
+    }
+    info.relations.push_back(std::move(r));
+  }
+  return info;
+}
+
+}  // namespace crossmine::storage

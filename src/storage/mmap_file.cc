@@ -1,0 +1,64 @@
+#include "storage/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace crossmine::storage {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path, int err) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(err));
+}
+
+}  // namespace
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+  }
+}
+
+StatusOr<std::shared_ptr<MmapFile>> MmapFile::Open(const std::string& path,
+                                                   FaultPoint* open_fault,
+                                                   FaultPoint* mmap_fault) {
+  if (open_fault != nullptr) {
+    if (int err = open_fault->Fire(); err != 0) {
+      return Errno("open", path, err);
+    }
+  }
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Errno("open", path, errno);
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Errno("fstat", path, err);
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return std::shared_ptr<MmapFile>(new MmapFile(nullptr, 0));
+  }
+
+  if (mmap_fault != nullptr) {
+    if (int err = mmap_fault->Fire(); err != 0) {
+      ::close(fd);
+      return Errno("mmap", path, err);
+    }
+  }
+  void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  int err = errno;
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (mapped == MAP_FAILED) return Errno("mmap", path, err);
+  return std::shared_ptr<MmapFile>(
+      new MmapFile(static_cast<const unsigned char*>(mapped), size));
+}
+
+}  // namespace crossmine::storage

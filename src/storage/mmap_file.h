@@ -1,0 +1,47 @@
+#ifndef CROSSMINE_STORAGE_MMAP_FILE_H_
+#define CROSSMINE_STORAGE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/faultpoint.h"
+#include "common/status.h"
+
+namespace crossmine::storage {
+
+/// A read-only memory-mapped file. The mapping is shared + read-only, so the
+/// kernel pages segments in lazily on first touch and can evict them under
+/// memory pressure — this is what lets `.cmdb` databases larger than RAM
+/// open, and why opening one costs milliseconds regardless of size. Keep the
+/// MmapFile alive (via shared_ptr, normally anchored with
+/// `Database::RetainStorage`) for as long as any borrowed column span points
+/// into it.
+class MmapFile {
+ public:
+  /// Maps `path` read-only. `open_fault` / `mmap_fault` are consulted
+  /// immediately before the respective syscalls (see common/faultpoint.h).
+  /// A zero-length file yields a valid MmapFile with `size() == 0` and no
+  /// mapping (mmap(2) rejects empty ranges).
+  static StatusOr<std::shared_ptr<MmapFile>> Open(
+      const std::string& path, FaultPoint* open_fault = nullptr,
+      FaultPoint* mmap_fault = nullptr);
+
+  ~MmapFile();
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const unsigned char* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  MmapFile(const unsigned char* data, size_t size)
+      : data_(data), size_(size) {}
+
+  const unsigned char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace crossmine::storage
+
+#endif  // CROSSMINE_STORAGE_MMAP_FILE_H_

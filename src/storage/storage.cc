@@ -1,0 +1,74 @@
+#include "storage/storage.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace crossmine::storage {
+
+namespace {
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+StatusOr<Format> SniffFormat(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such database: " + path);
+    }
+    return Status::IoError("stat " + path + ": " + std::strerror(errno));
+  }
+  if (S_ISDIR(st.st_mode)) return Format::kCsvDir;
+  if (!S_ISREG(st.st_mode)) {
+    return Status::InvalidArgument(path + ": not a file or directory");
+  }
+  // A regular file must carry the `.cmdb` header magic to be a database.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  char magic[8] = {};
+  size_t n = std::fread(magic, 1, sizeof(magic), f);
+  std::fclose(f);
+  if (n != sizeof(magic) || std::memcmp(magic, "CMDB0001", 8) != 0) {
+    return Status::InvalidArgument(
+        path + ": not a database (expected a CSV directory or .cmdb file)");
+  }
+  return Format::kColumnar;
+}
+
+StatusOr<Database> OpenDatabase(const std::string& path,
+                                const OpenOptions& options) {
+  StatusOr<Format> format = SniffFormat(path);
+  if (!format.ok()) return format.status();
+  switch (*format) {
+    case Format::kCsvDir:
+      return LoadDatabaseCsv(path);
+    case Format::kColumnar: {
+      ColumnarOpenOptions columnar;
+      columnar.verify_checksums = options.verify_checksums;
+      return OpenDatabaseColumnar(path, columnar);
+    }
+  }
+  return Status::Internal("unreachable format");
+}
+
+Status SaveDatabase(const Database& db, const std::string& path) {
+  if (EndsWith(path, ".cmdb")) return SaveDatabaseColumnar(db, path);
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    return Status::IoError("mkdir " + path + ": " + ec.message());
+  }
+  return SaveDatabaseCsv(db, path);
+}
+
+}  // namespace crossmine::storage

@@ -33,7 +33,7 @@ namespace {
 std::map<int64_t, std::vector<TupleId>> ReferencePostings(const Relation& rel,
                                                           AttrId a) {
   std::map<int64_t, std::vector<TupleId>> ref;
-  const std::vector<int64_t>& col = rel.IntColumn(a);
+  const Column<int64_t>& col = rel.IntColumn(a);
   for (TupleId t = 0; t < rel.num_tuples(); ++t) {
     if (col[t] != kNullValue) ref[col[t]].push_back(t);
   }

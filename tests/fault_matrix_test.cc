@@ -31,6 +31,7 @@
 #include "core/model_io.h"
 #include "relational/csv.h"
 #include "serve/protocol.h"
+#include "storage/storage.h"
 #include "serve/server.h"
 #include "serve/tcp.h"
 #include "test_util.h"
@@ -97,13 +98,15 @@ class FaultMatrixTest : public ::testing::Test {
 
 TEST_F(FaultMatrixTest, EveryRegisteredPointHasAMatrixDriver) {
   const std::set<std::string> covered = {
-      "csv.data.open",       "csv.data.read",       "csv.schema.open",
-      "csv.schema.read",     "csv.save.fsync",      "csv.save.open",
-      "csv.save.rename",     "csv.save.write",      "model_io.load.open",
-      "model_io.load.read",  "model_io.save.fsync", "model_io.save.open",
-      "model_io.save.rename","model_io.save.write", "serve.admit",
-      "serve.execute",       "tcp.accept",          "tcp.accept.poll",
-      "tcp.conn.read",       "tcp.send",
+      "columnar.load.mmap",  "columnar.load.open",  "columnar.load.read",
+      "columnar.save.fsync", "columnar.save.open",  "columnar.save.rename",
+      "columnar.save.write", "csv.data.open",       "csv.data.read",
+      "csv.schema.open",     "csv.schema.read",     "csv.save.fsync",
+      "csv.save.open",       "csv.save.rename",     "csv.save.write",
+      "model_io.load.open",  "model_io.load.read",  "model_io.save.fsync",
+      "model_io.save.open",  "model_io.save.rename","model_io.save.write",
+      "serve.admit",         "serve.execute",       "tcp.accept",
+      "tcp.accept.poll",     "tcp.conn.read",       "tcp.send",
   };
   for (const std::string& name : Registry().Names()) {
     EXPECT_TRUE(covered.count(name) > 0)
@@ -223,6 +226,58 @@ TEST_F(FaultMatrixTest, CsvLoadFaultsFailCleanly) {
                                           "succeeded";
     Registry().DisarmAll();
     EXPECT_TRUE(LoadDatabaseCsv(dir).ok()) << point;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence: `.cmdb` columnar save / load.
+
+TEST_F(FaultMatrixTest, ColumnarSaveFaultsLeaveOldFileIntact) {
+  Fig2Database fig = MakeFig2Database();
+  std::string dir = ScratchDir("columnar_save");
+  std::string path = dir + "/db.cmdb";
+  ASSERT_TRUE(storage::SaveDatabaseColumnar(fig.db, path).ok());
+  std::string baseline = ReadFile(path);
+  ASSERT_FALSE(baseline.empty());
+
+  for (const char* point :
+       {"columnar.save.open", "columnar.save.write", "columnar.save.fsync",
+        "columnar.save.rename"}) {
+    ASSERT_TRUE(Registry().ApplyPlan(std::string(point) + "@1=ENOSPC").ok());
+    Status st = storage::SaveDatabaseColumnar(fig.db, path);
+    EXPECT_FALSE(st.ok()) << point
+                          << " armed but SaveDatabaseColumnar succeeded";
+    EXPECT_EQ(ReadFile(path), baseline)
+        << point << ": failed save must leave the previous file intact";
+    EXPECT_FALSE(HasTempLeftovers(dir))
+        << point << ": failed save leaked a temp file";
+    Registry().DisarmAll();
+    // Disarmed rerun: byte-identical to the baseline save.
+    EXPECT_TRUE(storage::SaveDatabaseColumnar(fig.db, path).ok()) << point;
+    EXPECT_EQ(ReadFile(path), baseline) << point;
+  }
+  EXPECT_TRUE(storage::OpenDatabaseColumnar(path).ok());
+}
+
+TEST_F(FaultMatrixTest, ColumnarLoadFaultsFailCleanly) {
+  Fig2Database fig = MakeFig2Database();
+  std::string path = ScratchDir("columnar_load") + "/db.cmdb";
+  ASSERT_TRUE(storage::SaveDatabaseColumnar(fig.db, path).ok());
+
+  for (const char* point :
+       {"columnar.load.open", "columnar.load.mmap", "columnar.load.read"}) {
+    ASSERT_TRUE(Registry().ApplyPlan(std::string(point) + "@1=EIO").ok());
+    StatusOr<Database> loaded = storage::OpenDatabaseColumnar(path);
+    EXPECT_FALSE(loaded.ok())
+        << point << " armed but OpenDatabaseColumnar succeeded";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIoError) << point;
+    Registry().DisarmAll();
+    EXPECT_TRUE(storage::OpenDatabaseColumnar(path).ok()) << point;
+    // The facade surfaces the same failure: OpenDatabase sniffs the magic
+    // out-of-band, so the injected fault hits the columnar loader itself.
+    ASSERT_TRUE(Registry().ApplyPlan(std::string(point) + "@1=EIO").ok());
+    EXPECT_FALSE(storage::OpenDatabase(path).ok()) << point;
+    Registry().DisarmAll();
   }
 }
 

@@ -15,7 +15,7 @@
 #include "datagen/synthetic.h"
 #include "eval/cross_validation.h"
 #include "eval/metrics.h"
-#include "relational/csv.h"
+#include "storage/storage.h"
 
 namespace crossmine {
 namespace {
@@ -136,8 +136,8 @@ TEST(IntegrationTest, CsvRoundTripPreservesPredictions) {
   std::string dir = ::testing::TempDir() + "/integration_csv";
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
-  ASSERT_TRUE(SaveDatabaseCsv(*db, dir).ok());
-  StatusOr<Database> loaded = LoadDatabaseCsv(dir);
+  ASSERT_TRUE(storage::SaveDatabase(*db, dir).ok());
+  StatusOr<Database> loaded = storage::OpenDatabase(dir);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
 
   std::vector<TupleId> ids(db->target_relation().num_tuples());

@@ -13,7 +13,7 @@
 #include "core/literal_search.h"
 #include "core/propagation.h"
 #include "eval/metrics.h"
-#include "relational/csv.h"
+#include "storage/storage.h"
 #include "test_util.h"
 
 namespace crossmine {
@@ -109,7 +109,7 @@ TEST_P(NumericalLiteralOracleTest, BestLiteralCountsMatchBruteForce) {
 
     // Recompute coverage of the winning numerical literal by brute force.
     std::set<TupleId> covered;
-    const std::vector<double>& col = rel.DoubleColumn(best.constraint.attr);
+    const Column<double>& col = rel.DoubleColumn(best.constraint.attr);
     for (TupleId u = 0; u < rel.num_tuples(); ++u) {
       bool ok = best.constraint.cmp == CmpOp::kLe
                     ? col[u] <= best.constraint.threshold
@@ -205,8 +205,8 @@ TEST_P(CsvValueFuzzTest, ExtremeNumericsSurviveRoundTrip) {
                     std::to_string(GetParam());
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
-  ASSERT_TRUE(SaveDatabaseCsv(db, dir).ok());
-  StatusOr<Database> loaded = LoadDatabaseCsv(dir);
+  ASSERT_TRUE(storage::SaveDatabase(db, dir).ok());
+  StatusOr<Database> loaded = storage::OpenDatabase(dir);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   for (TupleId id = 0; id < 40u; ++id) {
     EXPECT_DOUBLE_EQ(loaded->relation(0).Double(id, x),

@@ -57,8 +57,11 @@ TEST(RelationTest, Columns) {
     r.SetInt(t, 1, i);
     r.SetDouble(t, 2, i * 1.5);
   }
-  EXPECT_EQ(r.IntColumn(1), (std::vector<int64_t>{0, 1, 2}));
-  EXPECT_EQ(r.DoubleColumn(2), (std::vector<double>{0.0, 1.5, 3.0}));
+  EXPECT_EQ(std::vector<int64_t>(r.IntColumn(1).begin(), r.IntColumn(1).end()),
+            (std::vector<int64_t>{0, 1, 2}));
+  EXPECT_EQ(std::vector<double>(r.DoubleColumn(2).begin(),
+                                r.DoubleColumn(2).end()),
+            (std::vector<double>{0.0, 1.5, 3.0}));
 }
 
 TEST(RelationTest, HashIndexGroupsByValue) {

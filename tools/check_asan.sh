@@ -9,7 +9,9 @@
 # The corruption and fault suites ride along so every rejected corrupt
 # input and every injected failure path is also memory-clean: an
 # out-of-bounds parse of hostile bytes is a failure even when it does not
-# crash the unsanitized build. The bitmap kernel and AttrIndex suites run
+# crash the unsanitized build — the columnar suites matter most here,
+# since the `.cmdb` loader parses offsets out of an mmap'd file and hands
+# zero-copy spans to the engine. The bitmap kernel and AttrIndex suites run
 # here too: word-granular spans with tail-word masking and CSR posting
 # arithmetic are classic off-by-one-word territory.
 #
@@ -22,8 +24,8 @@ BUILD_DIR="${1:-build-asan}"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Asan
 cmake --build "$BUILD_DIR" -j \
   --target protocol_test serve_test idset_store_test bitmap_ops_test \
-  attr_index_test csv_corruption_test fault_matrix_test crossmine_cli \
-  serve_client
+  attr_index_test csv_corruption_test columnar_test \
+  columnar_corruption_test fault_matrix_test crossmine_cli serve_client
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="halt_on_error=1 ${UBSAN_OPTIONS:-}"
@@ -33,6 +35,8 @@ export UBSAN_OPTIONS="halt_on_error=1 ${UBSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/bitmap_ops_test
 "$BUILD_DIR"/tests/attr_index_test
 "$BUILD_DIR"/tests/csv_corruption_test
+"$BUILD_DIR"/tests/columnar_test
+"$BUILD_DIR"/tests/columnar_corruption_test
 "$BUILD_DIR"/tests/fault_matrix_test
 bash tools/check_serve_smoke.sh \
   "$BUILD_DIR"/tools/crossmine "$BUILD_DIR"/tools/serve_client

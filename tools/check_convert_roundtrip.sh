@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Storage-API acceptance check for the binary columnar format, in three
+# parts:
+#
+#   1. Round trip: generate a CSV dataset, `convert` it to `.cmdb`, and
+#      train from both. The models must be byte-identical — the storage
+#      format may change how bytes reach the engine, never what the
+#      engine computes. `info` and `inspect` must both read the file.
+#
+#   2. Reverse trip: `.cmdb` back to CSV and to `.cmdb` again. The second
+#      `.cmdb` must be byte-identical to the first — the format is a
+#      deterministic function of the database contents.
+#
+#   3. kill -9 during convert: `.cmdb` writes go through the same atomic
+#      temp + fsync + rename protocol as models, so a crash at ANY
+#      instant leaves the output path holding the complete old file or
+#      the complete new one, never a torn mixture. A sleep fault pins
+#      the save right before its rename to hit the worst-case window
+#      deterministically.
+#
+# Usage: tools/check_convert_roundtrip.sh [crossmine-binary]
+#        (default: build/tools/crossmine)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN="${1:-build/tools/crossmine}"
+[ -x "$BIN" ] || { echo "check_convert_roundtrip: binary not found: $BIN" >&2; exit 1; }
+
+DIR="$(mktemp -d)"
+CONVERT_PID=""
+cleanup() {
+  if [ -n "$CONVERT_PID" ] && kill -0 "$CONVERT_PID" 2>/dev/null; then
+    kill -9 "$CONVERT_PID" 2>/dev/null || true
+  fi
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+# --- Part 1: CSV -> .cmdb, identical models from either format ----------
+
+"$BIN" generate financial "$DIR/csv" --seed 17 --loans 60 > /dev/null
+"$BIN" convert "$DIR/csv" "$DIR/db.cmdb" > /dev/null
+"$BIN" info "$DIR/db.cmdb" | grep -q "columnar .cmdb" || {
+  echo "check_convert_roundtrip: info did not recognize the .cmdb" >&2
+  exit 1
+}
+"$BIN" inspect "$DIR/db.cmdb" > /dev/null
+"$BIN" train "$DIR/csv" "$DIR/from_csv.cm" --threads 1 > /dev/null
+"$BIN" train "$DIR/db.cmdb" "$DIR/from_cmdb.cm" --threads 1 > /dev/null
+cmp -s "$DIR/from_csv.cm" "$DIR/from_cmdb.cm" || {
+  echo "check_convert_roundtrip: models differ between CSV and .cmdb" >&2
+  exit 1
+}
+
+# --- Part 2: .cmdb -> CSV -> .cmdb is byte-stable ------------------------
+
+"$BIN" convert "$DIR/db.cmdb" "$DIR/csv2" > /dev/null
+"$BIN" convert "$DIR/csv2" "$DIR/db2.cmdb" > /dev/null
+cmp -s "$DIR/db.cmdb" "$DIR/db2.cmdb" || {
+  echo "check_convert_roundtrip: .cmdb not byte-stable across round trip" >&2
+  exit 1
+}
+
+# --- Part 3: kill -9 mid-convert never tears the output ------------------
+
+# A distinct valid .cmdb plays the pre-existing file a crashed convert
+# must leave untouched.
+"$BIN" generate financial "$DIR/csv_old" --seed 5 --loans 60 > /dev/null
+"$BIN" convert "$DIR/csv_old" "$DIR/old.cmdb" > /dev/null
+cmp -s "$DIR/old.cmdb" "$DIR/db.cmdb" && {
+  echo "check_convert_roundtrip: seed 5 and 17 databases unexpectedly identical" >&2
+  exit 1
+}
+
+check_cmdb_intact() {
+  local when="$1"
+  if ! cmp -s "$DIR/victim.cmdb" "$DIR/old.cmdb" \
+      && ! cmp -s "$DIR/victim.cmdb" "$DIR/db.cmdb"; then
+    echo "check_convert_roundtrip: victim.cmdb torn after kill ($when)" >&2
+    exit 1
+  fi
+  "$BIN" info "$DIR/victim.cmdb" > /dev/null || {
+    echo "check_convert_roundtrip: victim.cmdb unreadable after kill ($when)" >&2
+    exit 1
+  }
+  rm -f "$DIR/victim.cmdb.tmp."*  # a crashed save may leave its temp behind
+}
+
+# 3a. Deterministic worst case: park the save right before its rename (the
+# temp file is complete and fsynced) and kill -9 inside that window.
+for i in 1 2 3; do
+  cp "$DIR/old.cmdb" "$DIR/victim.cmdb"
+  "$BIN" convert "$DIR/csv" "$DIR/victim.cmdb" \
+    --fault-plan "columnar.save.rename@1=sleep:400" > /dev/null 2>&1 &
+  CONVERT_PID=$!
+  for _ in $(seq 1 200); do
+    compgen -G "$DIR/victim.cmdb.tmp.*" > /dev/null && break
+    kill -0 "$CONVERT_PID" 2>/dev/null || break
+    sleep 0.02
+  done
+  compgen -G "$DIR/victim.cmdb.tmp.*" > /dev/null || {
+    echo "check_convert_roundtrip: save temp file never appeared (round $i)" >&2
+    exit 1
+  }
+  kill -9 "$CONVERT_PID" 2>/dev/null || true
+  wait "$CONVERT_PID" 2>/dev/null || true
+  CONVERT_PID=""
+  cmp -s "$DIR/victim.cmdb" "$DIR/old.cmdb" || {
+    echo "check_convert_roundtrip: old .cmdb damaged by kill before rename (round $i)" >&2
+    exit 1
+  }
+  check_cmdb_intact "pre-rename round $i"
+done
+
+# 3b. Random-timing sweep: kill the converter at arbitrary points of its
+# lifetime. Whatever the instant, the output path must hold one of the
+# two complete files.
+for i in $(seq 1 6); do
+  cp "$DIR/old.cmdb" "$DIR/victim.cmdb"
+  "$BIN" convert "$DIR/csv" "$DIR/victim.cmdb" > /dev/null 2>&1 &
+  CONVERT_PID=$!
+  sleep "0.0$((RANDOM % 10))$((RANDOM % 10))"
+  kill -9 "$CONVERT_PID" 2>/dev/null || true
+  wait "$CONVERT_PID" 2>/dev/null || true
+  CONVERT_PID=""
+  check_cmdb_intact "random-timing round $i"
+done
+
+echo "check_convert_roundtrip: OK (identical models, byte-stable, kill -9 never tears)"

@@ -7,6 +7,8 @@
 # joining, and injected mid-connection failures all racing one another.
 # The AttrIndex equivalence suite rides along because parallel workers share
 # the lazily built attribute indexes (warmed before the pool starts).
+# The columnar suite rides along because a `.cmdb`-loaded database hands
+# borrowed mmap spans to those same workers (copy-on-write on mutation).
 #
 # Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -17,7 +19,7 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Tsan
 cmake --build "$BUILD_DIR" -j \
   --target parallel_search_test clause_builder_test serve_test \
-  idset_store_test attr_index_test fault_matrix_test
+  idset_store_test attr_index_test columnar_test fault_matrix_test
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/parallel_search_test
@@ -25,6 +27,7 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/serve_test
 "$BUILD_DIR"/tests/idset_store_test
 "$BUILD_DIR"/tests/attr_index_test
+"$BUILD_DIR"/tests/columnar_test
 "$BUILD_DIR"/tests/fault_matrix_test
 
 echo "check_tsan: OK (no races reported)"

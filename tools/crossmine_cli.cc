@@ -1,16 +1,21 @@
 // crossmine — command-line front end for the library.
 //
-//   crossmine generate <kind> <dir> [options]   create a dataset (CSV)
-//   crossmine inspect  <dir>                    show schema & statistics
-//   crossmine evaluate <dir> [options]          k-fold cross validation
-//   crossmine train    <dir> <model>            train and save a model
-//   crossmine predict  <dir> <model>            load a model and classify
-//   crossmine explain  <dir> <model> <tuple>    explain one prediction
-//   crossmine serve    <dir> <model>...         long-lived prediction server
+//   crossmine generate <kind> <db> [options]    create a dataset
+//   crossmine convert  <db> <db>                transcode between formats
+//   crossmine info     <db>                     format-level layout report
+//   crossmine inspect  <db>                     show schema & statistics
+//   crossmine evaluate <db> [options]           k-fold cross validation
+//   crossmine train    <db> <model>             train and save a model
+//   crossmine predict  <db> <model>             load a model and classify
+//   crossmine explain  <db> <model> <tuple>     explain one prediction
+//   crossmine serve    <db> <model>...          long-lived prediction server
 //
-// Datasets are directories in the CSV + schema.txt format of
-// relational/csv.h, so anything the library can load can also be produced
-// by external tools. Run `crossmine help` for the full option list.
+// Every <db> goes through storage::OpenDatabase, which accepts either a
+// CSV + schema.txt directory (diff-able, producible by external tools) or
+// a binary columnar `.cmdb` file (mmap-backed, the fast path for repeated
+// runs); `generate` and `convert` pick the output format from the path
+// (`.cmdb` suffix = columnar). Run `crossmine help` for the full option
+// list.
 //
 // `--report text|json` on evaluate / train / predict surfaces the
 // observability reports (phase timings, propagation-cache traffic, clause
@@ -37,8 +42,9 @@
 #include "common/shutdown.h"
 #include "eval/cross_validation.h"
 #include "eval/metrics.h"
-#include "relational/csv.h"
 #include "serve/server.h"
+#include "storage/columnar.h"
+#include "storage/storage.h"
 #include "serve/tcp.h"
 
 using namespace crossmine;
@@ -49,22 +55,32 @@ int Usage() {
   std::printf(
       "crossmine — multi-relational classification (CrossMine, ICDE'04)\n\n"
       "usage:\n"
-      "  crossmine generate synthetic <dir> [--seed N] [--relations N]\n"
-      "                                     [--tuples N] [--fkeys N]\n"
-      "  crossmine generate financial <dir> [--seed N] [--loans N]\n"
-      "  crossmine generate mutagenesis <dir> [--seed N] [--molecules N]\n"
-      "  crossmine inspect <dir>\n"
-      "  crossmine evaluate <dir> [--folds K] [--classifier crossmine|foil|tilde]\n"
-      "                           [--report text|json] [model options]\n"
-      "  crossmine train <dir> <model-file> [--report text|json]\n"
-      "                                     [model options]\n"
-      "  crossmine predict <dir> <model-file> [--mode best|vote|list]\n"
-      "                                       [--report text|json]\n"
-      "  crossmine explain <dir> <model-file> <tuple-id>\n"
-      "  crossmine serve <dir> <model-file>... [--port N] [--threads N]\n"
+      "  crossmine generate synthetic <db> [--seed N] [--relations N]\n"
+      "                                    [--tuples N] [--fkeys N]\n"
+      "  crossmine generate financial <db> [--seed N] [--loans N]\n"
+      "  crossmine generate mutagenesis <db> [--seed N] [--molecules N]\n"
+      "  crossmine convert <db> <db>\n"
+      "  crossmine info <db>\n"
+      "  crossmine inspect <db>\n"
+      "  crossmine evaluate <db> [--folds K] [--classifier crossmine|foil|tilde]\n"
+      "                          [--report text|json] [model options]\n"
+      "  crossmine train <db> <model-file> [--report text|json]\n"
+      "                                    [model options]\n"
+      "  crossmine predict <db> <model-file> [--mode best|vote|list]\n"
+      "                                      [--report text|json]\n"
+      "  crossmine explain <db> <model-file> <tuple-id>\n"
+      "  crossmine serve <db> <model-file>... [--port N] [--threads N]\n"
       "                  [--max-queue N] [--batch-size N] [--deadline-ms N]\n"
       "                  [--idle-timeout-ms N] [--max-connections N]\n"
       "                  [--report text|json]\n"
+      "\n"
+      "databases: every <db> is either a CSV + schema.txt directory or a\n"
+      "  binary columnar `.cmdb` file; the format is sniffed on load and\n"
+      "  chosen by path suffix on write (`.cmdb` = columnar, else a CSV\n"
+      "  directory). `convert` transcodes in either direction; `info`\n"
+      "  prints the on-disk layout (segments, fingerprint) of a `.cmdb`.\n"
+      "  --no-verify skips `.cmdb` checksum verification on load (for\n"
+      "  databases much larger than RAM; structural checks still run).\n"
       "\n"
       "serve: answers newline-delimited JSON requests (predict,\n"
       "  predict_batch, explain, stats, health) on 127.0.0.1:<port>\n"
@@ -158,6 +174,19 @@ CrossMineOptions ParseCrossMineOptions(
   return o;
 }
 
+/// Opens a database of either format, honoring `--no-verify`, and prints
+/// the failure to stderr so subcommands can just bail on !ok().
+StatusOr<Database> LoadDb(const std::string& path,
+                          const std::map<std::string, std::string>& opts) {
+  storage::OpenOptions open_opts;
+  open_opts.verify_checksums = opts.count("no-verify") == 0;
+  StatusOr<Database> db = storage::OpenDatabase(path, open_opts);
+  if (!db.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", db.status().ToString().c_str());
+  }
+  return db;
+}
+
 enum class ReportMode { kNone, kText, kJson };
 
 /// Parses `--report text|json`; returns false (after printing to stderr) on
@@ -210,8 +239,7 @@ int Generate(int argc, char** argv) {
                  db.status().ToString().c_str());
     return 1;
   }
-  std::filesystem::create_directories(dir);
-  Status st = SaveDatabaseCsv(*db, dir);
+  Status st = storage::SaveDatabase(*db, dir);
   if (!st.ok()) {
     std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
     return 1;
@@ -222,13 +250,90 @@ int Generate(int argc, char** argv) {
   return 0;
 }
 
-int Inspect(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  StatusOr<Database> db = LoadDatabaseCsv(argv[2]);
-  if (!db.ok()) {
-    std::fprintf(stderr, "load failed: %s\n", db.status().ToString().c_str());
+int Convert(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto opts = ParseOptions(argc, argv, 4);
+  StatusOr<Database> db = LoadDb(argv[2], opts);
+  if (!db.ok()) return 1;
+  Status st = storage::SaveDatabase(*db, argv[3]);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
     return 1;
   }
+  std::printf("wrote %s: %d relations, %llu tuples\n", argv[3],
+              db->num_relations(),
+              static_cast<unsigned long long>(db->TotalTuples()));
+  return 0;
+}
+
+int Info(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string path = argv[2];
+  StatusOr<storage::Format> format = storage::SniffFormat(path);
+  if (!format.ok()) {
+    std::fprintf(stderr, "info failed: %s\n",
+                 format.status().ToString().c_str());
+    return 1;
+  }
+  if (*format == storage::Format::kCsvDir) {
+    // CSV directories have no manifest to report beyond the schema; point
+    // at `inspect`, which loads and summarizes either format.
+    std::printf("%s: CSV + schema.txt directory (run `crossmine inspect` "
+                "for schema and statistics, or `crossmine convert` to "
+                "produce a .cmdb)\n",
+                path.c_str());
+    return 0;
+  }
+  // Columnar: report straight from the footer manifest — no column segment
+  // is read or verified, so this is O(footer) even for huge databases.
+  StatusOr<storage::ColumnarInfo> info = storage::ReadColumnarInfo(path);
+  if (!info.ok()) {
+    std::fprintf(stderr, "info failed: %s\n",
+                 info.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t total_tuples = 0;
+  for (const storage::ColumnarRelationInfo& rel : info->relations) {
+    total_tuples += rel.tuples;
+  }
+  std::printf("%s: columnar .cmdb, %llu bytes\n", path.c_str(),
+              static_cast<unsigned long long>(info->file_bytes));
+  std::printf("  schema fingerprint %llu, %zu relations, %llu tuples, "
+              "%d classes\n",
+              static_cast<unsigned long long>(info->fingerprint),
+              info->relations.size(),
+              static_cast<unsigned long long>(total_tuples),
+              info->num_classes);
+  for (const storage::ColumnarRelationInfo& rel : info->relations) {
+    std::printf("  %-16s %8llu tuples%s\n", rel.name.c_str(),
+                static_cast<unsigned long long>(rel.tuples),
+                rel.is_target ? "  [target]" : "");
+    for (const storage::ColumnarAttrInfo& attr : rel.attrs) {
+      std::printf("    %-20s %-3s", attr.name.c_str(), attr.kind.c_str());
+      if (attr.kind == "fk") {
+        std::printf(" -> %-12s", attr.fk_target.c_str());
+      } else {
+        std::printf("    %-12s", "");
+      }
+      std::printf(" %10llu bytes",
+                  static_cast<unsigned long long>(attr.column_bytes));
+      if (attr.dict_count > 0) {
+        std::printf("  + dict %llu labels, %llu bytes",
+                    static_cast<unsigned long long>(attr.dict_count),
+                    static_cast<unsigned long long>(attr.dict_bytes));
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("  labels segment: %llu bytes\n",
+              static_cast<unsigned long long>(info->labels_bytes));
+  return 0;
+}
+
+int Inspect(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  StatusOr<Database> db = LoadDb(argv[2], ParseOptions(argc, argv, 3));
+  if (!db.ok()) return 1;
   std::printf("%s: %d relations, %llu tuples, %zu join edges, %d classes\n",
               argv[2], db->num_relations(),
               static_cast<unsigned long long>(db->TotalTuples()),
@@ -277,12 +382,9 @@ void PrintFoldJson(const char* classifier, int fold,
 
 int Evaluate(int argc, char** argv) {
   if (argc < 3) return Usage();
-  StatusOr<Database> db = LoadDatabaseCsv(argv[2]);
-  if (!db.ok()) {
-    std::fprintf(stderr, "load failed: %s\n", db.status().ToString().c_str());
-    return 1;
-  }
   auto opts = ParseOptions(argc, argv, 3);
+  StatusOr<Database> db = LoadDb(argv[2], opts);
+  if (!db.ok()) return 1;
   int folds = static_cast<int>(OptInt(opts, "folds", 10));
   ReportMode report;
   if (!ParseReportMode(opts, &report)) return 2;
@@ -351,12 +453,9 @@ int Evaluate(int argc, char** argv) {
 
 int Train(int argc, char** argv) {
   if (argc < 4) return Usage();
-  StatusOr<Database> db = LoadDatabaseCsv(argv[2]);
-  if (!db.ok()) {
-    std::fprintf(stderr, "load failed: %s\n", db.status().ToString().c_str());
-    return 1;
-  }
   auto opts = ParseOptions(argc, argv, 4);
+  StatusOr<Database> db = LoadDb(argv[2], opts);
+  if (!db.ok()) return 1;
   ReportMode report;
   if (!ParseReportMode(opts, &report)) return 2;
   CrossMineClassifier model(ParseCrossMineOptions(opts));
@@ -391,18 +490,15 @@ int Train(int argc, char** argv) {
 
 int Predict(int argc, char** argv) {
   if (argc < 4) return Usage();
-  StatusOr<Database> db = LoadDatabaseCsv(argv[2]);
-  if (!db.ok()) {
-    std::fprintf(stderr, "load failed: %s\n", db.status().ToString().c_str());
-    return 1;
-  }
+  auto opts = ParseOptions(argc, argv, 4);
+  StatusOr<Database> db = LoadDb(argv[2], opts);
+  if (!db.ok()) return 1;
   StatusOr<CrossMineClassifier> model = LoadModel(*db, argv[3]);
   if (!model.ok()) {
     std::fprintf(stderr, "model load failed: %s\n",
                  model.status().ToString().c_str());
     return 1;
   }
-  auto opts = ParseOptions(argc, argv, 4);
   ReportMode report;
   if (!ParseReportMode(opts, &report)) return 2;
   model->set_prediction_mode(ParseCrossMineOptions(opts).prediction_mode);
@@ -438,11 +534,8 @@ int Predict(int argc, char** argv) {
 
 int Explain(int argc, char** argv) {
   if (argc < 5) return Usage();
-  StatusOr<Database> db = LoadDatabaseCsv(argv[2]);
-  if (!db.ok()) {
-    std::fprintf(stderr, "load failed: %s\n", db.status().ToString().c_str());
-    return 1;
-  }
+  StatusOr<Database> db = LoadDb(argv[2], ParseOptions(argc, argv, 5));
+  if (!db.ok()) return 1;
   StatusOr<CrossMineClassifier> model = LoadModel(*db, argv[3]);
   if (!model.ok()) {
     std::fprintf(stderr, "model load failed: %s\n",
@@ -480,18 +573,14 @@ int Explain(int argc, char** argv) {
 
 int Serve(int argc, char** argv) {
   if (argc < 4) return Usage();
-  StatusOr<Database> db = LoadDatabaseCsv(argv[2]);
-  if (!db.ok()) {
-    std::fprintf(stderr, "load failed: %s\n", db.status().ToString().c_str());
-    return 1;
-  }
-
   // Positional model files run until the first --flag.
   int first_opt = 3;
   while (first_opt < argc && std::strncmp(argv[first_opt], "--", 2) != 0) {
     ++first_opt;
   }
   auto opts = ParseOptions(argc, argv, first_opt);
+  StatusOr<Database> db = LoadDb(argv[2], opts);
+  if (!db.ok()) return 1;
   ReportMode report;
   if (!ParseReportMode(opts, &report)) return 2;
 
@@ -588,6 +677,8 @@ int main(int argc, char** argv) {
   }
   std::string command = argv[1];
   if (command == "generate") return Generate(argc, argv);
+  if (command == "convert") return Convert(argc, argv);
+  if (command == "info") return Info(argc, argv);
   if (command == "inspect") return Inspect(argc, argv);
   if (command == "evaluate") return Evaluate(argc, argv);
   if (command == "train") return Train(argc, argv);
