@@ -13,6 +13,9 @@
 namespace crossmine {
 
 class ThreadPool;
+namespace shard {
+class ShardedClassifier;
+}
 
 /// The CrossMine multi-relational classifier (the paper's primary
 /// contribution). Learns a set of clauses from a finalized `Database` via
@@ -98,6 +101,9 @@ class CrossMineClassifier : public RelationalClassifier {
   }
   friend StatusOr<CrossMineClassifier> LoadModel(const Database& db,
                                                  const std::string& path);
+  /// The shard-merge pass (src/shard/sharded_trainer.cc) installs its
+  /// deterministically merged clause set through the same hook.
+  friend class shard::ShardedClassifier;
 
   void TrainOneClass(const Database& db, ClassId cls,
                      const std::vector<uint8_t>& positive,

@@ -7,6 +7,7 @@
 #include "common/macros.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "storage/storage.h"
 
 namespace crossmine::datagen {
 
@@ -362,6 +363,13 @@ StatusOr<Database> GenerateSyntheticDatabase(const SyntheticConfig& config) {
 
   db.SetLabels(std::move(labels), config.num_classes);
   return db;
+}
+
+Status GenerateSyntheticDatabaseToFile(const SyntheticConfig& config,
+                                       const std::string& path) {
+  StatusOr<Database> db = GenerateSyntheticDatabase(config);
+  if (!db.ok()) return db.status();
+  return storage::SaveDatabase(*db, path);
 }
 
 }  // namespace crossmine::datagen

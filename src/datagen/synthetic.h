@@ -52,8 +52,21 @@ struct SyntheticConfig {
 ///  5. referential-integrity fixup (every foreign key points at an existing
 ///     primary key).
 ///
-/// The result is finalized and ready for training. Deterministic in `seed`.
+/// The result is finalized and ready for training. Deterministic in `seed`:
+/// one `Rng(seed)` stream drives every decision, so the same config yields
+/// bit-identical relations, labels and dictionaries across runs and
+/// platforms — regenerating a database is equivalent to copying it.
 StatusOr<Database> GenerateSyntheticDatabase(const SyntheticConfig& config);
+
+/// Generates per `GenerateSyntheticDatabase` and writes the result straight
+/// to `path` via `storage::SaveDatabase` — a `.cmdb` suffix produces the
+/// binary columnar format with no CSV intermediate, which is what makes
+/// XL-scale (T=100k–1M) generation feasible in CI time: the dominant cost
+/// becomes generation itself, not text serialization. Combined with seed
+/// determinism, an XL `.cmdb` is a *cache*: any run can cheaply verify or
+/// rebuild it from `(config, seed)` instead of shipping the file around.
+Status GenerateSyntheticDatabaseToFile(const SyntheticConfig& config,
+                                       const std::string& path);
 
 }  // namespace crossmine::datagen
 

@@ -1,0 +1,195 @@
+#include "shard/partition.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace crossmine::shard {
+
+namespace {
+
+/// Copies the listed rows of `src` into `dst` (same schema), preserving all
+/// cell values — primary keys included, so value-based joins keep resolving.
+void CopyRows(const Relation& src, Relation* dst,
+              const std::vector<TupleId>& rows) {
+  const RelationSchema& schema = src.schema();
+  for (TupleId row : rows) {
+    TupleId t = dst->AddTuple();
+    for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+      if (schema.IsIntAttr(a)) {
+        dst->SetInt(t, a, src.IntColumn(a)[row]);
+      } else {
+        dst->SetDouble(t, a, src.DoubleColumn(a)[row]);
+      }
+    }
+  }
+}
+
+/// Copies the categorical dictionaries so shard-side clause rendering shows
+/// the same labels as the parent.
+void CopyDictionaries(const Relation& src, Relation* dst) {
+  const RelationSchema& schema = src.schema();
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    if (!schema.IsIntAttr(a)) continue;
+    const std::vector<std::string>& dict = src.Dictionary(a);
+    if (!dict.empty()) dst->SetDictionary(a, dict);
+  }
+}
+
+/// Points every column of `dst` at `src`'s storage (owned vector or mmap
+/// segment alike) — the zero-copy kShared attachment.
+void BorrowRelation(const Relation& src, Relation* dst) {
+  const RelationSchema& schema = src.schema();
+  dst->BindBorrowedTuples(src.num_tuples());
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    if (schema.IsIntAttr(a)) {
+      dst->BorrowIntColumn(a, src.IntColumn(a).data());
+    } else {
+      dst->BorrowDoubleColumn(a, src.DoubleColumn(a).data());
+    }
+  }
+}
+
+/// Fixpoint of tuples reachable from `seed_targets` along any directed
+/// join-edge path — the FK closure a shard's propagation can ever touch.
+/// Returns one ascending tuple-id list per relation (the target relation's
+/// entry is exactly `seed_targets`).
+std::vector<std::vector<TupleId>> FkClosure(
+    const Database& parent, const std::vector<TupleId>& seed_targets) {
+  size_t num_rels = static_cast<size_t>(parent.num_relations());
+  std::vector<std::vector<uint8_t>> reached(num_rels);
+  for (size_t r = 0; r < num_rels; ++r) {
+    reached[r].assign(parent.relation(static_cast<RelId>(r)).num_tuples(), 0);
+  }
+  std::vector<std::vector<TupleId>> frontier(num_rels);
+  for (TupleId t : seed_targets) {
+    reached[static_cast<size_t>(parent.target())][t] = 1;
+  }
+  frontier[static_cast<size_t>(parent.target())] = seed_targets;
+
+  bool any = !seed_targets.empty();
+  while (any) {
+    any = false;
+    for (RelId r = 0; r < parent.num_relations(); ++r) {
+      std::vector<TupleId> wave;
+      wave.swap(frontier[static_cast<size_t>(r)]);
+      if (wave.empty()) continue;
+      const Relation& from_rel = parent.relation(r);
+      for (int32_t e : parent.OutEdges(r)) {
+        const JoinEdge& edge = parent.edges()[static_cast<size_t>(e)];
+        const Relation& to_rel = parent.relation(edge.to_rel);
+        const HashIndex& index = to_rel.GetHashIndex(edge.to_attr);
+        std::vector<uint8_t>& to_reached =
+            reached[static_cast<size_t>(edge.to_rel)];
+        std::vector<TupleId>& to_frontier =
+            frontier[static_cast<size_t>(edge.to_rel)];
+        for (TupleId t : wave) {
+          int64_t v = from_rel.Int(t, edge.from_attr);
+          if (v == kNullValue) continue;
+          auto it = index.find(v);
+          if (it == index.end()) continue;
+          for (TupleId u : it->second) {
+            if (to_reached[u]) continue;
+            to_reached[u] = 1;
+            to_frontier.push_back(u);
+            any = true;
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<std::vector<TupleId>> out(num_rels);
+  for (size_t r = 0; r < num_rels; ++r) {
+    for (TupleId t = 0; t < reached[r].size(); ++t) {
+      if (reached[r][t]) out[r].push_back(t);
+    }
+  }
+  out[static_cast<size_t>(parent.target())] = seed_targets;
+  return out;
+}
+
+}  // namespace
+
+int32_t ShardOfKey(int64_t pk_value, int num_shards) {
+  CM_CHECK(num_shards > 0);
+  uint64_t z = static_cast<uint64_t>(pk_value);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<int32_t>(z % static_cast<uint64_t>(num_shards));
+}
+
+StatusOr<std::vector<Shard>> PartitionDatabase(
+    const Database& parent, const std::vector<TupleId>& train_ids,
+    const PartitionOptions& options) {
+  if (!parent.finalized()) {
+    return Status::FailedPrecondition("database not finalized");
+  }
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  const Relation& target = parent.target_relation();
+  AttrId pk = target.schema().primary_key();
+
+  // Ascending, deduplicated parent target ids — the order shard tuples keep.
+  std::vector<TupleId> sorted_ids = train_ids;
+  std::sort(sorted_ids.begin(), sorted_ids.end());
+  sorted_ids.erase(std::unique(sorted_ids.begin(), sorted_ids.end()),
+                   sorted_ids.end());
+  if (!sorted_ids.empty() && sorted_ids.back() >= target.num_tuples()) {
+    return Status::OutOfRange("train id beyond target relation");
+  }
+
+  std::vector<std::vector<TupleId>> members(
+      static_cast<size_t>(options.num_shards));
+  for (TupleId t : sorted_ids) {
+    int32_t s = ShardOfKey(target.IntColumn(pk)[t], options.num_shards);
+    members[static_cast<size_t>(s)].push_back(t);
+  }
+
+  std::vector<Shard> shards;
+  shards.reserve(static_cast<size_t>(options.num_shards));
+  for (int s = 0; s < options.num_shards; ++s) {
+    Shard shard;
+    shard.parent_ids = std::move(members[static_cast<size_t>(s)]);
+
+    std::vector<std::vector<TupleId>> keep;
+    if (options.mode == PartitionMode::kFkClosure) {
+      keep = FkClosure(parent, shard.parent_ids);
+    }
+
+    for (RelId r = 0; r < parent.num_relations(); ++r) {
+      const Relation& src = parent.relation(r);
+      RelId added = shard.db.AddRelation(src.schema());
+      CM_CHECK(added == r);
+      Relation& dst = shard.db.mutable_relation(r);
+      if (r == parent.target()) {
+        CopyRows(src, &dst, shard.parent_ids);
+      } else if (options.mode == PartitionMode::kFkClosure) {
+        CopyRows(src, &dst, keep[static_cast<size_t>(r)]);
+      } else {
+        BorrowRelation(src, &dst);
+      }
+      CopyDictionaries(src, &dst);
+    }
+
+    shard.db.SetTarget(parent.target());
+    std::vector<ClassId> labels;
+    labels.reserve(shard.parent_ids.size());
+    for (TupleId t : shard.parent_ids) labels.push_back(parent.labels()[t]);
+    shard.db.SetLabels(std::move(labels), parent.num_classes());
+    Status st = shard.db.Finalize();
+    if (!st.ok()) {
+      return Status::Internal(
+          StrFormat("shard %d failed to finalize: %s", s,
+                    st.ToString().c_str()));
+    }
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+}  // namespace crossmine::shard

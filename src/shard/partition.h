@@ -1,0 +1,75 @@
+#ifndef CROSSMINE_SHARD_PARTITION_H_
+#define CROSSMINE_SHARD_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace crossmine::shard {
+
+/// How a shard's sub-database materializes the non-target relations.
+enum class PartitionMode {
+  /// Non-target relations are shared read-only: every column of every
+  /// non-target relation is a zero-copy borrowed span aliasing the parent
+  /// database's storage (an owned vector or the mmap'd `.cmdb` segment —
+  /// `Column<T>::Borrow` either way). Cheapest to build; each shard still
+  /// pays its own lazy index builds over the full relations.
+  kShared,
+  /// Non-target relations are restricted to their FK-closure: the fixpoint
+  /// of tuples reachable from the shard's target tuples along any directed
+  /// join-edge path. Reachable rows are copied into owned columns, so the
+  /// shard's working set (columns *and* indexes) is bounded by what tuple-ID
+  /// propagation can ever touch — the shape a distributed worker would
+  /// ship. Unreachable tuples can never carry a propagated idset, but their
+  /// absence shrinks the candidate value / threshold grids literal search
+  /// sweeps, so closure shards may learn (deterministically) different
+  /// clauses than shared shards.
+  kFkClosure,
+};
+
+struct PartitionOptions {
+  /// Number of shards to split the target relation into (>= 1).
+  int num_shards = 1;
+  PartitionMode mode = PartitionMode::kShared;
+};
+
+/// One shard: a carved sub-database plus the mapping back to the parent.
+///
+/// The sub-database has the parent's exact relation order, schemas and
+/// (after `Finalize`) join graph, so `SchemaFingerprint(shard.db)` equals
+/// the parent's and clauses learned on a shard reference relation /
+/// attribute / edge ids that resolve identically against the parent.
+/// Under `kShared` the sub-database aliases the parent's column storage:
+/// it is valid only while the parent Database outlives it and is not
+/// mutated.
+struct Shard {
+  Database db;
+  /// Parent target ids of this shard's target tuples, ascending; shard
+  /// target tuple `i` is parent target tuple `parent_ids[i]`.
+  std::vector<TupleId> parent_ids;
+};
+
+/// Shard assignment of one target tuple: a SplitMix64-style mix of the
+/// tuple's primary-key *value* reduced mod `num_shards`. Hashing the value
+/// (not the position) keeps the assignment stable under row reordering and
+/// spreads sequentially allocated keys evenly.
+int32_t ShardOfKey(int64_t pk_value, int num_shards);
+
+/// Hash-splits the target tuples listed in `train_ids` into
+/// `options.num_shards` shards on their primary-key value and carves one
+/// sub-database per shard: the target relation holds exactly that shard's
+/// train tuples (rows copied, PK values preserved so FK joins into the
+/// target keep resolving), labels restricted to match, and non-target
+/// relations attached per `options.mode`. Deterministic: depends only on
+/// the parent's contents, `train_ids` and `options`. Shards may be empty
+/// (their `db` still finalizes with zero target tuples — callers skip
+/// them for training).
+StatusOr<std::vector<Shard>> PartitionDatabase(const Database& parent,
+                                               const std::vector<TupleId>& train_ids,
+                                               const PartitionOptions& options);
+
+}  // namespace crossmine::shard
+
+#endif  // CROSSMINE_SHARD_PARTITION_H_

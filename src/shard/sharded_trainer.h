@@ -1,0 +1,118 @@
+#ifndef CROSSMINE_SHARD_SHARDED_TRAINER_H_
+#define CROSSMINE_SHARD_SHARDED_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/classifier.h"
+#include "core/options.h"
+#include "core/relational_classifier.h"
+#include "relational/database.h"
+#include "shard/partition.h"
+
+namespace crossmine::shard {
+
+/// How per-shard clause sets combine into the final model.
+enum class MergeMode {
+  /// Union the per-shard clause sets in a fixed order (class ascending,
+  /// then shard index, then built order), re-score each clause against the
+  /// full training set on the parent database, and run a sequential-covering
+  /// replay that keeps a clause iff it still covers an uncovered positive.
+  /// Produces one ordinary CrossMine model (saveable via SaveModel) that is
+  /// independent of worker scheduling; with one shard it reproduces the
+  /// unsharded model byte-identically.
+  kRescore,
+  /// Keep one CrossMine model per shard and majority-vote at prediction
+  /// time (ties break toward the lower class id, the ensemble convention).
+  /// Not collapsible to a single clause list, so it cannot be saved as one
+  /// `.cmm` — an evaluate-time alternative for skew-heavy splits.
+  kVote,
+};
+
+struct ShardOptions {
+  /// Shard count; 0 inherits `CrossMineOptions::num_shards`.
+  int num_shards = 0;
+  MergeMode merge = MergeMode::kRescore;
+  PartitionMode partition = PartitionMode::kShared;
+  /// Training tuples the merge re-scores each candidate clause against.
+  /// 0 (default) scores on the full training set — required for the
+  /// shards=1 byte-identity guarantee. A positive value below the training
+  /// size scores on a deterministic seed-derived sample and scales the
+  /// support counts by the sampling ratio (cheaper on XL databases, at the
+  /// cost of estimated accuracies).
+  uint64_t merge_sample = 0;
+};
+
+/// Shard-parallel CrossMine trainer: partitions the target relation into K
+/// shards (hash on PK value), runs the existing Find-Clauses loop per shard
+/// concurrently on the ThreadPool — each worker sees only its shard's
+/// positives/negatives, so §6 negative sampling bounds its working set —
+/// then merges the per-shard clause sets deterministically (see MergeMode).
+///
+/// Determinism: the final model depends only on the database, `train_ids`
+/// and the options — never on thread scheduling. Shards train independently
+/// (CrossMine itself is byte-stable at any thread count) and the merge
+/// visits shards by index, not completion order.
+///
+/// Thread budget: `CrossMineOptions::num_threads` lanes total (0 = hardware
+/// concurrency) are split into min(K, total) concurrent shard workers, each
+/// training with its own inner pool of the remaining lanes.
+///
+/// Per-shard `train.*` metrics are rolled up into the attached registry,
+/// with shard train wall re-keyed to `train.shard.train_seconds` and the
+/// subsystem's own counters under `train.shard.*`.
+class ShardedClassifier : public RelationalClassifier {
+ public:
+  explicit ShardedClassifier(CrossMineOptions base = {},
+                             ShardOptions shard_options = {})
+      : base_(base), shard_options_(shard_options), merged_(base) {}
+
+  Status Train(const Database& db,
+               const std::vector<TupleId>& train_ids) override;
+
+  /// kRescore: delegates to the merged model, forwarding the attached
+  /// metrics registry. kVote: majority vote across the shard models.
+  /// Unlike the base classifier, concurrent Predict calls must not race
+  /// `set_metrics` (the registry is forwarded per call) — single-caller
+  /// contexts (CLI, CrossValidate) only; serving hosts plain CrossMine
+  /// models.
+  std::vector<ClassId> Predict(const Database& db,
+                               const std::vector<TupleId>& ids) const override;
+
+  const char* name() const override { return "ShardedCrossMine"; }
+
+  const CrossMineOptions& base_options() const { return base_; }
+  const ShardOptions& shard_options() const { return shard_options_; }
+
+  /// The merged model (kRescore mode) — an ordinary CrossMine model,
+  /// serializable with SaveModel and byte-comparable to unsharded training.
+  const CrossMineClassifier& merged_model() const { return merged_; }
+
+  /// The per-shard models (kVote mode), in shard-index order; empty shards
+  /// are skipped.
+  const std::vector<CrossMineClassifier>& voters() const { return voters_; }
+
+  /// Counters from the last Train (also surfaced as `train.shard.*`
+  /// metrics when a registry is attached).
+  struct Stats {
+    int num_shards = 0;       ///< K requested
+    int active_shards = 0;    ///< shards with at least one training tuple
+    uint64_t clauses_in = 0;  ///< union size entering the merge
+    uint64_t clauses_kept = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  CrossMineOptions base_;
+  ShardOptions shard_options_;
+  CrossMineClassifier merged_;
+  std::vector<CrossMineClassifier> voters_;
+  ClassId default_class_ = 0;
+  int num_classes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace crossmine::shard
+
+#endif  // CROSSMINE_SHARD_SHARDED_TRAINER_H_

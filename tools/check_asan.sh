@@ -13,7 +13,10 @@
 # since the `.cmdb` loader parses offsets out of an mmap'd file and hands
 # zero-copy spans to the engine. The bitmap kernel and AttrIndex suites run
 # here too: word-granular spans with tail-word masking and CSR posting
-# arithmetic are classic off-by-one-word territory.
+# arithmetic are classic off-by-one-word territory. The shard suite rides
+# along because the partitioner's kShared mode aliases parent column storage
+# into per-shard relations — exactly the borrowed-span lifetime pattern ASan
+# polices.
 #
 # Usage: tools/check_asan.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -25,7 +28,8 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Asan
 cmake --build "$BUILD_DIR" -j \
   --target protocol_test serve_test idset_store_test bitmap_ops_test \
   attr_index_test csv_corruption_test columnar_test \
-  columnar_corruption_test fault_matrix_test crossmine_cli serve_client
+  columnar_corruption_test fault_matrix_test shard_test \
+  crossmine_cli serve_client
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="halt_on_error=1 ${UBSAN_OPTIONS:-}"
@@ -38,6 +42,7 @@ export UBSAN_OPTIONS="halt_on_error=1 ${UBSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/columnar_test
 "$BUILD_DIR"/tests/columnar_corruption_test
 "$BUILD_DIR"/tests/fault_matrix_test
+"$BUILD_DIR"/tests/shard_test
 bash tools/check_serve_smoke.sh \
   "$BUILD_DIR"/tools/crossmine "$BUILD_DIR"/tools/serve_client
 

@@ -9,6 +9,9 @@
 # the lazily built attribute indexes (warmed before the pool starts).
 # The columnar suite rides along because a `.cmdb`-loaded database hands
 # borrowed mmap spans to those same workers (copy-on-write on mutation).
+# The shard suite rides along for the two-level pool: shard workers each
+# running a full Find-Clauses loop (with inner literal-search pools) over
+# relations whose columns alias the same parent storage.
 #
 # Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -19,7 +22,8 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Tsan
 cmake --build "$BUILD_DIR" -j \
   --target parallel_search_test clause_builder_test serve_test \
-  idset_store_test attr_index_test columnar_test fault_matrix_test
+  idset_store_test attr_index_test columnar_test fault_matrix_test \
+  shard_test
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/parallel_search_test
@@ -29,5 +33,6 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/attr_index_test
 "$BUILD_DIR"/tests/columnar_test
 "$BUILD_DIR"/tests/fault_matrix_test
+"$BUILD_DIR"/tests/shard_test
 
 echo "check_tsan: OK (no races reported)"

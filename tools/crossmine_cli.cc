@@ -43,6 +43,7 @@
 #include "eval/cross_validation.h"
 #include "eval/metrics.h"
 #include "serve/server.h"
+#include "shard/sharded_trainer.h"
 #include "storage/columnar.h"
 #include "storage/storage.h"
 #include "serve/tcp.h"
@@ -60,7 +61,7 @@ int Usage() {
       "  crossmine generate financial <db> [--seed N] [--loans N]\n"
       "  crossmine generate mutagenesis <db> [--seed N] [--molecules N]\n"
       "  crossmine convert <db> <db>\n"
-      "  crossmine info <db>\n"
+      "  crossmine info <db> [--json]\n"
       "  crossmine inspect <db>\n"
       "  crossmine evaluate <db> [--folds K] [--classifier crossmine|foil|tilde]\n"
       "                          [--report text|json] [model options]\n"
@@ -107,7 +108,22 @@ int Usage() {
       "                         either value trains the identical model)\n"
       "  --threads N            clause-search worker threads (0 = auto)\n"
       "  --seed N               sampling seed\n"
-      "  --mode best|vote|list  prediction mode\n");
+      "  --mode best|vote|list  prediction mode\n"
+      "  --shards K             shard-parallel training: hash-split the\n"
+      "                         target relation into K shards, train them\n"
+      "                         concurrently, merge deterministically\n"
+      "                         (K=1 reproduces unsharded byte-identically)\n"
+      "  --shard-merge rescore|vote\n"
+      "                         merge: re-scored covering pass over the\n"
+      "                         full training set (default; saveable) or a\n"
+      "                         per-shard majority-vote ensemble\n"
+      "                         (evaluate only)\n"
+      "  --shard-mode shared|closure\n"
+      "                         non-target relations: zero-copy shared\n"
+      "                         spans (default) or per-shard FK-closure\n"
+      "                         restriction\n"
+      "  --shard-sample N       re-score merged clauses on N sampled\n"
+      "                         training tuples (0 = full training set)\n");
   return 2;
 }
 
@@ -163,6 +179,7 @@ CrossMineOptions ParseCrossMineOptions(
   // Clause-search worker threads: 0 (default) = hardware concurrency,
   // 1 = sequential. Any value trains the byte-identical model.
   o.num_threads = static_cast<int>(OptInt(opts, "threads", 0));
+  o.num_shards = static_cast<int>(OptInt(opts, "shards", 1));
   auto mode = opts.find("mode");
   if (mode != opts.end()) {
     if (mode->second == "vote") {
@@ -172,6 +189,48 @@ CrossMineOptions ParseCrossMineOptions(
     }
   }
   return o;
+}
+
+/// Parses the `--shard-*` flags into shard::ShardOptions (the shard count
+/// itself rides in CrossMineOptions::num_shards). Returns false — after
+/// printing to stderr — on an unknown value.
+bool ParseShardOptions(const std::map<std::string, std::string>& opts,
+                       shard::ShardOptions* out) {
+  *out = shard::ShardOptions{};
+  if (auto it = opts.find("shard-merge"); it != opts.end()) {
+    if (it->second == "rescore") {
+      out->merge = shard::MergeMode::kRescore;
+    } else if (it->second == "vote") {
+      out->merge = shard::MergeMode::kVote;
+    } else {
+      std::fprintf(stderr,
+                   "bad --shard-merge value '%s' (want rescore or vote)\n",
+                   it->second.c_str());
+      return false;
+    }
+  }
+  if (auto it = opts.find("shard-mode"); it != opts.end()) {
+    if (it->second == "shared") {
+      out->partition = shard::PartitionMode::kShared;
+    } else if (it->second == "closure") {
+      out->partition = shard::PartitionMode::kFkClosure;
+    } else {
+      std::fprintf(stderr,
+                   "bad --shard-mode value '%s' (want shared or closure)\n",
+                   it->second.c_str());
+      return false;
+    }
+  }
+  out->merge_sample = static_cast<uint64_t>(OptInt(opts, "shard-sample", 0));
+  return true;
+}
+
+/// True when any shard flag was given — the signal to route train/evaluate
+/// through the ShardedClassifier (even at --shards 1, so the identity path
+/// is exercisable end to end).
+bool WantsSharding(const std::map<std::string, std::string>& opts) {
+  return opts.count("shards") > 0 || opts.count("shard-merge") > 0 ||
+         opts.count("shard-mode") > 0 || opts.count("shard-sample") > 0;
 }
 
 /// Opens a database of either format, honoring `--no-verify`, and prints
@@ -266,9 +325,65 @@ int Convert(int argc, char** argv) {
   return 0;
 }
 
+/// `info --json`: one JSON object with per-relation tuple / attribute
+/// counts and on-disk segment bytes, straight from the footer manifest —
+/// the sanity-check format for XL shard runs (scripts diff tuple counts
+/// and segment sizes without loading any column).
+void PrintInfoJson(const std::string& path,
+                   const storage::ColumnarInfo& info) {
+  uint64_t total_tuples = 0;
+  for (const storage::ColumnarRelationInfo& rel : info.relations) {
+    total_tuples += rel.tuples;
+  }
+  std::string line = StrFormat(
+      "\"report\":\"info\",\"path\":\"%s\",\"format\":\"cmdb\""
+      ",\"file_bytes\":%llu,\"fingerprint\":%llu,\"num_classes\":%d"
+      ",\"labels_bytes\":%llu,\"total_tuples\":%llu,\"relations\":[",
+      path.c_str(), static_cast<unsigned long long>(info.file_bytes),
+      static_cast<unsigned long long>(info.fingerprint), info.num_classes,
+      static_cast<unsigned long long>(info.labels_bytes),
+      static_cast<unsigned long long>(total_tuples));
+  for (size_t r = 0; r < info.relations.size(); ++r) {
+    const storage::ColumnarRelationInfo& rel = info.relations[r];
+    uint64_t segment_bytes = 0;
+    for (const storage::ColumnarAttrInfo& attr : rel.attrs) {
+      segment_bytes += attr.column_bytes + attr.dict_bytes;
+    }
+    if (r > 0) line += ',';
+    line += StrFormat(
+        "{\"name\":\"%s\",\"tuples\":%llu,\"is_target\":%s"
+        ",\"num_attrs\":%zu,\"segment_bytes\":%llu,\"attrs\":[",
+        rel.name.c_str(), static_cast<unsigned long long>(rel.tuples),
+        rel.is_target ? "true" : "false", rel.attrs.size(),
+        static_cast<unsigned long long>(segment_bytes));
+    for (size_t a = 0; a < rel.attrs.size(); ++a) {
+      const storage::ColumnarAttrInfo& attr = rel.attrs[a];
+      if (a > 0) line += ',';
+      line += StrFormat(
+          "{\"name\":\"%s\",\"kind\":\"%s\",\"column_bytes\":%llu",
+          attr.name.c_str(), attr.kind.c_str(),
+          static_cast<unsigned long long>(attr.column_bytes));
+      if (!attr.fk_target.empty()) {
+        line += StrFormat(",\"fk_target\":\"%s\"", attr.fk_target.c_str());
+      }
+      if (attr.dict_count > 0) {
+        line += StrFormat(",\"dict_count\":%llu,\"dict_bytes\":%llu",
+                          static_cast<unsigned long long>(attr.dict_count),
+                          static_cast<unsigned long long>(attr.dict_bytes));
+      }
+      line += '}';
+    }
+    line += "]}";
+  }
+  line += ']';
+  std::printf("{%s}\n", line.c_str());
+}
+
 int Info(int argc, char** argv) {
   if (argc < 3) return Usage();
   std::string path = argv[2];
+  auto opts = ParseOptions(argc, argv, 3);
+  bool json = opts.count("json") > 0;
   StatusOr<storage::Format> format = storage::SniffFormat(path);
   if (!format.ok()) {
     std::fprintf(stderr, "info failed: %s\n",
@@ -276,6 +391,14 @@ int Info(int argc, char** argv) {
     return 1;
   }
   if (*format == storage::Format::kCsvDir) {
+    if (json) {
+      // No manifest to report; keep the line parseable so callers can
+      // branch on "format" instead of parsing prose.
+      std::printf("{\"report\":\"info\",\"path\":\"%s\""
+                  ",\"format\":\"csv_dir\"}\n",
+                  path.c_str());
+      return 0;
+    }
     // CSV directories have no manifest to report beyond the schema; point
     // at `inspect`, which loads and summarizes either format.
     std::printf("%s: CSV + schema.txt directory (run `crossmine inspect` "
@@ -291,6 +414,10 @@ int Info(int argc, char** argv) {
     std::fprintf(stderr, "info failed: %s\n",
                  info.status().ToString().c_str());
     return 1;
+  }
+  if (json) {
+    PrintInfoJson(path, *info);
+    return 0;
   }
   uint64_t total_tuples = 0;
   for (const storage::ColumnarRelationInfo& rel : info->relations) {
@@ -394,9 +521,17 @@ int Evaluate(int argc, char** argv) {
     classifier = it->second;
   }
   CrossMineOptions model_opts = ParseCrossMineOptions(opts);
+  shard::ShardOptions shard_opts;
+  if (!ParseShardOptions(opts, &shard_opts)) return 2;
   eval::ClassifierFactory factory;
   const char* display = "CrossMine";
-  if (classifier == "crossmine") {
+  if (classifier == "crossmine" && WantsSharding(opts)) {
+    display = "ShardedCrossMine";
+    factory = [&] {
+      return std::make_unique<shard::ShardedClassifier>(model_opts,
+                                                        shard_opts);
+    };
+  } else if (classifier == "crossmine") {
     factory = [&] { return std::make_unique<CrossMineClassifier>(model_opts); };
   } else if (classifier == "foil") {
     display = "FOIL";
@@ -458,28 +593,51 @@ int Train(int argc, char** argv) {
   if (!db.ok()) return 1;
   ReportMode report;
   if (!ParseReportMode(opts, &report)) return 2;
-  CrossMineClassifier model(ParseCrossMineOptions(opts));
+  CrossMineOptions model_opts = ParseCrossMineOptions(opts);
   std::vector<TupleId> all;
   for (TupleId t = 0; t < db->target_relation().num_tuples(); ++t) {
     all.push_back(t);
   }
+
+  // Any --shard-* flag routes through the sharded trainer — --shards 1
+  // included, so the byte-identity path is exercisable end to end. The
+  // saved model is the merged (rescore) model: an ordinary .cmm.
+  bool sharded = WantsSharding(opts);
+  shard::ShardOptions shard_opts;
+  if (sharded && !ParseShardOptions(opts, &shard_opts)) return 2;
+  if (sharded && shard_opts.merge == shard::MergeMode::kVote) {
+    std::fprintf(stderr,
+                 "--shard-merge vote keeps one model per shard and cannot "
+                 "be saved as a single model file; use it with `evaluate`, "
+                 "or train with --shard-merge rescore\n");
+    return 2;
+  }
+  shard::ShardedClassifier sharded_model(model_opts, shard_opts);
+  CrossMineClassifier model(model_opts);
+
   MetricsRegistry train_metrics;
-  if (report != ReportMode::kNone) model.set_metrics(&train_metrics);
-  Status st = model.Train(*db, all);
-  model.set_metrics(nullptr);
+  RelationalClassifier& trainer =
+      sharded ? static_cast<RelationalClassifier&>(sharded_model)
+              : static_cast<RelationalClassifier&>(model);
+  if (report != ReportMode::kNone) trainer.set_metrics(&train_metrics);
+  Status st = trainer.Train(*db, all);
+  trainer.set_metrics(nullptr);
   if (!st.ok()) {
     std::fprintf(stderr, "train failed: %s\n", st.ToString().c_str());
     return 1;
   }
+  const CrossMineClassifier& trained =
+      sharded ? sharded_model.merged_model() : model;
   if (report == ReportMode::kJson) {
-    std::printf("{\"report\":\"train\",\"classifier\":\"CrossMine\",%s}\n",
+    std::printf("{\"report\":\"train\",\"classifier\":\"%s\",%s}\n",
+                trainer.name(),
                 SnapshotJsonFields(train_metrics.Snapshot()).c_str());
   } else if (report == ReportMode::kText) {
     std::printf("training report:\n%s",
                 SnapshotText(train_metrics.Snapshot()).c_str());
   }
-  std::printf("%s", model.ToString(*db).c_str());
-  st = SaveModel(model, *db, argv[3]);
+  std::printf("%s", trained.ToString(*db).c_str());
+  st = SaveModel(trained, *db, argv[3]);
   if (!st.ok()) {
     std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
     return 1;
