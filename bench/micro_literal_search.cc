@@ -79,7 +79,7 @@ Setup MakeSetup(int64_t n) {
   // Warm the sorted-index caches.
   s.db.relation(1).GetSortedIndex(3);
   s.db.relation(1).GetSortedIndex(4);
-  s.db.relation(1).GetHashIndex(2);
+  s.db.relation(1).GetAttrIndex(2);
   return s;
 }
 

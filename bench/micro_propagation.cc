@@ -63,7 +63,7 @@ TwoRelationDb MakeDb(int64_t n, int64_t fanout) {
     out.all.push_back(i);
   }
   // Warm the index caches so both competitors measure steady state.
-  out.db.relation(1).GetHashIndex(1);
+  out.db.relation(1).GetAttrIndex(1);
   return out;
 }
 

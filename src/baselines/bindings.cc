@@ -38,15 +38,18 @@ bool BindingsTable::Join(const JoinEdge& edge, int col, size_t max_rows,
     result.rows_.push_back(u);
   };
   if (use_index) {
-    const HashIndex& index = dst.GetHashIndex(edge.to_attr);
+    std::shared_ptr<const AttrIndex> handle = dst.GetAttrIndex(edge.to_attr);
+    const AttrIndex& index = *handle;
     for (size_t r = 0; r < n; ++r) {
       int64_t v = src_col[cell(r, col)];
       if (v == kNullValue) continue;
-      auto it = index.find(v);
-      if (it == index.end()) continue;
-      out_rows += it->second.size();
+      size_t dv = index.FindValue(v);
+      if (dv == AttrIndex::npos) continue;
+      const TupleId* us = index.posting(dv);
+      uint32_t count = index.posting_count(dv);
+      out_rows += count;
       if (out_rows > max_rows) return false;
-      for (TupleId u : it->second) emit(r, u);
+      for (uint32_t i = 0; i < count; ++i) emit(r, us[i]);
     }
   } else {
     // Nested-loop join: one full scan of the destination relation per

@@ -1,0 +1,65 @@
+#include "common/memadvise.h"
+
+#include <cstdint>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define CROSSMINE_HAVE_MADVISE 1
+#endif
+
+namespace crossmine {
+
+#if CROSSMINE_HAVE_MADVISE
+
+namespace {
+
+size_t PageSize() {
+  static const size_t page = [] {
+    long p = ::sysconf(_SC_PAGESIZE);
+    return p > 0 ? static_cast<size_t>(p) : size_t{4096};
+  }();
+  return page;
+}
+
+}  // namespace
+
+void AdviseMemory(const void* ptr, size_t len, MemAdvice advice) {
+  if (ptr == nullptr || len == 0) return;
+  const size_t page = PageSize();
+  uintptr_t begin = reinterpret_cast<uintptr_t>(ptr);
+  uintptr_t end = begin + len;
+  int flag;
+  switch (advice) {
+    case MemAdvice::kWillNeed:
+      flag = MADV_WILLNEED;
+      break;
+    case MemAdvice::kSequential:
+      flag = MADV_SEQUENTIAL;
+      break;
+    case MemAdvice::kDontNeed:
+      flag = MADV_DONTNEED;
+      break;
+    default:
+      return;
+  }
+  if (advice == MemAdvice::kDontNeed) {
+    // Inward: only pages fully covered by the span may be dropped.
+    begin = (begin + page - 1) & ~(page - 1);
+    end = end & ~(page - 1);
+  } else {
+    // Outward: cover every page the span touches.
+    begin = begin & ~(page - 1);
+    end = (end + page - 1) & ~(page - 1);
+  }
+  if (begin >= end) return;
+  (void)::madvise(reinterpret_cast<void*>(begin), end - begin, flag);
+}
+
+#else  // !CROSSMINE_HAVE_MADVISE
+
+void AdviseMemory(const void*, size_t, MemAdvice) {}
+
+#endif
+
+}  // namespace crossmine

@@ -1,0 +1,26 @@
+#ifndef CROSSMINE_COMMON_MEMADVISE_H_
+#define CROSSMINE_COMMON_MEMADVISE_H_
+
+#include <cstddef>
+
+namespace crossmine {
+
+/// Residency hints for a read-only mapped span (a borrowed `.cmdb` column).
+enum class MemAdvice {
+  kWillNeed,    ///< about to read the span; fault its pages in ahead
+  kSequential,  ///< the read is one front-to-back scan; readahead freely
+  kDontNeed,    ///< span has gone cold; drop its resident pages
+};
+
+/// Forwards the advice for `[ptr, ptr + len)` to `madvise`, rounded to page
+/// boundaries. kWillNeed / kSequential round *outward* (advice is a hint and
+/// over-covering a neighbor is harmless); kDontNeed rounds *inward* so only
+/// pages wholly inside the span are dropped — `.cmdb` segments are 64-byte
+/// aligned, not page aligned, and a boundary page can carry a neighboring
+/// column that is still hot. Errors are swallowed: residency advice must
+/// never become a failure. No-op for null/empty spans and off POSIX.
+void AdviseMemory(const void* ptr, size_t len, MemAdvice advice);
+
+}  // namespace crossmine
+
+#endif  // CROSSMINE_COMMON_MEMADVISE_H_

@@ -113,7 +113,12 @@ void TouchStandardTrainMetrics(MetricsRegistry* registry) {
   registry->counter("train.literals_accepted");
   registry->timer("train.index.build_seconds");
   registry->counter("train.index.bytes");
+  registry->counter("train.index.peak_bytes");
+  registry->counter("train.index.evictions");
+  registry->counter("train.index.rebuilds");
+  registry->counter("train.index.budget_bytes");
   registry->counter("train.index.hits");
+  registry->counter("storage.column.materializations");
 }
 
 void TouchStandardPredictMetrics(MetricsRegistry* registry) {

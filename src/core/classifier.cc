@@ -13,6 +13,7 @@
 #include "core/foil_gain.h"
 #include "core/model_io.h"
 #include "core/sampling.h"
+#include "relational/index_cache.h"
 
 namespace crossmine {
 
@@ -63,10 +64,9 @@ Status CrossMineClassifier::Train(const Database& db,
   if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
 
   // One-vs-rest: learn clauses for every class (§5.3).
-  double index_seconds_before = 0.0;
-  for (RelId r = 0; r < db.num_relations(); ++r) {
-    index_seconds_before += db.relation(r).attr_index_build_seconds();
-  }
+  const IndexCache::Stats index_stats_before = IndexCache::Global().stats();
+  const uint64_t materializations_before =
+      ColumnMaterializationCount().load(std::memory_order_relaxed);
   Rng rng(options_.seed);
   for (ClassId cls = 0; cls < num_classes_; ++cls) {
     if (class_count[static_cast<size_t>(cls)] == 0) continue;
@@ -77,18 +77,27 @@ Status CrossMineClassifier::Train(const Database& db,
     TrainOneClass(db, cls, positive, in_train, rng.Next(), pool.get());
   }
   if (metrics_ != nullptr) {
-    // AttrIndexes are built at most once per relation version and live on
-    // the database, so report the *delta* of the cumulative build time
-    // (repeat Train calls on warm indexes add zero) and the peak footprint.
-    double index_seconds = 0.0;
-    uint64_t index_bytes = 0;
-    for (RelId r = 0; r < db.num_relations(); ++r) {
-      index_seconds += db.relation(r).attr_index_build_seconds();
-      index_bytes += db.relation(r).attr_index_bytes();
-    }
+    // The IndexCache's counters are process-cumulative, so report *deltas*
+    // over this Train call (repeat Train calls on warm indexes add zero)
+    // plus the cache-wide residency gauges: current/peak cached bytes and
+    // the configured budget high-water mark.
+    const IndexCache& cache = IndexCache::Global();
+    const IndexCache::Stats after = cache.stats();
     metrics_->timer("train.index.build_seconds")
-        ->AddSeconds(index_seconds - index_seconds_before);
-    metrics_->counter("train.index.bytes")->MaxWith(index_bytes);
+        ->AddSeconds(after.build_seconds - index_stats_before.build_seconds);
+    metrics_->counter("train.index.bytes")->MaxWith(after.current_bytes);
+    metrics_->counter("train.index.peak_bytes")->MaxWith(after.peak_bytes);
+    metrics_->counter("train.index.evictions")
+        ->Add(after.evictions - index_stats_before.evictions);
+    metrics_->counter("train.index.rebuilds")
+        ->Add(after.rebuilds - index_stats_before.rebuilds);
+    metrics_->counter("train.index.budget_bytes")
+        ->MaxWith(cache.budget_bytes());
+    // Copy-on-write audit: a read-only train must never materialize a
+    // borrowed column (tests pin this at zero for `.cmdb` databases).
+    metrics_->counter("storage.column.materializations")
+        ->Add(ColumnMaterializationCount().load(std::memory_order_relaxed) -
+              materializations_before);
   }
 
   // §5.3: estimate each clause's accuracy by predicting on the training

@@ -6,6 +6,7 @@
 #include "common/macros.h"
 #include "core/constraint_eval.h"
 #include "core/propagation.h"
+#include "relational/index_cache.h"
 
 namespace crossmine {
 
@@ -60,17 +61,20 @@ void ClauseBuilder::RecountAlive() {
 }
 
 void ClauseBuilder::WarmIndexes() const {
+  // Pure prefetch: the IndexCache builds are single-flight, so parallel
+  // lanes faulting the same index on demand would be correct too — warming
+  // just keeps the first search round's lanes from serializing on builds.
+  // Under a memory budget, prefetching the whole index set would evict as
+  // fast as it fills (and thrash borrowed pages), so skip it there.
+  if (IndexCache::Global().budget_bytes() != 0) return;
   for (RelId r = 0; r < db_->num_relations(); ++r) {
     const Relation& rel = db_->relation(r);
     for (AttrId a = 0; a < rel.schema().num_attrs(); ++a) {
       switch (rel.schema().attr(a).kind) {
         case AttrKind::kPrimaryKey:
         case AttrKind::kForeignKey:
-          rel.GetHashIndex(a);
-          break;
         case AttrKind::kCategorical:
-          rel.GetHashIndex(a);
-          if (opts_->use_bitmap_index) rel.GetAttrIndex(a);
+          rel.GetAttrIndex(a);
           break;
         case AttrKind::kNumerical:
           if (opts_->use_numerical_literals) rel.GetSortedIndex(a);
@@ -100,7 +104,10 @@ Clause ClauseBuilder::Build(std::vector<uint8_t> alive) {
   prop_cache_.clear();
   cached_slot_count_ = 0;
   search_epoch_ = 0;
-  if (num_lanes() > 1) WarmIndexes();
+  // Warm at any lane count (all hits after the first Build): lazy faulting
+  // would build a thread-count-dependent subset of the pk/fk indexes, and
+  // the train.index.bytes gauge is pinned thread-count invariant.
+  WarmIndexes();
 
   // Node 0 = target relation: idset(t) = {t} for every alive target.
   node_idsets_.clear();

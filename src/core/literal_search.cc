@@ -1,6 +1,7 @@
 #include "core/literal_search.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/macros.h"
 #include "common/stopwatch.h"
@@ -133,20 +134,19 @@ void LiteralSearcher::SearchCategorical(const Relation& rel, AttrId attr,
     SearchCategoricalIndexed(rel, attr, idsets, best);
     return;
   }
-  const HashIndex& index = rel.GetHashIndex(attr);
-  // Iterate categories in sorted order for deterministic tie-breaking.
-  std::vector<int64_t> values;
-  values.reserve(index.size());
-  for (const auto& [v, tuples] : index) values.push_back(v);
-  std::sort(values.begin(), values.end());
-
+  std::shared_ptr<const AttrIndex> handle = rel.GetAttrIndex(attr);
+  const AttrIndex& index = *handle;
+  // `index.values` ascends — the same deterministic tie-breaking order the
+  // legacy path got by sorting the hash index's keys.
   const std::vector<uint8_t>& alive = *alive_;
   const std::vector<uint8_t>& positive = *positive_;
-  for (int64_t v : values) {
+  for (size_t v = 0; v < index.num_values(); ++v) {
     uint32_t epoch = NewEpoch();
     uint32_t pos_cov = 0, neg_cov = 0;
-    for (TupleId t : index.at(v)) {
-      idsets.ForEach(t, [&](TupleId id) {
+    const TupleId* tuples = index.posting(v);
+    uint32_t n = index.posting_count(v);
+    for (uint32_t i = 0; i < n; ++i) {
+      idsets.ForEach(tuples[i], [&](TupleId id) {
         if (!alive[id] || mark_[id] == epoch) return;
         mark_[id] = epoch;
         if (positive[id]) {
@@ -159,7 +159,7 @@ void LiteralSearcher::SearchCategorical(const Relation& rel, AttrId attr,
     Constraint c;
     c.attr = attr;
     c.cmp = CmpOp::kEq;
-    c.category = v;
+    c.category = index.values[v];
     Offer(best, c, pos_cov, neg_cov);
   }
 }
@@ -168,7 +168,8 @@ void LiteralSearcher::SearchCategoricalIndexed(const Relation& rel,
                                                AttrId attr,
                                                const IdSetStore& idsets,
                                                CandidateLiteral* best) {
-  const AttrIndex& index = rel.GetAttrIndex(attr);
+  std::shared_ptr<const AttrIndex> handle = rel.GetAttrIndex(attr);
+  const AttrIndex& index = *handle;
   const std::vector<uint8_t>& alive = *alive_;
   const std::vector<uint8_t>& positive = *positive_;
   size_t words = alive_pos_words_.size();
@@ -269,7 +270,9 @@ void LiteralSearcher::SearchCategoricalIndexed(const Relation& rel,
 void LiteralSearcher::SearchNumerical(const Relation& rel, AttrId attr,
                                       const IdSetStore& idsets,
                                       CandidateLiteral* best) {
-  const std::vector<TupleId>& order = rel.GetSortedIndex(attr);
+  std::shared_ptr<const std::vector<TupleId>> order_handle =
+      rel.GetSortedIndex(attr);
+  const std::vector<TupleId>& order = *order_handle;
   const Column<double>& col = rel.DoubleColumn(attr);
   const std::vector<uint8_t>& alive = *alive_;
   const std::vector<uint8_t>& positive = *positive_;

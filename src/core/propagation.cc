@@ -1,6 +1,7 @@
 #include "core/propagation.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/macros.h"
 
@@ -50,7 +51,11 @@ PropagationResult PropagateIds(const Database& db, const JoinEdge& edge,
 
   // Merge each bucket and hand the merged span to every matching
   // destination tuple: the first one owns the span, the rest alias it.
-  const HashIndex& dst_index = dst.GetHashIndex(edge.to_attr);
+  // The handle pins the unified index for this whole propagation even if a
+  // memory budget evicts the cached copy mid-scan.
+  std::shared_ptr<const AttrIndex> dst_handle =
+      dst.GetAttrIndex(edge.to_attr);
+  const AttrIndex& dst_index = *dst_handle;
   result.idsets.Reset(dst.num_tuples(), src_idsets.universe());
   uint64_t total = 0;
   uint64_t nonempty = 0;
@@ -63,15 +68,18 @@ PropagationResult PropagateIds(const Database& db, const JoinEdge& edge,
       ++hi;
     }
     lo = hi;
-    auto it = dst_index.find(value);
-    if (it == dst_index.end()) continue;
-    TupleId first = it->second.front();
+    size_t dv = dst_index.FindValue(value);
+    if (dv == AttrIndex::npos) continue;
+    const TupleId* dst_tuples = dst_index.posting(dv);
+    uint32_t dst_count = dst_index.posting_count(dv);
+    TupleId first = dst_tuples[0];
     uint64_t size = result.idsets.AssignUnionOfSets(
         first, src_idsets, sc.bucket.data(),
         static_cast<uint32_t>(sc.bucket.size()), alive, alive_words,
         use_bitmap_kernel, &sc.union_scratch);
     if (size == 0) continue;
-    for (TupleId u : it->second) {
+    for (uint32_t di = 0; di < dst_count; ++di) {
+      TupleId u = dst_tuples[di];
       if (u != first) result.idsets.Alias(u, first);
       total += size;
       ++nonempty;

@@ -1,0 +1,153 @@
+#include "relational/index_cache.h"
+
+#include <chrono>
+
+#include "common/memadvise.h"
+
+namespace crossmine {
+
+IndexCache& IndexCache::Global() {
+  static IndexCache* cache = new IndexCache();  // never destroyed: relations
+  return *cache;  // may outlive static-destruction order in other TUs
+}
+
+uint64_t IndexCache::NewOwnerId() {
+  return next_owner_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void IndexCache::DropOwner(uint64_t owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.owner != owner) {
+      ++it;
+      continue;
+    }
+    Entry& e = it->second;
+    if (e.artifact != nullptr) {
+      stats_.current_bytes -= e.bytes;
+      lru_.erase(e.lru);
+    }
+    it = entries_.erase(it);
+  }
+  // A build in flight for a dropped key finishes against a missing entry
+  // and returns its artifact uncached (see Get); wake any such waiter.
+  cv_.notify_all();
+}
+
+void IndexCache::SetBudgetBytes(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_bytes_ = bytes;
+  EvictOverBudgetLocked();
+}
+
+uint64_t IndexCache::budget_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_bytes_;
+}
+
+IndexCache::Stats IndexCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void IndexCache::EvictOverBudgetLocked() {
+  while (budget_bytes_ != 0 && stats_.current_bytes > budget_bytes_ &&
+         !lru_.empty()) {
+    Key victim = lru_.back();
+    lru_.pop_back();
+    Entry& e = entries_.find(victim)->second;
+    stats_.current_bytes -= e.bytes;
+    e.artifact.reset();
+    e.bytes = 0;
+    ++stats_.evictions;
+    // The artifact's heap frees when the last handle drops; the borrowed
+    // column pages the build faulted in are cold now too — give them back.
+    if (e.source != nullptr) {
+      AdviseMemory(e.source, e.source_len, MemAdvice::kDontNeed);
+    }
+    // Keep the shell: built_before marks the next build as a rebuild, and
+    // the version survives so a re-Get needs no invalidation round-trip.
+  }
+}
+
+std::shared_ptr<const void> IndexCache::Get(uint64_t owner, uint32_t slot,
+                                            uint64_t version,
+                                            const Builder& builder) {
+  const Key key{owner, slot};
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) break;
+    Entry& e = it->second;
+    if (e.building) {
+      // Single-flight: another caller is building this key; wait for it
+      // and re-inspect rather than duplicating the build.
+      cv_.wait(lock);
+      continue;
+    }
+    if (e.version != version) {
+      // Stale version: drop the artifact (not an eviction — the relation
+      // mutated, exactly the old inline-cache invalidation rule). No
+      // DONTNEED: the rebuild below rescans the same column immediately.
+      if (e.artifact != nullptr) {
+        stats_.current_bytes -= e.bytes;
+        lru_.erase(e.lru);
+      }
+      entries_.erase(it);
+      break;
+    }
+    if (e.artifact == nullptr) break;  // evicted shell at the right version
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, e.lru);
+    return e.artifact;
+  }
+
+  // Miss: claim the build, run the builder unlocked, then publish.
+  Entry& claimed = entries_[key];
+  const bool rebuild = claimed.built_before;
+  claimed.building = true;
+  claimed.version = version;
+  lock.unlock();
+
+  auto t0 = std::chrono::steady_clock::now();
+  Artifact built = builder();
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  lock.lock();
+  stats_.build_seconds += seconds;
+  if (rebuild) {
+    ++stats_.rebuilds;
+  } else {
+    ++stats_.builds;
+  }
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    // Owner dropped mid-build: hand the artifact to the caller uncached.
+    cv_.notify_all();
+    return built.data;
+  }
+  Entry& e = it->second;
+  e.building = false;
+  e.built_before = true;
+  e.version = version;
+  e.artifact = built.data;
+  e.bytes = built.bytes;
+  e.source = built.source;
+  e.source_len = built.source_len;
+  lru_.push_front(key);
+  e.lru = lru_.begin();
+  stats_.current_bytes += e.bytes;
+  if (stats_.current_bytes > stats_.peak_bytes) {
+    stats_.peak_bytes = stats_.current_bytes;
+  }
+  // The insert itself may overflow the budget; eviction starts from the LRU
+  // tail, so under thrash-level budgets the fresh artifact can be the
+  // victim — the caller's handle keeps it alive for the current use.
+  EvictOverBudgetLocked();
+  cv_.notify_all();
+  return built.data;
+}
+
+}  // namespace crossmine

@@ -1,0 +1,121 @@
+#ifndef CROSSMINE_RELATIONAL_INDEX_CACHE_H_
+#define CROSSMINE_RELATIONAL_INDEX_CACHE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace crossmine {
+
+/// Process-wide, memory-budgeted home for every lazily built per-attribute
+/// index artifact (unified `AttrIndex`, numerical sort permutations).
+///
+/// Each `Relation` owns a `(owner, slot)` keyspace (`slot` encodes attribute
+/// and index kind) and calls `Get` with its current version counter and a
+/// builder closure. The cache returns a shared handle: hits touch the LRU,
+/// misses run the builder exactly once per key even under concurrent callers
+/// (single-flight — waiters block on the build instead of duplicating it),
+/// and version mismatches discard the stale artifact first, reproducing the
+/// per-relation invalidation rule the old inline caches had.
+///
+/// A non-zero byte budget (`SetBudgetBytes`, default 0 = unlimited) caps the
+/// summed artifact footprint: inserts evict from the LRU tail until the
+/// charge fits, and eviction drops the artifact's heap plus — via
+/// `MADV_DONTNEED` on the borrowed source span recorded by the builder — the
+/// resident file pages the build touched. Because handles are shared
+/// pointers, eviction never invalidates an artifact a caller still holds;
+/// the budget therefore bounds *cached* bytes, while in-flight pins keep
+/// their artifacts alive until released. Eviction changes only *when* an
+/// index exists, never what it contains, so trained models are byte-for-byte
+/// identical at any budget.
+class IndexCache {
+ public:
+  /// What a builder hands back: the artifact, its heap footprint for budget
+  /// accounting, and (optionally) the borrowed mapped span it was built
+  /// from, so eviction can drop those pages too.
+  struct Artifact {
+    std::shared_ptr<const void> data;
+    uint64_t bytes = 0;
+    const void* source = nullptr;
+    size_t source_len = 0;
+  };
+  using Builder = std::function<Artifact()>;
+
+  /// Cumulative lifetime statistics (monotone except current_bytes).
+  struct Stats {
+    uint64_t builds = 0;     ///< first-time builds of a key
+    uint64_t rebuilds = 0;   ///< builds of a key that was evicted before
+    uint64_t evictions = 0;  ///< artifacts dropped to fit the budget
+    uint64_t hits = 0;       ///< Gets served from a resident artifact
+    uint64_t current_bytes = 0;
+    uint64_t peak_bytes = 0;  ///< high-water mark of current_bytes
+    double build_seconds = 0.0;
+  };
+
+  static IndexCache& Global();
+
+  /// Allocates a fresh owner keyspace (ids start at 1; 0 is never issued).
+  uint64_t NewOwnerId();
+
+  /// Drops every entry of `owner` (relation destroyed or reassigned). Does
+  /// not advise the source spans: the backing mapping may be going away.
+  void DropOwner(uint64_t owner);
+
+  /// Sets the cached-bytes cap; 0 means unlimited. Shrinking evicts
+  /// immediately.
+  void SetBudgetBytes(uint64_t bytes);
+  uint64_t budget_bytes() const;
+
+  Stats stats() const;
+
+  /// Returns the artifact for `(owner, slot)` at `version`, building it via
+  /// `builder` on a miss. The builder runs outside the cache lock.
+  std::shared_ptr<const void> Get(uint64_t owner, uint32_t slot,
+                                  uint64_t version, const Builder& builder);
+
+ private:
+  struct Key {
+    uint64_t owner = 0;
+    uint32_t slot = 0;
+    bool operator==(const Key& o) const {
+      return owner == o.owner && slot == o.slot;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = k.owner * 0x9e3779b97f4a7c15ULL + k.slot;
+      h ^= h >> 32;
+      return static_cast<size_t>(h * 0xff51afd7ed558ccdULL);
+    }
+  };
+  struct Entry {
+    std::shared_ptr<const void> artifact;  ///< null while building or evicted
+    uint64_t version = 0;
+    uint64_t bytes = 0;
+    const void* source = nullptr;
+    size_t source_len = 0;
+    bool building = false;
+    bool built_before = false;  ///< evicted shell: next build is a rebuild
+    std::list<Key>::iterator lru;  ///< valid iff artifact != nullptr
+  };
+
+  void EvictOverBudgetLocked();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::list<Key> lru_;  ///< front = most recently used
+  uint64_t budget_bytes_ = 0;
+  Stats stats_;
+  std::atomic<uint64_t> next_owner_{1};
+};
+
+}  // namespace crossmine
+
+#endif  // CROSSMINE_RELATIONAL_INDEX_CACHE_H_

@@ -1,8 +1,11 @@
 #ifndef CROSSMINE_RELATIONAL_RELATION_H_
 #define CROSSMINE_RELATIONAL_RELATION_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -12,6 +15,13 @@
 #include "relational/types.h"
 
 namespace crossmine {
+
+/// Process-wide count of copy-on-write column materializations (a borrowed
+/// mapped span copied into owned heap storage on first mutation). The train
+/// path is read-only, so a full training run on a `.cmdb` database must not
+/// move this counter — `storage.column.materializations` reports the delta
+/// and tests/index_cache_test.cc pins it at zero.
+std::atomic<uint64_t>& ColumnMaterializationCount();
 
 /// Storage for one column of a Relation: either an owned `std::vector`
 /// (databases built in memory, loaded from CSV, or mutated after load) or a
@@ -77,6 +87,7 @@ class Column {
  private:
   void Materialize() {
     if (!borrowed()) return;
+    ColumnMaterializationCount().fetch_add(1, std::memory_order_relaxed);
     owned_.assign(data_, data_ + size_);
     data_ = owned_.data();
   }
@@ -86,24 +97,31 @@ class Column {
   std::vector<T> owned_;
 };
 
-/// Hash index on an integer-valued attribute: value -> tuple ids having it.
-/// NULL values (`kNullValue`) are not indexed, matching SQL join semantics.
-using HashIndex = std::unordered_map<int64_t, std::vector<TupleId>>;
-
-/// Inverted index over one categorical (or key) attribute: the distinct
-/// values in ascending order, each with its posting list of tuple ids
-/// (ascending, NULLs excluded) in one CSR layout. Values whose posting
-/// reaches the dense break-even threshold (`max(16, num_tuples / 32)` —
-/// the cardinality where a `num_tuples / 8`-byte bitmap is no larger than
-/// the 4-byte-per-id sorted list, the IdSetStore rule) additionally carry a
-/// dense bitmap over tuple ids for O(1) membership and word-parallel
-/// AND+popcount counting.
+/// The unified per-attribute index: one CSR inverted index over an integer
+/// attribute serving every consumer — join probes (propagation, baseline
+/// bindings, shard closure BFS) through `FindValue` + `posting`, and literal
+/// scoring through ascending `values` iteration. Distinct values ascend;
+/// each posting list holds its tuple ids ascending with NULLs (`kNullValue`)
+/// excluded, matching SQL join semantics. This replaces the old
+/// `std::unordered_map`-based HashIndex: sorted values iterate in exactly
+/// the order the legacy paths got by sorting hash keys, and binary-searched
+/// probes return the identical ascending posting a hash lookup did, so
+/// models are byte-for-byte unchanged.
 ///
-/// Built once per relation version and cached (`Relation::GetAttrIndex`);
-/// literal search iterates `values` directly instead of re-sorting the hash
-/// index's keys on every scan.
+/// For *categorical* attributes, values whose posting reaches the dense
+/// break-even threshold (`max(16, 2 * words_per_value)` — the cardinality
+/// where a `num_tuples / 8`-byte bitmap is no larger than the 4-byte-per-id
+/// sorted list, the IdSetStore rule) additionally carry a dense bitmap over
+/// tuple ids for O(1) membership and word-parallel AND+popcount counting.
+/// Key attributes skip bitmap promotion: joins only ever walk postings, so
+/// the bitmaps would be dead weight against the memory budget.
+///
+/// Built per relation version on demand and owned by the global
+/// `IndexCache` (`Relation::GetAttrIndex`), which may evict and
+/// transparently rebuild it under a memory budget.
 struct AttrIndex {
   static constexpr uint32_t kNoBitmap = ~uint32_t{0};
+  static constexpr size_t npos = ~size_t{0};
 
   std::vector<int64_t> values;      ///< distinct values, ascending
   std::vector<uint32_t> offsets;    ///< CSR: values.size() + 1 entries
@@ -119,11 +137,18 @@ struct AttrIndex {
   const TupleId* posting(size_t v) const {
     return postings.data() + offsets[v];
   }
+  /// Binary-searches `values`; returns the value's index or `npos`. The
+  /// join probe that replaced `HashIndex::find`.
+  size_t FindValue(int64_t value) const {
+    auto it = std::lower_bound(values.begin(), values.end(), value);
+    if (it == values.end() || *it != value) return npos;
+    return static_cast<size_t>(it - values.begin());
+  }
   /// Dense bitmap of value `v`'s posting, or null if below break-even.
   const uint64_t* posting_words(size_t v) const {
     return word_offs[v] == kNoBitmap ? nullptr : words.data() + word_offs[v];
   }
-  /// Heap footprint, for the `train.index.bytes` metric.
+  /// Heap footprint, for budget accounting and the `train.index.*` metrics.
   uint64_t bytes() const {
     return values.capacity() * sizeof(int64_t) +
            offsets.capacity() * sizeof(uint32_t) +
@@ -140,11 +165,24 @@ struct AttrIndex {
 /// Rows are append-only; cell updates are allowed until indexes are first
 /// requested.
 ///
-/// Index caches (hash index per int attribute, sorted permutation per
-/// numerical attribute) are built lazily and invalidated by any mutation.
+/// Indexes (unified `AttrIndex` per int attribute, sorted permutation per
+/// numerical attribute) are built lazily inside the global `IndexCache`
+/// under this relation's private owner id, invalidated by any mutation via
+/// the version counter, and may be evicted under a memory budget — getters
+/// hand back shared handles that outlive eviction. Index getters are safe
+/// to call concurrently (single-flight in the cache); mutation still
+/// requires external exclusion, as ever.
 class Relation {
  public:
   explicit Relation(RelationSchema schema);
+
+  // Copying a relation gives the copy a fresh index-cache keyspace;
+  // assignment and destruction drop the stale one.
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(Relation&& other) noexcept;
+  ~Relation();
 
   const RelationSchema& schema() const { return schema_; }
   const std::string& name() const { return schema_.name(); }
@@ -210,22 +248,16 @@ class Relation {
   /// incremental InternCategory.
   void SetDictionary(AttrId a, std::vector<std::string> labels);
 
-  /// Hash index over an integer attribute (lazily built, cached).
-  const HashIndex& GetHashIndex(AttrId a) const;
+  /// The unified inverted index over an integer attribute, built on demand
+  /// inside the global IndexCache. The handle pins the artifact: hold it
+  /// for the duration of a scan and it stays valid even if a memory budget
+  /// evicts the cached copy meanwhile.
+  std::shared_ptr<const AttrIndex> GetAttrIndex(AttrId a) const;
 
-  /// Tuple ids sorted ascending by the numerical attribute's value (lazily
-  /// built, cached). Used for the paper's numerical-literal sweeps (§5.1).
-  const std::vector<TupleId>& GetSortedIndex(AttrId a) const;
-
-  /// Inverted index over an integer attribute (lazily built, cached).
-  /// See `AttrIndex` for the layout and bitmap promotion rule.
-  const AttrIndex& GetAttrIndex(AttrId a) const;
-
-  /// Cumulative time spent building AttrIndexes for this relation, and the
-  /// current heap footprint of its cached AttrIndexes. Feed the
-  /// `train.index.*` metrics.
-  double attr_index_build_seconds() const { return attr_index_build_seconds_; }
-  uint64_t attr_index_bytes() const;
+  /// Tuple ids sorted ascending by the numerical attribute's value (built
+  /// on demand in the IndexCache, same pinning rule). Used for the paper's
+  /// numerical-literal sweeps (§5.1).
+  std::shared_ptr<const std::vector<TupleId>> GetSortedIndex(AttrId a) const;
 
   /// Distinct values of a categorical attribute actually present (sorted).
   /// NULLs excluded.
@@ -251,15 +283,10 @@ class Relation {
   std::vector<std::vector<std::string>> dicts_;
   std::vector<std::unordered_map<std::string, int64_t>> dict_lookup_;
 
-  // Lazy index caches, invalidated via version counters.
+  // IndexCache keyspace: every index artifact of this relation lives under
+  // cache_id_, keyed by (attr, kind) slot and the mutation version.
   uint64_t version_ = 0;
-  mutable std::vector<HashIndex> hash_indexes_;
-  mutable std::vector<uint64_t> hash_index_version_;
-  mutable std::vector<std::vector<TupleId>> sorted_indexes_;
-  mutable std::vector<uint64_t> sorted_index_version_;
-  mutable std::vector<AttrIndex> attr_indexes_;
-  mutable std::vector<uint64_t> attr_index_version_;
-  mutable double attr_index_build_seconds_ = 0.0;
+  uint64_t cache_id_ = 0;  ///< 0 only in a moved-from shell
 };
 
 }  // namespace crossmine

@@ -80,7 +80,9 @@ std::vector<std::vector<TupleId>> FkClosure(
       for (int32_t e : parent.OutEdges(r)) {
         const JoinEdge& edge = parent.edges()[static_cast<size_t>(e)];
         const Relation& to_rel = parent.relation(edge.to_rel);
-        const HashIndex& index = to_rel.GetHashIndex(edge.to_attr);
+        std::shared_ptr<const AttrIndex> handle =
+            to_rel.GetAttrIndex(edge.to_attr);
+        const AttrIndex& index = *handle;
         std::vector<uint8_t>& to_reached =
             reached[static_cast<size_t>(edge.to_rel)];
         std::vector<TupleId>& to_frontier =
@@ -88,9 +90,12 @@ std::vector<std::vector<TupleId>> FkClosure(
         for (TupleId t : wave) {
           int64_t v = from_rel.Int(t, edge.from_attr);
           if (v == kNullValue) continue;
-          auto it = index.find(v);
-          if (it == index.end()) continue;
-          for (TupleId u : it->second) {
+          size_t dv = index.FindValue(v);
+          if (dv == AttrIndex::npos) continue;
+          const TupleId* us = index.posting(dv);
+          uint32_t count = index.posting_count(dv);
+          for (uint32_t i = 0; i < count; ++i) {
+            TupleId u = us[i];
             if (to_reached[u]) continue;
             to_reached[u] = 1;
             to_frontier.push_back(u);

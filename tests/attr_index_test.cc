@@ -11,6 +11,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <numeric>
 #include <set>
 #include <sstream>
@@ -41,7 +42,8 @@ std::map<int64_t, std::vector<TupleId>> ReferencePostings(const Relation& rel,
 }
 
 void CheckIndexAgainstColumn(const Relation& rel, AttrId a) {
-  const AttrIndex& index = rel.GetAttrIndex(a);
+  std::shared_ptr<const AttrIndex> handle = rel.GetAttrIndex(a);
+  const AttrIndex& index = *handle;
   std::map<int64_t, std::vector<TupleId>> ref = ReferencePostings(rel, a);
 
   ASSERT_EQ(index.num_values(), ref.size()) << rel.name();
@@ -52,18 +54,25 @@ void CheckIndexAgainstColumn(const Relation& rel, AttrId a) {
   EXPECT_EQ(index.offsets.front(), 0u);
   EXPECT_EQ(index.offsets.back(), index.postings.size());
 
+  // Only literal scoring reads bitmaps, so the unified index promotes them
+  // for categorical attributes; key attributes (join-only) never carry one.
+  const bool categorical = rel.schema().attr(a).kind == AttrKind::kCategorical;
   const uint32_t break_even =
       std::max<uint32_t>(16, 2 * index.words_per_value);
   auto it = ref.begin();
   for (size_t v = 0; v < index.num_values(); ++v, ++it) {
     EXPECT_EQ(index.values[v], it->first);
+    EXPECT_EQ(index.FindValue(it->first), v);
     ASSERT_EQ(index.posting_count(v), it->second.size());
     const TupleId* ids = index.posting(v);
     for (size_t i = 0; i < it->second.size(); ++i) {
       EXPECT_EQ(ids[i], it->second[i]);
     }
     const uint64_t* words = index.posting_words(v);
-    if (index.posting_count(v) >= break_even) {
+    if (!categorical) {
+      EXPECT_EQ(words, nullptr)
+          << rel.name() << ": key attribute carries a dead bitmap";
+    } else if (index.posting_count(v) >= break_even) {
       ASSERT_NE(words, nullptr)
           << rel.name() << ": value " << it->first << " with "
           << index.posting_count(v) << " postings missed bitmap promotion";
@@ -105,9 +114,9 @@ TEST(AttrIndexTest, MatchesColumnOnGeneratedDatabases) {
          ++a) {
       if (!rel.schema().IsIntAttr(a)) continue;
       CheckIndexAgainstColumn(rel, a);
-      const AttrIndex& index = rel.GetAttrIndex(a);
-      for (size_t v = 0; v < index.num_values(); ++v) {
-        saw_bitmap = saw_bitmap || index.posting_words(v) != nullptr;
+      std::shared_ptr<const AttrIndex> index = rel.GetAttrIndex(a);
+      for (size_t v = 0; v < index->num_values(); ++v) {
+        saw_bitmap = saw_bitmap || index->posting_words(v) != nullptr;
       }
     }
   }
@@ -118,14 +127,16 @@ TEST(AttrIndexTest, MatchesColumnOnGeneratedDatabases) {
 TEST(AttrIndexTest, CachedUntilMutationThenRebuilt) {
   testing::Fig2Database f = testing::MakeFig2Database();
   Relation& rel = f.db.mutable_relation(f.account);
-  const AttrIndex& first = rel.GetAttrIndex(f.account_frequency);
-  // Same object back while the relation is untouched.
-  EXPECT_EQ(&rel.GetAttrIndex(f.account_frequency), &first);
+  std::shared_ptr<const AttrIndex> first = rel.GetAttrIndex(f.account_frequency);
+  // Same artifact back while the relation is untouched.
+  EXPECT_EQ(rel.GetAttrIndex(f.account_frequency).get(), first.get());
 
   int64_t old = rel.Int(0, f.account_frequency);
   int64_t moved = old + 1000;
   rel.SetInt(0, f.account_frequency, moved);
-  const AttrIndex& rebuilt = rel.GetAttrIndex(f.account_frequency);
+  std::shared_ptr<const AttrIndex> rebuilt_handle =
+      rel.GetAttrIndex(f.account_frequency);
+  const AttrIndex& rebuilt = *rebuilt_handle;
   auto pos = std::find(rebuilt.values.begin(), rebuilt.values.end(), moved);
   ASSERT_NE(pos, rebuilt.values.end());
   size_t v = static_cast<size_t>(pos - rebuilt.values.begin());

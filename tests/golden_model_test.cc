@@ -22,6 +22,7 @@
 #include "datagen/financial.h"
 #include "datagen/mutagenesis.h"
 #include "datagen/synthetic.h"
+#include "relational/index_cache.h"
 #include "shard/sharded_trainer.h"
 
 #ifndef CROSSMINE_SOURCE_DIR
@@ -34,6 +35,20 @@ namespace {
 std::string GoldenPath(const char* name) {
   return std::string(CROSSMINE_SOURCE_DIR) + "/tests/golden/" + name;
 }
+
+/// Applies an index-memory budget for one scope and restores the previous
+/// one on exit (the IndexCache budget is process-global).
+class ScopedIndexBudget {
+ public:
+  explicit ScopedIndexBudget(uint64_t bytes)
+      : previous_(IndexCache::Global().budget_bytes()) {
+    IndexCache::Global().SetBudgetBytes(bytes);
+  }
+  ~ScopedIndexBudget() { IndexCache::Global().SetBudgetBytes(previous_); }
+
+ private:
+  uint64_t previous_;
+};
 
 std::string ReadFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -122,6 +137,21 @@ void CheckAgainstGolden(const Database& db, const CrossMineOptions& opts,
   EXPECT_EQ(ShardedModelBytes(db, opts, 1, golden_name), golden)
       << golden_name
       << ": shards=1 merged model diverged from the committed golden";
+
+  // And under any index-memory budget, at 1 and 4 threads: 64 MiB (holds
+  // every artifact at this scale, exercising only the accounting) and a
+  // thrash-level 4 KiB (evicts nearly every artifact the moment it is
+  // built, so training rebuilds constantly). Eviction may change *when* an
+  // index exists, never what it contains.
+  for (uint64_t budget : {uint64_t{64} << 20, uint64_t{4096}}) {
+    ScopedIndexBudget scoped(budget);
+    EXPECT_EQ(TrainedModelBytes(db, opts, 1, golden_name), golden)
+        << golden_name << ": model diverged under a " << budget
+        << "-byte index budget";
+    EXPECT_EQ(TrainedModelBytes(db, opts, 4, golden_name), golden)
+        << golden_name << ": 4-thread model diverged under a " << budget
+        << "-byte index budget";
+  }
 }
 
 TEST(GoldenModelTest, SyntheticMatchesPreRefactorGolden) {

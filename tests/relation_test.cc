@@ -64,49 +64,60 @@ TEST(RelationTest, Columns) {
             (std::vector<double>{0.0, 1.5, 3.0}));
 }
 
-TEST(RelationTest, HashIndexGroupsByValue) {
+// Posting list of `value`, or empty if absent — the join-probe idiom every
+// former GetHashIndex consumer now uses.
+std::vector<TupleId> Posting(const AttrIndex& index, int64_t value) {
+  size_t v = index.FindValue(value);
+  if (v == AttrIndex::npos) return {};
+  return std::vector<TupleId>(index.posting(v),
+                              index.posting(v) + index.posting_count(v));
+}
+
+TEST(RelationTest, AttrIndexGroupsByValue) {
   Relation r(MakeSchema());
   int64_t values[] = {5, 7, 5, 9, 5};
   for (int64_t v : values) {
     TupleId t = r.AddTuple();
     r.SetInt(t, 1, v);
   }
-  const HashIndex& index = r.GetHashIndex(1);
-  EXPECT_EQ(index.size(), 3u);
-  EXPECT_EQ(index.at(5), (std::vector<TupleId>{0, 2, 4}));
-  EXPECT_EQ(index.at(7), (std::vector<TupleId>{1}));
-  EXPECT_EQ(index.at(9), (std::vector<TupleId>{3}));
+  auto index = r.GetAttrIndex(1);
+  EXPECT_EQ(index->num_values(), 3u);
+  EXPECT_EQ(index->values, (std::vector<int64_t>{5, 7, 9}));
+  EXPECT_EQ(Posting(*index, 5), (std::vector<TupleId>{0, 2, 4}));
+  EXPECT_EQ(Posting(*index, 7), (std::vector<TupleId>{1}));
+  EXPECT_EQ(Posting(*index, 9), (std::vector<TupleId>{3}));
+  EXPECT_EQ(index->FindValue(6), AttrIndex::npos);
 }
 
-TEST(RelationTest, HashIndexSkipsNulls) {
+TEST(RelationTest, AttrIndexSkipsNulls) {
   Relation r(MakeSchema());
   TupleId a = r.AddTuple();
   r.SetInt(a, 1, 4);
   r.AddTuple();  // stays NULL
-  const HashIndex& index = r.GetHashIndex(1);
-  EXPECT_EQ(index.size(), 1u);
-  EXPECT_EQ(index.count(kNullValue), 0u);
+  auto index = r.GetAttrIndex(1);
+  EXPECT_EQ(index->num_values(), 1u);
+  EXPECT_EQ(index->FindValue(kNullValue), AttrIndex::npos);
 }
 
-TEST(RelationTest, HashIndexInvalidatedByMutation) {
+TEST(RelationTest, AttrIndexInvalidatedByMutation) {
   Relation r(MakeSchema());
   TupleId t = r.AddTuple();
   r.SetInt(t, 1, 1);
-  EXPECT_EQ(r.GetHashIndex(1).at(1).size(), 1u);
+  EXPECT_EQ(Posting(*r.GetAttrIndex(1), 1).size(), 1u);
   r.SetInt(t, 1, 2);
-  const HashIndex& index = r.GetHashIndex(1);
-  EXPECT_EQ(index.count(1), 0u);
-  EXPECT_EQ(index.at(2).size(), 1u);
+  auto index = r.GetAttrIndex(1);
+  EXPECT_EQ(index->FindValue(1), AttrIndex::npos);
+  EXPECT_EQ(Posting(*index, 2).size(), 1u);
 }
 
-TEST(RelationTest, HashIndexInvalidatedByAddTuple) {
+TEST(RelationTest, AttrIndexInvalidatedByAddTuple) {
   Relation r(MakeSchema());
   TupleId a = r.AddTuple();
   r.SetInt(a, 1, 3);
-  EXPECT_EQ(r.GetHashIndex(1).at(3).size(), 1u);
+  EXPECT_EQ(Posting(*r.GetAttrIndex(1), 3).size(), 1u);
   TupleId b = r.AddTuple();
   r.SetInt(b, 1, 3);
-  EXPECT_EQ(r.GetHashIndex(1).at(3).size(), 2u);
+  EXPECT_EQ(Posting(*r.GetAttrIndex(1), 3).size(), 2u);
 }
 
 TEST(RelationTest, SortedIndexOrdersByValue) {
@@ -116,7 +127,7 @@ TEST(RelationTest, SortedIndexOrdersByValue) {
     TupleId t = r.AddTuple();
     r.SetDouble(t, 2, v);
   }
-  EXPECT_EQ(r.GetSortedIndex(2), (std::vector<TupleId>{1, 3, 2, 4, 0}));
+  EXPECT_EQ(*r.GetSortedIndex(2), (std::vector<TupleId>{1, 3, 2, 4, 0}));
 }
 
 TEST(RelationTest, SortedIndexStableForTies) {
@@ -126,7 +137,7 @@ TEST(RelationTest, SortedIndexStableForTies) {
     TupleId t = r.AddTuple();
     r.SetDouble(t, 2, v);
   }
-  EXPECT_EQ(r.GetSortedIndex(2), (std::vector<TupleId>{1, 3, 0, 2}));
+  EXPECT_EQ(*r.GetSortedIndex(2), (std::vector<TupleId>{1, 3, 0, 2}));
 }
 
 TEST(RelationTest, SortedIndexInvalidatedByMutation) {
@@ -135,9 +146,9 @@ TEST(RelationTest, SortedIndexInvalidatedByMutation) {
   TupleId b = r.AddTuple();
   r.SetDouble(a, 2, 1.0);
   r.SetDouble(b, 2, 2.0);
-  EXPECT_EQ(r.GetSortedIndex(2).front(), a);
+  EXPECT_EQ(r.GetSortedIndex(2)->front(), a);
   r.SetDouble(a, 2, 3.0);
-  EXPECT_EQ(r.GetSortedIndex(2).front(), b);
+  EXPECT_EQ(r.GetSortedIndex(2)->front(), b);
 }
 
 TEST(RelationTest, DistinctCategoriesSortedAndNullFree) {

@@ -13,7 +13,9 @@
 # since the `.cmdb` loader parses offsets out of an mmap'd file and hands
 # zero-copy spans to the engine. The bitmap kernel and AttrIndex suites run
 # here too: word-granular spans with tail-word masking and CSR posting
-# arithmetic are classic off-by-one-word territory. The shard suite rides
+# arithmetic are classic off-by-one-word territory, and the IndexCache
+# suite thrashes eviction while handles are still live — a use-after-free
+# hunt by construction. The shard suite rides
 # along because the partitioner's kShared mode aliases parent column storage
 # into per-shard relations — exactly the borrowed-span lifetime pattern ASan
 # polices.
@@ -27,7 +29,7 @@ BUILD_DIR="${1:-build-asan}"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Asan
 cmake --build "$BUILD_DIR" -j \
   --target protocol_test serve_test idset_store_test bitmap_ops_test \
-  attr_index_test csv_corruption_test columnar_test \
+  attr_index_test index_cache_test csv_corruption_test columnar_test \
   columnar_corruption_test fault_matrix_test shard_test \
   crossmine_cli serve_client
 
@@ -38,6 +40,7 @@ export UBSAN_OPTIONS="halt_on_error=1 ${UBSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/idset_store_test
 "$BUILD_DIR"/tests/bitmap_ops_test
 "$BUILD_DIR"/tests/attr_index_test
+"$BUILD_DIR"/tests/index_cache_test
 "$BUILD_DIR"/tests/csv_corruption_test
 "$BUILD_DIR"/tests/columnar_test
 "$BUILD_DIR"/tests/columnar_corruption_test

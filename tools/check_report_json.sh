@@ -39,6 +39,11 @@ required = [
     "train.propagation.cache_hits",
     "train.propagation.cache_refreshes",
     "train.propagation.cache_misses",
+    "train.index.evictions",
+    "train.index.rebuilds",
+    "train.index.peak_bytes",
+    "train.index.budget_bytes",
+    "storage.column.materializations",
     "train.clauses_built",
     "train.clauses_built.class_0",
     "train.clauses_built.class_1",

@@ -6,7 +6,9 @@
 # for the connection-thread registry: accept-side reaping, shutdown-side
 # joining, and injected mid-connection failures all racing one another.
 # The AttrIndex equivalence suite rides along because parallel workers share
-# the lazily built attribute indexes (warmed before the pool starts).
+# the lazily built attribute indexes (warmed before the pool starts), and
+# the IndexCache suite races concurrent Gets against budget eviction to
+# exercise the single-flight build path.
 # The columnar suite rides along because a `.cmdb`-loaded database hands
 # borrowed mmap spans to those same workers (copy-on-write on mutation).
 # The shard suite rides along for the two-level pool: shard workers each
@@ -22,8 +24,8 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Tsan
 cmake --build "$BUILD_DIR" -j \
   --target parallel_search_test clause_builder_test serve_test \
-  idset_store_test attr_index_test columnar_test fault_matrix_test \
-  shard_test
+  idset_store_test attr_index_test index_cache_test columnar_test \
+  fault_matrix_test shard_test
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/parallel_search_test
@@ -31,6 +33,7 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/serve_test
 "$BUILD_DIR"/tests/idset_store_test
 "$BUILD_DIR"/tests/attr_index_test
+"$BUILD_DIR"/tests/index_cache_test
 "$BUILD_DIR"/tests/columnar_test
 "$BUILD_DIR"/tests/fault_matrix_test
 "$BUILD_DIR"/tests/shard_test

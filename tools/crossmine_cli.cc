@@ -23,11 +23,16 @@
 // convention.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "baselines/foil.h"
 #include "baselines/tilde.h"
@@ -42,6 +47,7 @@
 #include "common/shutdown.h"
 #include "eval/cross_validation.h"
 #include "eval/metrics.h"
+#include "relational/index_cache.h"
 #include "serve/server.h"
 #include "shard/sharded_trainer.h"
 #include "storage/columnar.h"
@@ -51,6 +57,21 @@
 using namespace crossmine;
 
 namespace {
+
+/// Process high-water resident set size in KiB (0 where unsupported).
+uint64_t PeakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (::getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(usage.ru_maxrss) / 1024;  // bytes on macOS
+#else
+  return static_cast<uint64_t>(usage.ru_maxrss);  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 int Usage() {
   std::printf(
@@ -91,6 +112,12 @@ int Usage() {
       "  final metrics snapshot. --idle-timeout-ms closes connections\n"
       "  with no readable bytes for that long; --max-connections sheds\n"
       "  excess connections with RESOURCE_EXHAUSTED (0 = unlimited).\n"
+      "\n"
+      "memory budget (any subcommand):\n"
+      "  --memory-budget-mb N   cap cached index artifacts at N MiB (LRU\n"
+      "  eviction + transparent rebuild; default unlimited). Trains a\n"
+      "  `.cmdb` larger than RAM end to end; models are byte-identical at\n"
+      "  any budget.\n"
       "\n"
       "fault injection (any subcommand, for failure testing):\n"
       "  --fault-plan \"point[@hit]=action[*count];...\"  arm named fault\n"
@@ -629,8 +656,12 @@ int Train(int argc, char** argv) {
   const CrossMineClassifier& trained =
       sharded ? sharded_model.merged_model() : model;
   if (report == ReportMode::kJson) {
-    std::printf("{\"report\":\"train\",\"classifier\":\"%s\",%s}\n",
+    // peak_rss_kb: process high-water resident set, the ground truth the
+    // out-of-core bench (tools/check_memory_budget.sh) records per budget.
+    std::printf("{\"report\":\"train\",\"classifier\":\"%s\""
+                ",\"peak_rss_kb\":%llu,%s}\n",
                 trainer.name(),
+                static_cast<unsigned long long>(PeakRssKb()),
                 SnapshotJsonFields(train_metrics.Snapshot()).c_str());
   } else if (report == ReportMode::kText) {
     std::printf("training report:\n%s",
@@ -823,6 +854,19 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --fault-plan: %s\n", st.ToString().c_str());
         return 2;
       }
+    }
+    // Global index-memory budget, honored by every subcommand: caps the
+    // summed footprint of cached index artifacts (LRU eviction + rebuild on
+    // miss). Applied before dispatch so the very first index build is
+    // already budgeted. 0 (the default) = unlimited.
+    if (std::strcmp(argv[i], "--memory-budget-mb") == 0) {
+      char* end = nullptr;
+      unsigned long long mb = std::strtoull(argv[i + 1], &end, 10);
+      if (end == argv[i + 1] || *end != '\0') {
+        std::fprintf(stderr, "bad --memory-budget-mb: %s\n", argv[i + 1]);
+        return 2;
+      }
+      IndexCache::Global().SetBudgetBytes(static_cast<uint64_t>(mb) << 20);
     }
   }
   {
