@@ -1,0 +1,154 @@
+#include "common/subprocess.h"
+
+#include <errno.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+extern char** environ;
+
+namespace crossmine {
+
+namespace {
+
+Status SysStatus(const char* op, int err) {
+  return Status::IoError(StrFormat("%s: %s", op, ::strerror(err)));
+}
+
+/// The KEY part of a `KEY=VALUE` (or bare `KEY`) env entry.
+std::string_view EnvKey(std::string_view entry) {
+  size_t eq = entry.find('=');
+  return eq == std::string_view::npos ? entry : entry.substr(0, eq);
+}
+
+WaitResult DecodeStatus(pid_t pid, int status) {
+  WaitResult r;
+  r.pid = pid;
+  if (WIFEXITED(status)) {
+    r.exited = true;
+    r.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    r.signaled = true;
+    r.term_signal = WTERMSIG(status);
+  }
+  return r;
+}
+
+}  // namespace
+
+StatusOr<pid_t> SpawnProcess(const std::vector<std::string>& argv,
+                             const std::vector<std::string>& extra_env,
+                             FaultPoint* spawn_fault) {
+  if (argv.empty()) return Status::InvalidArgument("empty argv");
+  if (spawn_fault != nullptr) {
+    int err = spawn_fault->Fire();
+    if (err != 0) return SysStatus("fork", err);
+  }
+
+  // Materialize argv / envp before fork: between fork and exec only
+  // async-signal-safe calls are allowed (the parent may be multi-threaded).
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  std::vector<std::string> env_storage;
+  std::vector<char*> cenv;
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    std::string_view entry(*e);
+    bool overridden = false;
+    for (const std::string& extra : extra_env) {
+      if (EnvKey(entry) == EnvKey(extra)) {
+        overridden = true;
+        break;
+      }
+    }
+    if (!overridden) cenv.push_back(*e);
+  }
+  for (const std::string& extra : extra_env) {
+    if (extra.find('=') == std::string::npos) continue;  // bare KEY = unset
+    env_storage.push_back(extra);
+  }
+  for (const std::string& extra : env_storage) {
+    cenv.push_back(const_cast<char*>(extra.c_str()));
+  }
+  cenv.push_back(nullptr);
+
+  pid_t pid = ::fork();
+  if (pid < 0) return SysStatus("fork", errno);
+  if (pid == 0) {
+    // Child. Inherited SIG_IGN dispositions (e.g. SIGPIPE from a serving
+    // parent) survive exec; restore defaults so the worker starts clean and
+    // a supervisor SIGTERM actually terminates it.
+    ::signal(SIGPIPE, SIG_DFL);
+    ::signal(SIGINT, SIG_DFL);
+    ::signal(SIGTERM, SIG_DFL);
+    ::execve(cargv[0], cargv.data(), cenv.data());
+    // exec failed: _exit (not exit) — no atexit handlers of the parent image.
+    ::_exit(127);
+  }
+  return pid;
+}
+
+StatusOr<WaitResult> WaitAnyChild(FaultPoint* wait_fault) {
+  for (;;) {
+    if (wait_fault != nullptr) {
+      int err = wait_fault->Fire();
+      if (err == EINTR) continue;  // the retry loop under test
+      if (err != 0) return SysStatus("waitpid", err);
+    }
+    int status = 0;
+    pid_t pid = ::waitpid(-1, &status, WNOHANG);
+    if (pid < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECHILD) return WaitResult{};  // no children at all
+      return SysStatus("waitpid", errno);
+    }
+    if (pid == 0) return WaitResult{};  // children exist, none finished
+    return DecodeStatus(pid, status);
+  }
+}
+
+StatusOr<WaitResult> WaitChild(pid_t pid) {
+  for (;;) {
+    int status = 0;
+    pid_t got = ::waitpid(pid, &status, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return SysStatus("waitpid", errno);
+    }
+    return DecodeStatus(got, status);
+  }
+}
+
+void KillAndReap(pid_t pid) {
+  if (pid <= 0) return;
+  ::kill(pid, SIGKILL);
+  for (;;) {
+    int status = 0;
+    pid_t got = ::waitpid(pid, &status, 0);
+    if (got == pid) return;
+    if (got < 0 && errno == EINTR) continue;
+    return;  // ECHILD: already reaped elsewhere
+  }
+}
+
+bool SendSignal(pid_t pid, int signo) {
+  if (pid <= 0) return false;
+  return ::kill(pid, signo) == 0;
+}
+
+std::string SelfExePath() {
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return std::string();
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+}  // namespace crossmine

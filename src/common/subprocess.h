@@ -1,0 +1,63 @@
+#ifndef CROSSMINE_COMMON_SUBPROCESS_H_
+#define CROSSMINE_COMMON_SUBPROCESS_H_
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+#include "common/faultpoint.h"
+#include "common/status.h"
+
+namespace crossmine {
+
+/// \file
+/// Fault-injectable fork/exec + reaping helpers for process supervision
+/// (the shard supervisor). All functions are Status-clean and EINTR-safe:
+/// a signal delivered mid-wait never surfaces as an error, and every child
+/// this module starts can be reaped through it — no zombies.
+
+/// Starts `argv[0]` with the given argument vector. The child inherits the
+/// parent's environment, with `extra_env` applied on top: a `KEY=VALUE`
+/// entry overrides (or adds) that variable, a bare `KEY` entry removes it.
+/// `spawn_fault`, when armed, injects an errno instead of forking.
+/// Returns the child pid; the caller must eventually reap it with
+/// `WaitAnyChild` / `WaitChild` / `KillAndReap`.
+StatusOr<pid_t> SpawnProcess(const std::vector<std::string>& argv,
+                             const std::vector<std::string>& extra_env = {},
+                             FaultPoint* spawn_fault = nullptr);
+
+/// How one child ended (or that none has yet).
+struct WaitResult {
+  pid_t pid = 0;          ///< 0 = no child ready / no children left
+  bool exited = false;    ///< true when the child called exit()
+  int exit_code = 0;      ///< valid when `exited`
+  bool signaled = false;  ///< true when a signal killed the child
+  int term_signal = 0;    ///< valid when `signaled`
+};
+
+/// Non-blocking reap of any finished child (`waitpid(-1, WNOHANG)`).
+/// EINTR is retried internally; "no children" and "no child finished yet"
+/// both return a WaitResult with pid == 0. An armed `wait_fault` injecting
+/// EINTR is absorbed by the retry loop (proving the loop exists); any other
+/// injected or real errno surfaces as IoError.
+StatusOr<WaitResult> WaitAnyChild(FaultPoint* wait_fault = nullptr);
+
+/// Blocking reap of one specific child, EINTR-safe.
+StatusOr<WaitResult> WaitChild(pid_t pid);
+
+/// SIGKILL + blocking reap, EINTR-safe. Safe to call for an already-dead
+/// (but unreaped) child; no-op for pid <= 0. Never fails: after it returns
+/// the pid is gone from the process table.
+void KillAndReap(pid_t pid);
+
+/// Sends `signo` to `pid`; false when the process no longer exists.
+bool SendSignal(pid_t pid, int signo);
+
+/// Absolute path of the running executable (`/proc/self/exe`), empty when
+/// unresolvable — the default worker binary for self-exec supervision.
+std::string SelfExePath();
+
+}  // namespace crossmine
+
+#endif  // CROSSMINE_COMMON_SUBPROCESS_H_

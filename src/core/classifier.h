@@ -101,6 +101,11 @@ class CrossMineClassifier : public RelationalClassifier {
   }
   friend StatusOr<CrossMineClassifier> LoadModel(const Database& db,
                                                  const std::string& path);
+  /// `ParseModel` is `LoadModel` minus the file read — the same validated
+  /// restore path, reused by shard-worker checkpoints.
+  friend StatusOr<CrossMineClassifier> ParseModel(const Database& db,
+                                                  const std::string& contents,
+                                                  const std::string& origin);
   /// The shard-merge pass (src/shard/sharded_trainer.cc) installs its
   /// deterministically merged clause set through the same hook.
   friend class shard::ShardedClassifier;

@@ -139,14 +139,20 @@ std::string ModelPayload(const CrossMineClassifier& model,
 
 }  // namespace
 
+std::string SerializeModel(const CrossMineClassifier& model,
+                           const Database& db) {
+  std::string payload = ModelPayload(model, db);
+  std::string contents = payload;
+  contents += StrFormat("checksum %08x %zu\n", Crc32(payload), payload.size());
+  return contents;
+}
+
 Status SaveModel(const CrossMineClassifier& model, const Database& db,
                  const std::string& path) {
   if (!db.finalized()) {
     return Status::FailedPrecondition("database not finalized");
   }
-  std::string payload = ModelPayload(model, db);
-  std::string contents = payload;
-  contents += StrFormat("checksum %08x %zu\n", Crc32(payload), payload.size());
+  std::string contents = SerializeModel(model, db);
   WriteFaultPoints faults;
   faults.open = &fp_save_open;
   faults.write = &fp_save_write;
@@ -165,15 +171,23 @@ StatusOr<CrossMineClassifier> LoadModel(const Database& db,
   read_faults.read = &fp_load_read;
   StatusOr<std::string> contents = ReadFileToString(path, read_faults);
   if (!contents.ok()) return contents.status();
+  return ParseModel(db, *contents, path);
+}
 
+StatusOr<CrossMineClassifier> ParseModel(const Database& db,
+                                         const std::string& contents,
+                                         const std::string& origin) {
+  if (!db.finalized()) {
+    return Status::FailedPrecondition("database not finalized");
+  }
   std::string line;
   int lineno = 0;
   auto fail = [&](const std::string& what) {
     return Status::InvalidArgument(
-        StrFormat("%s:%d: %s", path.c_str(), lineno, what.c_str()));
+        StrFormat("%s:%d: %s", origin.c_str(), lineno, what.c_str()));
   };
 
-  std::istringstream in(*contents);
+  std::istringstream in(contents);
 
   // Header.
   if (!std::getline(in, line)) return fail("empty file");
@@ -195,25 +209,25 @@ StatusOr<CrossMineClassifier> LoadModel(const Database& db,
   // trailer parse, so corruption is always a clean DATA_LOSS — a wrong
   // model can never load.
   if (version >= 2) {
-    const std::string& all = *contents;
+    const std::string& all = contents;
     size_t tpos = all.rfind("checksum ");
     if (tpos == std::string::npos || (tpos != 0 && all[tpos - 1] != '\n') ||
         all.back() != '\n') {
-      return Status::DataLoss(path + ": missing checksum trailer (truncated "
+      return Status::DataLoss(origin + ": missing checksum trailer (truncated "
                               "or corrupt model file)");
     }
     unsigned int stored_crc = 0;
     size_t stored_size = 0;
     if (std::sscanf(all.c_str() + tpos, "checksum %8x %zu", &stored_crc,
                     &stored_size) != 2) {
-      return Status::DataLoss(path + ": malformed checksum trailer");
+      return Status::DataLoss(origin + ": malformed checksum trailer");
     }
     std::string_view payload(all.data(), tpos);
     if (payload.size() != stored_size || Crc32(payload) != stored_crc) {
       return Status::DataLoss(
           StrFormat("%s: checksum mismatch (stored %08x over %zu bytes, "
                     "file has %08x over %zu) — torn or bit-flipped model",
-                    path.c_str(), stored_crc, stored_size, Crc32(payload),
+                    origin.c_str(), stored_crc, stored_size, Crc32(payload),
                     payload.size()));
     }
     in.str(std::string(payload));

@@ -31,6 +31,22 @@ Status SaveModel(const CrossMineClassifier& model, const Database& db,
 StatusOr<CrossMineClassifier> LoadModel(const Database& db,
                                         const std::string& path);
 
+/// The exact bytes `SaveModel` writes: the v2 model container — text payload
+/// plus the mandatory `checksum <crc32> <payload-bytes>` trailer. Exposed so
+/// other persistence paths (shard worker checkpoints) can reuse the framing
+/// under their own fault points and write policy.
+std::string SerializeModel(const CrossMineClassifier& model,
+                           const Database& db);
+
+/// Parses bytes produced by `SerializeModel` / read from a `SaveModel` file.
+/// `origin` names the source in error messages (a path, usually). Verifies
+/// the v2 checksum trailer (DATA_LOSS on any truncation or bit flip), the
+/// schema fingerprint against `db`, and every structural invariant of the
+/// clause list.
+StatusOr<CrossMineClassifier> ParseModel(const Database& db,
+                                         const std::string& contents,
+                                         const std::string& origin);
+
 /// Stable fingerprint of a database's schema and join graph (relations,
 /// attribute names/kinds, edges) — changes whenever a saved model's ids
 /// would no longer resolve to the same objects.

@@ -1,0 +1,452 @@
+#include "shard/supervisor.h"
+
+#include <signal.h>
+#include <time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <utility>
+
+#include "common/faultpoint.h"
+#include "common/fs.h"
+#include "common/string_util.h"
+#include "common/subprocess.h"
+#include "core/model_io.h"
+#include "shard/worker.h"
+#include "storage/storage.h"
+
+namespace crossmine::shard {
+
+namespace {
+
+// The supervisor's syscall-shaped edges. `shard.checkpoint.write/fsync/
+// rename` live in worker.cc — they fire inside the worker process.
+FaultPoint fp_spawn("shard.worker.spawn");
+FaultPoint fp_wait("shard.worker.wait");
+FaultPoint fp_ckpt_read("shard.checkpoint.read");
+
+constexpr char kManifestName[] = "MANIFEST";
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SleepTick() {
+  struct timespec ts = {0, 10 * 1000 * 1000};  // 10ms
+  ::nanosleep(&ts, nullptr);                   // EINTR: loop re-checks state
+}
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  v += 0x9e3779b97f4a7c15ULL;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  return (h * 31) ^ (v ^ (v >> 31));
+}
+
+uint64_t MixString(uint64_t h, const std::string& s) {
+  h = Mix(h, s.size());
+  for (char c : s) h = Mix(h, static_cast<uint64_t>(static_cast<uint8_t>(c)));
+  return h;
+}
+
+/// The run key ties a run directory to one exact training task: same parent
+/// schema, same partition (shard count and membership) and same worker
+/// options. `resume` only reuses checkpoints under a matching key, so a run
+/// directory recycled for a different fold / option set can never leak a
+/// stale model into the merge.
+uint64_t ComputeRunKey(const Database& parent,
+                       const std::vector<Shard>& shards,
+                       const std::vector<int>& active,
+                       const std::vector<std::string>& worker_args) {
+  uint64_t h = Mix(0x43524d53ULL /* "CRMS" */, SchemaFingerprint(parent));
+  h = Mix(h, shards.size());
+  h = Mix(h, active.size());
+  for (int s : active) {
+    const Shard& shard = shards[static_cast<size_t>(s)];
+    h = Mix(h, static_cast<uint64_t>(s));
+    h = Mix(h, shard.parent_ids.size());
+    for (TupleId id : shard.parent_ids) h = Mix(h, id);
+  }
+  for (const std::string& arg : worker_args) h = MixString(h, arg);
+  return h;
+}
+
+std::string ManifestPath(const std::string& run_dir) {
+  return run_dir + "/" + kManifestName;
+}
+
+/// True when the run directory already carries this exact run key.
+bool ManifestMatches(const std::string& run_dir, uint64_t key) {
+  StatusOr<std::string> contents = ReadFileToString(ManifestPath(run_dir));
+  if (!contents.ok()) return false;
+  std::vector<std::string> lines = Split(*contents, '\n');
+  if (lines.size() < 2 || Trim(lines[0]) != "crossmine-shardrun 1") {
+    return false;
+  }
+  return Trim(lines[1]) == StrFormat("key %016llx",
+                                     static_cast<unsigned long long>(key));
+}
+
+Status WriteManifest(const std::string& run_dir, uint64_t key) {
+  std::string contents =
+      StrFormat("crossmine-shardrun 1\nkey %016llx\n",
+                static_cast<unsigned long long>(key));
+  return AtomicWriteFile(ManifestPath(run_dir), contents);
+}
+
+/// Removes run artifacts: checkpoints and slices always, the manifest too
+/// when `include_manifest`. Leftover `*.tmp.*` files (a killed writer's
+/// debris — never visible through AtomicWriteFile's rename) are swept on
+/// every call.
+void SweepRunDir(const std::string& run_dir, bool wipe_outputs,
+                 bool include_manifest) {
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(run_dir, ec)) {
+    std::string name = entry.path().filename().string();
+    bool is_tmp = name.find(".tmp.") != std::string::npos;
+    bool is_output = name.rfind("ckpt-", 0) == 0 || name.rfind("slice-", 0) == 0;
+    bool is_manifest = name == kManifestName;
+    if (is_tmp || (wipe_outputs && is_output) ||
+        (include_manifest && is_manifest)) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+}
+
+/// Per-shard lifecycle. A task leaves kRunning only by being reaped or
+/// KillAndReap'ed, so "no task is kRunning" implies "no live children".
+struct Task {
+  int shard = 0;    ///< parent shard index
+  int attempt = 0;  ///< attempts started
+  enum State { kPending, kRunning, kDone, kFailed } state = kPending;
+  double ready_at = 0.0;  ///< backoff gate (monotonic seconds)
+  pid_t pid = 0;
+  double deadline = 0.0;  ///< 0 = no timeout
+  std::optional<CrossMineClassifier> model;
+  Status failure = Status::OK();
+};
+
+}  // namespace
+
+std::string ShardSlicePath(const std::string& run_dir, int shard) {
+  return StrFormat("%s/slice-%d.cmdb", run_dir.c_str(), shard);
+}
+
+std::string ShardCheckpointPath(const std::string& run_dir, int shard) {
+  return StrFormat("%s/ckpt-%d.cmm", run_dir.c_str(), shard);
+}
+
+StatusOr<CrossMineClassifier> LoadShardCheckpoint(const Database& parent,
+                                                  const std::string& path) {
+  ReadFaultPoints faults;
+  faults.open = &fp_ckpt_read;
+  faults.read = &fp_ckpt_read;
+  StatusOr<std::string> contents = ReadFileToString(path, faults);
+  if (!contents.ok()) return contents.status();
+  return ParseModel(parent, *contents, path);
+}
+
+StatusOr<std::vector<std::optional<CrossMineClassifier>>> ShardSupervisor::Run(
+    const Database& parent, const CrossMineOptions& worker_options,
+    const std::vector<Shard>& shards, const std::vector<int>& active,
+    MetricsRegistry* metrics) {
+  stats_ = {};
+  // Surface the robustness counters even on failure paths (and as zeros on
+  // clean runs) so the report schema is stable.
+  auto absorb_stats = [&]() {
+    if (metrics == nullptr) return;
+    metrics->counter("train.shard.retries")->Add(stats_.retries);
+    metrics->counter("train.shard.timeouts")->Add(stats_.timeouts);
+    metrics->counter("train.shard.crashed")->Add(stats_.crashed);
+    metrics->counter("train.shard.spawn_failures")->Add(stats_.spawn_failures);
+    metrics->counter("train.shard.resumed")->Add(stats_.resumed);
+    metrics->counter("train.shard.quorum_used")
+        ->Add(stats_.quorum_dropped > 0 ? 1 : 0);
+  };
+
+  if (options_.run_dir.empty()) {
+    return Status::InvalidArgument("shard supervisor needs a run directory");
+  }
+  if (options_.max_attempts < 1) {
+    return Status::InvalidArgument("max_attempts must be >= 1");
+  }
+  std::string binary =
+      options_.worker_binary.empty() ? SelfExePath() : options_.worker_binary;
+  if (binary.empty()) {
+    return Status::Internal("cannot resolve worker binary (/proc/self/exe)");
+  }
+
+  std::vector<std::string> worker_args = WorkerOptionArgs(worker_options);
+  if (options_.memory_budget_mb > 0) {
+    worker_args.push_back("--memory-budget-mb");
+    worker_args.push_back(StrFormat(
+        "%llu", static_cast<unsigned long long>(options_.memory_budget_mb)));
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(options_.run_dir, ec);
+  if (ec) {
+    return Status::IoError(StrFormat("create run dir %s: %s",
+                                     options_.run_dir.c_str(),
+                                     ec.message().c_str()));
+  }
+
+  uint64_t run_key = ComputeRunKey(parent, shards, active, worker_args);
+  bool reuse = options_.resume && ManifestMatches(options_.run_dir, run_key);
+  // Not resuming (or key mismatch): wipe outputs so a stale checkpoint can
+  // never satisfy this run. Either way sweep tmp debris from dead writers.
+  SweepRunDir(options_.run_dir, /*wipe_outputs=*/!reuse,
+              /*include_manifest=*/!reuse);
+  if (!reuse) {
+    Status st = WriteManifest(options_.run_dir, run_key);
+    if (!st.ok()) return st;
+  }
+
+  std::string fingerprint = StrFormat(
+      "%llu", static_cast<unsigned long long>(SchemaFingerprint(parent)));
+
+  std::vector<Task> tasks(active.size());
+  for (size_t i = 0; i < active.size(); ++i) {
+    tasks[i].shard = active[i];
+    if (reuse) {
+      std::string ckpt = ShardCheckpointPath(options_.run_dir, active[i]);
+      StatusOr<CrossMineClassifier> model = LoadShardCheckpoint(parent, ckpt);
+      if (model.ok()) {
+        tasks[i].state = Task::kDone;
+        tasks[i].model = std::move(*model);
+        ++stats_.resumed;
+      } else {
+        std::filesystem::remove(ckpt, ec);  // invalid leftovers are rebuilt
+      }
+    }
+  }
+
+  int max_workers = options_.max_workers > 0 ? options_.max_workers : 1;
+  size_t needed = options_.quorum > 0
+                      ? std::min<size_t>(static_cast<size_t>(options_.quorum),
+                                         active.size())
+                      : active.size();
+
+  auto kill_running = [&tasks]() {
+    for (Task& t : tasks) {
+      if (t.state == Task::kRunning) {
+        KillAndReap(t.pid);
+        t.state = Task::kFailed;
+        t.failure = Status::Unavailable("worker aborted by supervisor");
+      }
+    }
+  };
+
+  // SIGTERM the live workers, give them a short grace to exit, then SIGKILL
+  // the stragglers. Every child is reaped before returning.
+  auto drain_for_shutdown = [&tasks]() {
+    for (Task& t : tasks) {
+      if (t.state == Task::kRunning) SendSignal(t.pid, SIGTERM);
+    }
+    double grace_end = MonotonicSeconds() + 2.0;
+    auto any_running = [&tasks]() {
+      for (const Task& t : tasks) {
+        if (t.state == Task::kRunning) return true;
+      }
+      return false;
+    };
+    while (any_running() && MonotonicSeconds() < grace_end) {
+      StatusOr<WaitResult> reaped = WaitAnyChild();
+      if (!reaped.ok() || reaped->pid == 0) {
+        SleepTick();
+        continue;
+      }
+      for (Task& t : tasks) {
+        if (t.state == Task::kRunning && t.pid == reaped->pid) {
+          t.state = Task::kFailed;
+          t.failure = Status::Unavailable("worker terminated at shutdown");
+        }
+      }
+    }
+    for (Task& t : tasks) {
+      if (t.state == Task::kRunning) {
+        KillAndReap(t.pid);
+        t.state = Task::kFailed;
+        t.failure = Status::Unavailable("worker killed at shutdown");
+      }
+    }
+  };
+
+  // Requeue with capped exponential backoff, or fail the shard for good.
+  auto handle_failure = [&](Task& t, Status why) {
+    if (t.attempt >= options_.max_attempts) {
+      t.state = Task::kFailed;
+      t.failure = std::move(why);
+      return;
+    }
+    ++stats_.retries;
+    t.state = Task::kPending;
+    double backoff = options_.backoff_initial_seconds;
+    for (int a = 1; a < t.attempt; ++a) backoff *= 2.0;
+    backoff = std::min(backoff, options_.backoff_max_seconds);
+    t.ready_at = MonotonicSeconds() + std::max(0.0, backoff);
+    t.failure = std::move(why);  // remembered in case retries run out later
+  };
+
+  for (;;) {
+    if (options_.shutdown != nullptr && options_.shutdown->requested()) {
+      drain_for_shutdown();
+      absorb_stats();
+      return Status::Unavailable("shard training interrupted by shutdown");
+    }
+
+    // --- Reap finished workers ------------------------------------------
+    for (;;) {
+      StatusOr<WaitResult> reaped = WaitAnyChild(&fp_wait);
+      if (!reaped.ok()) break;  // transient wait failure: retry next cycle
+      if (reaped->pid == 0) break;
+      Task* task = nullptr;
+      for (Task& t : tasks) {
+        if (t.state == Task::kRunning && t.pid == reaped->pid) task = &t;
+      }
+      if (task == nullptr) continue;  // not ours (test harness children)
+      task->pid = 0;
+      if (reaped->exited && reaped->exit_code == 0) {
+        std::string ckpt = ShardCheckpointPath(options_.run_dir, task->shard);
+        StatusOr<CrossMineClassifier> model = LoadShardCheckpoint(parent, ckpt);
+        if (model.ok()) {
+          task->state = Task::kDone;
+          task->model = std::move(*model);
+          std::error_code rm_ec;
+          std::filesystem::remove(
+              ShardSlicePath(options_.run_dir, task->shard), rm_ec);
+        } else {
+          // Exit 0 but an unreadable/corrupt checkpoint: treat like any
+          // other attempt failure — unlink and rebuild.
+          std::error_code rm_ec;
+          std::filesystem::remove(ckpt, rm_ec);
+          handle_failure(*task,
+                         Status(model.status().code(),
+                                StrFormat("shard %d checkpoint invalid: %s",
+                                          task->shard,
+                                          model.status().message().c_str())));
+        }
+      } else if (reaped->exited && reaped->exit_code == 4) {
+        // The worker's schema fingerprint assertion fired. Retrying cannot
+        // help — the slice itself disagrees with the parent.
+        task->state = Task::kFailed;
+        task->failure = Status::FailedPrecondition(StrFormat(
+            "shard %d worker reported schema fingerprint mismatch",
+            task->shard));
+      } else if (reaped->exited) {
+        handle_failure(*task, Status::Internal(StrFormat(
+                                  "shard %d worker exited with code %d",
+                                  task->shard, reaped->exit_code)));
+      } else {
+        ++stats_.crashed;
+        handle_failure(*task, Status::Internal(StrFormat(
+                                  "shard %d worker killed by signal %d",
+                                  task->shard, reaped->term_signal)));
+      }
+    }
+
+    // --- Enforce per-worker wall-clock timeouts -------------------------
+    double now = MonotonicSeconds();
+    for (Task& t : tasks) {
+      if (t.state == Task::kRunning && t.deadline > 0.0 && now > t.deadline) {
+        KillAndReap(t.pid);
+        t.pid = 0;
+        ++stats_.timeouts;
+        handle_failure(t, Status::DeadlineExceeded(StrFormat(
+                              "shard %d worker exceeded %.1fs timeout",
+                              t.shard, options_.worker_timeout_seconds)));
+      }
+    }
+
+    // --- Settle? --------------------------------------------------------
+    size_t done = 0, failed = 0, running = 0;
+    for (const Task& t : tasks) {
+      done += t.state == Task::kDone;
+      failed += t.state == Task::kFailed;
+      running += t.state == Task::kRunning;
+    }
+    if (done + failed == tasks.size()) break;
+    if (failed > tasks.size() - needed) {
+      // Success is already impossible (quorum unreachable): stop burning
+      // attempts on the survivors.
+      kill_running();
+      break;
+    }
+
+    // --- Spawn ready work -----------------------------------------------
+    now = MonotonicSeconds();
+    for (Task& t : tasks) {
+      if (running >= static_cast<size_t>(max_workers)) break;
+      if (t.state != Task::kPending || t.ready_at > now) continue;
+      ++t.attempt;
+      // (Re)write the slice first: deterministic content, atomic replace,
+      // self-healing if an earlier run left nothing behind.
+      std::string slice = ShardSlicePath(options_.run_dir, t.shard);
+      Status saved = storage::SaveDatabase(
+          shards[static_cast<size_t>(t.shard)].db, slice);
+      if (!saved.ok()) {
+        ++stats_.spawn_failures;
+        handle_failure(t, std::move(saved));
+        continue;
+      }
+      std::vector<std::string> argv = {
+          binary,
+          "train-shard",
+          slice,
+          ShardCheckpointPath(options_.run_dir, t.shard),
+          "--expect-fingerprint",
+          fingerprint,
+      };
+      argv.insert(argv.end(), worker_args.begin(), worker_args.end());
+      std::vector<std::string> extra_env;
+      if (options_.child_env_hook) {
+        extra_env = options_.child_env_hook(t.shard, t.attempt - 1);
+      }
+      StatusOr<pid_t> pid = SpawnProcess(argv, extra_env, &fp_spawn);
+      if (!pid.ok()) {
+        ++stats_.spawn_failures;
+        handle_failure(t, pid.status());
+        continue;
+      }
+      t.state = Task::kRunning;
+      t.pid = *pid;
+      t.deadline = options_.worker_timeout_seconds > 0.0
+                       ? now + options_.worker_timeout_seconds
+                       : 0.0;
+      ++running;
+    }
+
+    SleepTick();
+  }
+
+  size_t done = 0, failed = 0;
+  const Task* first_failed = nullptr;
+  for (const Task& t : tasks) {
+    done += t.state == Task::kDone;
+    if (t.state == Task::kFailed) {
+      ++failed;
+      if (first_failed == nullptr) first_failed = &t;
+    }
+  }
+  if (done < needed) {
+    absorb_stats();
+    const Task& t = *first_failed;  // done < needed implies a failure exists
+    return Status(t.failure.code(),
+                  StrFormat("shard %d failed after %d attempt(s): %s", t.shard,
+                            t.attempt, t.failure.message().c_str()));
+  }
+  if (failed > 0) stats_.quorum_dropped = failed;
+  absorb_stats();
+
+  std::vector<std::optional<CrossMineClassifier>> results(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (tasks[i].state == Task::kDone) results[i] = std::move(tasks[i].model);
+  }
+  return results;
+}
+
+}  // namespace crossmine::shard

@@ -1,0 +1,130 @@
+#ifndef CROSSMINE_SHARD_SUPERVISOR_H_
+#define CROSSMINE_SHARD_SUPERVISOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/shutdown.h"
+#include "common/status.h"
+#include "core/classifier.h"
+#include "core/options.h"
+#include "relational/database.h"
+#include "shard/partition.h"
+
+namespace crossmine::shard {
+
+/// \file
+/// Process-isolated shard training: a supervising coordinator that runs each
+/// shard's Find-Clauses loop in a forked `crossmine train-shard` worker over
+/// a closure-restricted `.cmdb` slice, collects durable per-shard candidate
+/// checkpoints, and survives worker crashes, hangs, corrupt checkpoints and
+/// even its own death (`resume`).
+///
+/// Durability contract: every file the subsystem writes (slices, checkpoints,
+/// the run manifest) goes through `AtomicWriteFile`, so a reader can never
+/// observe a torn file — kill -9 at any instant leaves either the old bytes
+/// or the new bytes. Checkpoints additionally carry the model container's
+/// crc32 trailer, so a valid-looking-but-damaged file is rejected as
+/// DATA_LOSS and rebuilt rather than merged.
+
+/// Knobs of the supervising coordinator. Zero / empty means "use the
+/// documented default".
+struct SupervisorOptions {
+  /// Directory holding slices, checkpoints and the run manifest. Created if
+  /// absent. Required.
+  std::string run_dir;
+  /// Worker executable; empty resolves to the running binary
+  /// (`/proc/self/exe`), which must expose the `train-shard` subcommand.
+  std::string worker_binary;
+  /// Concurrent worker processes; 0 lets the caller (ShardedClassifier)
+  /// default it to the outer thread split.
+  int max_workers = 0;
+  /// Wall-clock budget per worker attempt; a worker still running past it is
+  /// SIGKILLed, reaped and retried. 0 = no timeout.
+  double worker_timeout_seconds = 0.0;
+  /// Attempts per shard (first try + retries). Failures beyond this mark the
+  /// shard permanently failed.
+  int max_attempts = 3;
+  /// Capped exponential backoff between a shard's attempts.
+  double backoff_initial_seconds = 0.05;
+  double backoff_max_seconds = 2.0;
+  /// Graceful degradation: when > 0, the run succeeds once
+  /// min(quorum, active shards) shards produced valid checkpoints even if
+  /// the rest failed permanently (their result slots are nullopt). 0 (the
+  /// default) requires every shard — any permanent failure fails the run.
+  int quorum = 0;
+  /// Reuse checkpoints already present in `run_dir` from an earlier run with
+  /// the same run key (schema fingerprint + partition + worker options):
+  /// shards with a valid checkpoint are not retrained, so a supervisor
+  /// killed mid-run loses at most in-flight work. A key mismatch wipes the
+  /// stale files and starts clean.
+  bool resume = false;
+  /// Forwarded to workers as `--memory-budget-mb` (0 = unlimited).
+  uint64_t memory_budget_mb = 0;
+  /// When set, a shutdown request (SIGINT/SIGTERM) makes the supervisor
+  /// forward SIGTERM to live workers, drain them (SIGKILL after a short
+  /// grace), and return UNAVAILABLE. Checkpoints already written remain
+  /// valid for `resume`.
+  ShutdownNotifier* shutdown = nullptr;
+  /// Extra child environment entries (`KEY=VALUE` overrides, bare `KEY`
+  /// unsets) per (shard, attempt). Tests use this to arm a fault plan in one
+  /// specific attempt of one specific worker.
+  std::function<std::vector<std::string>(int shard, int attempt)>
+      child_env_hook;
+};
+
+/// Counters from one `Run`, also surfaced as `train.shard.*` metrics.
+struct SupervisorStats {
+  uint64_t retries = 0;         ///< re-queued attempts (any failure kind)
+  uint64_t timeouts = 0;        ///< workers SIGKILLed past their deadline
+  uint64_t crashed = 0;         ///< workers that died of a signal
+  uint64_t spawn_failures = 0;  ///< fork/exec or slice-write failures
+  uint64_t resumed = 0;         ///< shards satisfied by a pre-existing checkpoint
+  uint64_t quorum_dropped = 0;  ///< permanently failed shards forgiven by quorum
+};
+
+/// Slice / checkpoint paths inside a run directory, by parent shard index.
+std::string ShardSlicePath(const std::string& run_dir, int shard);
+std::string ShardCheckpointPath(const std::string& run_dir, int shard);
+
+/// Reads and fully validates a worker checkpoint (a v2 model container)
+/// against the parent database — shard slices reproduce the parent's schema
+/// fingerprint, so a shard-trained model parses against the parent. Any
+/// truncation or bit flip fails with DATA_LOSS; the armed read path is the
+/// `shard.checkpoint.read` fault point.
+StatusOr<CrossMineClassifier> LoadShardCheckpoint(const Database& parent,
+                                                  const std::string& path);
+
+/// The coordinator. One instance runs one training round; `Run` is not
+/// reentrant (it owns the process's child set while running).
+class ShardSupervisor {
+ public:
+  explicit ShardSupervisor(SupervisorOptions options)
+      : options_(std::move(options)) {}
+
+  /// Trains every shard listed in `active` (indices into `shards`) in worker
+  /// processes and returns the per-shard models in `active` order. A slot is
+  /// nullopt only under quorum degradation. On failure (a shard exhausted
+  /// its attempts and no quorum forgives it, or shutdown was requested) all
+  /// live workers are killed and reaped before returning — no zombies on any
+  /// path. `metrics`, when non-null, receives the `train.shard.{retries,
+  /// timeouts,crashed,resumed,quorum_used}` counters even on failure.
+  StatusOr<std::vector<std::optional<CrossMineClassifier>>> Run(
+      const Database& parent, const CrossMineOptions& worker_options,
+      const std::vector<Shard>& shards, const std::vector<int>& active,
+      MetricsRegistry* metrics);
+
+  const SupervisorStats& stats() const { return stats_; }
+
+ private:
+  SupervisorOptions options_;
+  SupervisorStats stats_;
+};
+
+}  // namespace crossmine::shard
+
+#endif  // CROSSMINE_SHARD_SUPERVISOR_H_

@@ -1,0 +1,39 @@
+#ifndef CROSSMINE_SHARD_WORKER_H_
+#define CROSSMINE_SHARD_WORKER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+
+namespace crossmine::shard {
+
+/// \file
+/// The worker side of process-isolated shard training: the hidden
+/// `crossmine train-shard <slice.cmdb> <ckpt.cmm> --expect-fingerprint F
+/// [--wopt-* ...]` subcommand the supervisor spawns, plus the option
+/// serialization both sides share so a worker trains with exactly the
+/// parent's effective `CrossMineOptions`.
+
+/// Serializes every training-relevant option as `--wopt-<name> <value>`
+/// flags (doubles in `%.17g` so they round-trip exactly). The supervisor
+/// appends these to the worker argv; `TrainShardMain` parses them back.
+/// Covers the whole of `CrossMineOptions` except `num_shards` (a worker is
+/// always one shard) and `prediction_mode` (train-time irrelevant).
+std::vector<std::string> WorkerOptionArgs(const CrossMineOptions& options);
+
+/// Entry point of the `train-shard` subcommand (argv still includes the
+/// binary name and "train-shard"). Opens the slice, verifies its schema
+/// fingerprint against `--expect-fingerprint`, trains a CrossMine model over
+/// every slice tuple and atomically writes the checkpoint (v2 model
+/// container) under the `shard.checkpoint.{write,fsync,rename}` fault
+/// points.
+///
+/// Exit codes: 0 success, 1 open/train/write failure, 2 usage error,
+/// 4 fingerprint mismatch (non-retryable — the supervisor fails the shard
+/// permanently instead of burning attempts).
+int TrainShardMain(int argc, char** argv);
+
+}  // namespace crossmine::shard
+
+#endif  // CROSSMINE_SHARD_WORKER_H_

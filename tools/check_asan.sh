@@ -18,7 +18,11 @@
 # hunt by construction. The shard suite rides
 # along because the partitioner's kShared mode aliases parent column storage
 # into per-shard relations — exactly the borrowed-span lifetime pattern ASan
-# polices.
+# polices. The process-supervision suite joins it: the supervisor's
+# spawn/reap/timeout loop, the checkpoint parse of worker-produced bytes,
+# and the fork/exec argv+envp assembly run sanitized — and the workers it
+# spawns are this build's own sanitized CLI, so the train-shard path is
+# memory-checked end to end.
 #
 # Usage: tools/check_asan.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -31,7 +35,7 @@ cmake --build "$BUILD_DIR" -j \
   --target protocol_test serve_test idset_store_test bitmap_ops_test \
   attr_index_test index_cache_test csv_corruption_test columnar_test \
   columnar_corruption_test fault_matrix_test shard_test \
-  crossmine_cli serve_client
+  shard_process_test crossmine_cli serve_client
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="halt_on_error=1 ${UBSAN_OPTIONS:-}"
@@ -46,6 +50,7 @@ export UBSAN_OPTIONS="halt_on_error=1 ${UBSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/columnar_corruption_test
 "$BUILD_DIR"/tests/fault_matrix_test
 "$BUILD_DIR"/tests/shard_test
+"$BUILD_DIR"/tests/shard_process_test
 bash tools/check_serve_smoke.sh \
   "$BUILD_DIR"/tools/crossmine "$BUILD_DIR"/tools/serve_client
 

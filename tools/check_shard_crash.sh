@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Crash-loop check of process-isolated shard training: kill -9 the workers
+# (and the supervisor itself) at random instants across repeated runs, then
+# prove the durability contract end to end:
+#   1. a checkpoint file, once visible under its final name, always loads —
+#      kill -9 mid-write can never leave a torn `.cmm` (atomic temp + fsync
+#      + rename, plus the crc32 trailer as a second line of defense);
+#   2. `--resume` after any combination of kills converges to a final model
+#      byte-identical to the in-process `--shards K` baseline;
+#   3. the finished run directory holds no `*.tmp.*` debris.
+#
+# Usage: tools/check_shard_crash.sh [crossmine-binary]
+#        (default: build/tools/crossmine)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN="${1:-build/tools/crossmine}"
+[ -x "$BIN" ] || {
+  echo "check_shard_crash: binary not found: $BIN" >&2
+  exit 1
+}
+
+DIR="$(mktemp -d)"
+RUN="$DIR/run.shardrun"
+cleanup() {
+  # Never leak a supervisor or its workers past the check.
+  [ -n "${SUP_PID:-}" ] && kill -9 "$SUP_PID" 2> /dev/null || true
+  pkill -9 -f "$BIN train-shard" 2> /dev/null || true
+  rm -rf "$DIR"
+}
+trap 'cleanup' EXIT
+
+"$BIN" generate synthetic "$DIR/data.cmdb" --seed 47 --relations 8 \
+  --tuples 300 > /dev/null
+
+# Baseline: the in-process sharded model the supervised runs must reproduce.
+"$BIN" train "$DIR/data.cmdb" "$DIR/baseline.cmm" --shards 3 > /dev/null
+
+# Every ckpt-*.cmm visible in the run dir must load and predict against the
+# parent database — a torn or bit-damaged file would be rejected (DATA_LOSS).
+assert_checkpoints_whole() {
+  local when="$1" ckpt
+  for ckpt in "$RUN"/ckpt-*.cmm; do
+    [ -e "$ckpt" ] || continue
+    "$BIN" predict "$DIR/data.cmdb" "$ckpt" > /dev/null 2> "$DIR/predict.err" || {
+      echo "check_shard_crash: torn checkpoint $ckpt ($when):" >&2
+      cat "$DIR/predict.err" >&2
+      exit 1
+    }
+  done
+}
+
+# The kill loop: start a supervised run with a fault plan that parks every
+# worker inside the pre-rename fsync for 200 ms (widening the mid-write
+# window a random kill can land in), then SIGKILL a random worker — or, on
+# every third round, the supervisor itself.
+ROUNDS=6
+for round in $(seq 1 "$ROUNDS"); do
+  # Drop one surviving checkpoint so every round retrains at least one
+  # shard — otherwise a completed previous round would make resume a no-op
+  # and the kill would land on nothing.
+  for c in "$RUN"/ckpt-*.cmm; do
+    [ -e "$c" ] && rm -f "$c" && break
+  done
+
+  CROSSMINE_FAULT_PLAN="shard.checkpoint.fsync@1=sleep:200" \
+    "$BIN" train "$DIR/data.cmdb" "$DIR/model.cmm" \
+    --shards 3 --shard-exec process --shard-run-dir "$RUN" \
+    --shard-retries 6 --resume > /dev/null 2>&1 &
+  SUP_PID=$!
+
+  # Random kill instant inside the train + checkpoint window.
+  sleep "0.$((RANDOM % 5 + 2))"
+
+  if [ $((round % 3)) -eq 0 ]; then
+    kill -9 "$SUP_PID" 2> /dev/null || true
+    # Orphaned workers keep running briefly; they may only ever publish
+    # whole checkpoints. Clear them before the next round.
+    pkill -9 -f "$BIN train-shard" 2> /dev/null || true
+    wait "$SUP_PID" 2> /dev/null || true
+    SUP_PID=""
+    assert_checkpoints_whole "after supervisor kill, round $round"
+  else
+    WORKER="$(pgrep -f "$BIN train-shard" | head -n 1 || true)"
+    if [ -n "$WORKER" ]; then
+      kill -9 "$WORKER" 2> /dev/null || true
+    fi
+    # The supervisor must absorb the crash (retry) and finish on its own.
+    if ! wait "$SUP_PID"; then
+      echo "check_shard_crash: supervised run failed after worker kill (round $round)" >&2
+      exit 1
+    fi
+    SUP_PID=""
+    assert_checkpoints_whole "after worker kill, round $round"
+  fi
+done
+
+# Convergence: one clean resume run must finish and reproduce the baseline
+# byte for byte, reusing whatever checkpoints survived the kills.
+"$BIN" train "$DIR/data.cmdb" "$DIR/model.cmm" \
+  --shards 3 --shard-exec process --shard-run-dir "$RUN" --resume > /dev/null
+cmp "$DIR/baseline.cmm" "$DIR/model.cmm" || {
+  echo "check_shard_crash: resumed model differs from in-process baseline" >&2
+  exit 1
+}
+
+# No temp debris after a completed run (the run-start sweep plus atomic
+# writes must leave only final-name files).
+if ls "$RUN"/*.tmp.* > /dev/null 2>&1; then
+  echo "check_shard_crash: temp debris left in run dir:" >&2
+  ls -l "$RUN" >&2
+  exit 1
+fi
+
+# No stray worker processes or zombies.
+if pgrep -f "$BIN train-shard" > /dev/null 2>&1; then
+  echo "check_shard_crash: stray train-shard workers left running" >&2
+  exit 1
+fi
+
+echo "check_shard_crash: OK ($ROUNDS kill rounds; checkpoints whole; resume byte-identical)"

@@ -22,6 +22,7 @@
 // counts); JSON output is one object per line in the bench/bench_json.h
 // convention.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,6 +51,7 @@
 #include "relational/index_cache.h"
 #include "serve/server.h"
 #include "shard/sharded_trainer.h"
+#include "shard/worker.h"
 #include "storage/columnar.h"
 #include "storage/storage.h"
 #include "serve/tcp.h"
@@ -150,7 +152,26 @@ int Usage() {
       "                         spans (default) or per-shard FK-closure\n"
       "                         restriction\n"
       "  --shard-sample N       re-score merged clauses on N sampled\n"
-      "                         training tuples (0 = full training set)\n");
+      "                         training tuples (0 = full training set)\n"
+      "  --shard-exec inprocess|process\n"
+      "                         where shard training runs: threads of this\n"
+      "                         process (default) or supervised\n"
+      "                         `train-shard` worker processes over durable\n"
+      "                         .cmdb slices with checkpointed merge —\n"
+      "                         worker crashes/hangs are retried, and the\n"
+      "                         final model is byte-identical either way\n"
+      "  --shard-run-dir PATH   slice/checkpoint directory for process\n"
+      "                         exec (train default: <model>.shardrun;\n"
+      "                         evaluate requires it explicitly)\n"
+      "  --shard-timeout-s S    per-worker wall-clock budget before\n"
+      "                         SIGKILL + retry (0 = none)\n"
+      "  --shard-retries N      retries per shard after the first attempt\n"
+      "                         (default 2)\n"
+      "  --shard-quorum K       succeed once K shards checkpointed even if\n"
+      "                         the rest failed permanently (0 = need all)\n"
+      "  --resume               reuse valid checkpoints already in the run\n"
+      "                         directory (same database, partition and\n"
+      "                         options) — recovery after supervisor death\n");
   return 2;
 }
 
@@ -249,6 +270,32 @@ bool ParseShardOptions(const std::map<std::string, std::string>& opts,
     }
   }
   out->merge_sample = static_cast<uint64_t>(OptInt(opts, "shard-sample", 0));
+  if (auto it = opts.find("shard-exec"); it != opts.end()) {
+    if (it->second == "inprocess") {
+      out->exec = shard::ShardExecMode::kInProcess;
+    } else if (it->second == "process") {
+      out->exec = shard::ShardExecMode::kProcess;
+    } else {
+      std::fprintf(stderr,
+                   "bad --shard-exec value '%s' (want inprocess or process)\n",
+                   it->second.c_str());
+      return false;
+    }
+  }
+  out->supervisor.quorum = static_cast<int>(OptInt(opts, "shard-quorum", 0));
+  out->supervisor.worker_timeout_seconds =
+      OptDouble(opts, "shard-timeout-s", 0.0);
+  int64_t retries = OptInt(opts, "shard-retries", 2);
+  out->supervisor.max_attempts = static_cast<int>(std::max<int64_t>(
+      1, retries + 1));
+  if (auto it = opts.find("shard-run-dir"); it != opts.end()) {
+    out->supervisor.run_dir = it->second;
+  }
+  out->supervisor.resume = opts.count("resume") > 0;
+  // Workers inherit the parent's index-memory budget: each one gets the
+  // same --memory-budget-mb cap on its own cache.
+  out->supervisor.memory_budget_mb =
+      static_cast<uint64_t>(OptInt(opts, "memory-budget-mb", 0));
   return true;
 }
 
@@ -257,7 +304,10 @@ bool ParseShardOptions(const std::map<std::string, std::string>& opts,
 /// is exercisable end to end).
 bool WantsSharding(const std::map<std::string, std::string>& opts) {
   return opts.count("shards") > 0 || opts.count("shard-merge") > 0 ||
-         opts.count("shard-mode") > 0 || opts.count("shard-sample") > 0;
+         opts.count("shard-mode") > 0 || opts.count("shard-sample") > 0 ||
+         opts.count("shard-exec") > 0 || opts.count("shard-run-dir") > 0 ||
+         opts.count("shard-timeout-s") > 0 ||
+         opts.count("shard-retries") > 0 || opts.count("shard-quorum") > 0;
 }
 
 /// Opens a database of either format, honoring `--no-verify`, and prints
@@ -553,6 +603,18 @@ int Evaluate(int argc, char** argv) {
   eval::ClassifierFactory factory;
   const char* display = "CrossMine";
   if (classifier == "crossmine" && WantsSharding(opts)) {
+    if (shard_opts.exec == shard::ShardExecMode::kProcess) {
+      if (shard_opts.supervisor.run_dir.empty()) {
+        // Unlike train there is no natural output path to derive one from,
+        // and each fold recycles (wipes) the directory — make the caller
+        // pick a location consciously.
+        std::fprintf(stderr,
+                     "evaluate with --shard-exec process needs an explicit "
+                     "--shard-run-dir\n");
+        return 2;
+      }
+      shard_opts.supervisor.shutdown = ShutdownNotifier::Install();
+    }
     display = "ShardedCrossMine";
     factory = [&] {
       return std::make_unique<shard::ShardedClassifier>(model_opts,
@@ -632,6 +694,13 @@ int Train(int argc, char** argv) {
   bool sharded = WantsSharding(opts);
   shard::ShardOptions shard_opts;
   if (sharded && !ParseShardOptions(opts, &shard_opts)) return 2;
+  if (sharded && shard_opts.exec == shard::ShardExecMode::kProcess) {
+    if (shard_opts.supervisor.run_dir.empty()) {
+      shard_opts.supervisor.run_dir = std::string(argv[3]) + ".shardrun";
+    }
+    // SIGINT/SIGTERM must drain worker processes, not orphan them.
+    shard_opts.supervisor.shutdown = ShutdownNotifier::Install();
+  }
   if (sharded && shard_opts.merge == shard::MergeMode::kVote) {
     std::fprintf(stderr,
                  "--shard-merge vote keeps one model per shard and cannot "
@@ -854,6 +923,9 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --fault-plan: %s\n", st.ToString().c_str());
         return 2;
       }
+      // Export the plan so spawned shard workers inherit it — a plan naming
+      // a worker-side point (shard.checkpoint.*) arms in every child.
+      ::setenv("CROSSMINE_FAULT_PLAN", argv[i + 1], 1);
     }
     // Global index-memory budget, honored by every subcommand: caps the
     // summed footprint of cached index artifacts (LRU eviction + rebuild on
@@ -878,6 +950,9 @@ int main(int argc, char** argv) {
     }
   }
   std::string command = argv[1];
+  // Hidden subcommand: the shard-training worker the ShardSupervisor
+  // spawns. Not in Usage() — its argv is an internal contract.
+  if (command == "train-shard") return shard::TrainShardMain(argc, argv);
   if (command == "generate") return Generate(argc, argv);
   if (command == "convert") return Convert(argc, argv);
   if (command == "info") return Info(argc, argv);
